@@ -1,0 +1,109 @@
+"""Engine micro-benchmarks (not a paper artefact).
+
+Times the hot paths of the simulator so performance regressions in the
+vectorised kernels are visible: the stack partition (the per-round
+dominant cost), a walk step for a large walker population, one full
+protocol round at Section 7's scale (``n = 1000``, ``m = 10000``), and
+the two heavy linear-algebra routines of the analysis toolkit.
+
+These use pytest-benchmark's timing loop (multiple rounds) rather than
+the single-shot `pedantic` mode of the experiment benches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    AboveAverageThreshold,
+    ResourceControlledProtocol,
+    SystemState,
+    UserControlledProtocol,
+    grid_graph,
+    hitting_time_matrix,
+    max_degree_walk,
+    partition_stacks,
+    single_source_placement,
+    spectrum,
+    torus_graph,
+)
+
+N, M = 1000, 10_000
+
+
+@pytest.fixture(scope="module")
+def big_state() -> SystemState:
+    rng = np.random.default_rng(0)
+    weights = rng.uniform(1.0, 10.0, size=M)
+    placement = rng.integers(0, N, size=M)
+    return SystemState.from_workload(
+        weights, placement, N, AboveAverageThreshold(0.2)
+    )
+
+
+def test_partition_stacks_10k_tasks(benchmark, big_state):
+    """The per-round dominant kernel: one full stack partition."""
+    result = benchmark(
+        partition_stacks,
+        big_state.resource,
+        big_state.seq,
+        big_state.weights,
+        N,
+        big_state.threshold,
+    )
+    assert result.loads.shape == (N,)
+
+
+def test_walk_step_100k_walkers(benchmark):
+    g = torus_graph(32, 32)
+    walk = max_degree_walk(g)
+    rng = np.random.default_rng(1)
+    pos = rng.integers(0, g.n, size=100_000)
+    out = benchmark(walk.step, pos, rng)
+    assert out.shape == pos.shape
+
+
+def test_user_round_paper_scale(benchmark):
+    """One Algorithm 6.1 round at n=1000, m=10000 (Section 7's scale)."""
+    proto = UserControlledProtocol(alpha=1.0)
+    rng = np.random.default_rng(2)
+    base = SystemState.from_workload(
+        np.ones(M), single_source_placement(M, N), N,
+        AboveAverageThreshold(0.2),
+    )
+
+    def one_round():
+        state = base.copy()
+        return proto.step(state, rng)
+
+    stats = benchmark(one_round)
+    assert stats.overloaded_before == 1
+
+
+def test_resource_round_torus(benchmark):
+    proto = ResourceControlledProtocol(torus_graph(32, 32))
+    rng = np.random.default_rng(3)
+    base = SystemState.from_workload(
+        np.ones(M), single_source_placement(M, 1024), 1024,
+        AboveAverageThreshold(0.2),
+    )
+
+    def one_round():
+        state = base.copy()
+        return proto.step(state, rng)
+
+    stats = benchmark(one_round)
+    assert stats.movers > 0
+
+
+def test_spectrum_n512(benchmark):
+    walk = max_degree_walk(grid_graph(16, 32))
+    vals = benchmark(spectrum, walk)
+    assert vals.shape == (512,)
+
+
+def test_hitting_matrix_n512(benchmark):
+    walk = max_degree_walk(grid_graph(16, 32))
+    h = benchmark(hitting_time_matrix, walk)
+    assert h.shape == (512, 512)

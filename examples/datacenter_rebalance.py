@@ -1,0 +1,113 @@
+"""Datacenter scenario: rebalancing heavy-tailed jobs after a hotspot.
+
+The intro of the paper motivates thresholds with distributed systems
+whose performance is dictated by the most loaded machine.  This example
+models a 500-machine cluster where a scheduler bug has funnelled every
+job onto one rack's worth of machines.  Job service times are Pareto
+(heavy-tailed, capped) — the realistic regime where treating tasks as
+unit-weight goes wrong.
+
+We compare, for the user-controlled protocol (jobs re-place themselves
+with no coordinator):
+
+* threshold tightness: generous ``eps = 0.5`` vs tight ``W/n + wmax``;
+* migration aggressiveness ``alpha`` in {0.1, 1.0};
+
+and report balancing time, migration volume (bytes moved, if you like)
+and the final makespan.  The punchline matches Theorem 11 vs Theorem
+12: tight thresholds cost roughly a factor ``n * eps`` more rounds.
+
+Run:  python examples/datacenter_rebalance.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    AboveAverageThreshold,
+    ParetoWeights,
+    SystemState,
+    TightUserThreshold,
+    UserControlledProtocol,
+    simulate,
+    weight_stats,
+)
+from repro.experiments import format_table
+
+N = 500           # machines
+M = 5000          # jobs
+HOT_MACHINES = 25 # the "rack" everything landed on
+SEED = 7
+
+
+def hotspot_placement(m: int, n: int, hot: int,
+                      rng: np.random.Generator) -> np.ndarray:
+    """All jobs land uniformly on the first ``hot`` machines."""
+    return rng.integers(0, hot, size=m)
+
+
+def main() -> None:
+    rng = np.random.default_rng(SEED)
+    weights = ParetoWeights(alpha=2.5, cap=64.0).sample(M, rng)
+    stats = weight_stats(weights)
+    print(
+        f"cluster: n={N}, jobs={M}, total work W={stats['W']:.0f}, "
+        f"avg={stats['W'] / N:.1f}, wmax={stats['wmax']:.1f} "
+        f"(skew wmax/wmin={stats['skew']:.1f})"
+    )
+
+    scenarios = [
+        ("generous T, eager jobs", AboveAverageThreshold(eps=0.5), 1.0),
+        ("generous T, shy jobs", AboveAverageThreshold(eps=0.5), 0.1),
+        ("paper T (eps=0.2), eager", AboveAverageThreshold(eps=0.2), 1.0),
+        ("tight T = W/n + wmax, eager", TightUserThreshold(), 1.0),
+    ]
+    rows = []
+    for label, policy, alpha in scenarios:
+        placement = hotspot_placement(M, N, HOT_MACHINES, rng)
+        state = SystemState.from_workload(weights, placement, N, policy)
+        threshold = float(np.asarray(state.threshold))
+        result = simulate(
+            UserControlledProtocol(alpha=alpha),
+            state,
+            np.random.default_rng(SEED + 1),
+            max_rounds=500_000,
+        )
+        rows.append(
+            {
+                "scenario": label,
+                "threshold": threshold,
+                "alpha": alpha,
+                "rounds": result.rounds,
+                "migrations": result.total_migrations,
+                "weight_moved": result.total_migrated_weight,
+                "final_makespan": result.final_max_load,
+            }
+        )
+    print()
+    print(
+        format_table(
+            rows,
+            columns=[
+                "scenario", "threshold", "alpha", "rounds", "migrations",
+                "weight_moved", "final_makespan",
+            ],
+            float_fmt=".1f",
+        )
+    )
+    eager = rows[0]["rounds"]
+    shy = rows[1]["rounds"]
+    print(
+        f"\nreading: eager jobs (alpha=1) settle {shy / eager:.0f}x faster "
+        "than shy ones (alpha=0.1),\nmatching Theorem 11's 1/alpha law; "
+        "tighter thresholds buy a lower final makespan\n"
+        f"({rows[-1]['final_makespan']:.1f} vs {rows[0]['final_makespan']:.1f}) "
+        "at a modest cost here because the heavy tail makes\n"
+        "wmax itself the slack — with many small jobs the Theorem 12 "
+        "n-factor would bite."
+    )
+
+
+if __name__ == "__main__":
+    main()

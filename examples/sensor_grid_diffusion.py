@@ -1,0 +1,109 @@
+"""Sensor grid: fully decentralised balancing with estimated thresholds.
+
+A wireless-sensor / edge-compute deployment arranged as a 2-D torus:
+nodes only talk to their four neighbours, and *nobody knows the global
+average load* — so the threshold ``(1+eps) W/n + wmax`` cannot simply be
+configured.
+
+This example runs the complete decentralised pipeline of the paper:
+
+1. every node estimates the average load by continuous diffusion for a
+   mixing time's worth of steps (paper, footnote 1);
+2. each node sets its own threshold from its estimate (the non-uniform
+   threshold extension of the conclusion);
+3. the resource-controlled protocol (Algorithm 5.1) balances using only
+   neighbour communication.
+
+It prints the estimation error after diffusion, then compares balancing
+with the exact global threshold vs the estimated per-node thresholds —
+they should behave nearly identically once estimates have mixed.
+
+Run:  python examples/sensor_grid_diffusion.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    ResourceControlledProtocol,
+    SystemState,
+    UniformRangeWeights,
+    decentralized_thresholds,
+    diffusion_average_estimates,
+    estimation_error,
+    feasible_threshold,
+    max_degree_walk,
+    mixing_time_bound,
+    simulate,
+    torus_graph,
+    uniform_random_placement,
+)
+
+SIDE = 16          # 16 x 16 torus = 256 nodes
+M = 2048           # measurement-processing tasks
+EPS = 0.3
+SEED = 11
+
+
+def main() -> None:
+    rng = np.random.default_rng(SEED)
+    graph = torus_graph(SIDE, SIDE)
+    walk = max_degree_walk(graph)
+    n = graph.n
+
+    weights = UniformRangeWeights(1.0, 4.0).sample(M, rng)
+    placement = uniform_random_placement(M, n, rng)
+    # skew the start: dump a burst of extra tasks on one corner node
+    placement[: M // 4] = 0
+
+    wmax = float(weights.max())
+    total = float(weights.sum())
+    loads0 = np.bincount(placement, weights=weights, minlength=n)
+
+    tau = mixing_time_bound(walk)
+    print(f"torus {SIDE}x{SIDE}: mixing-time bound tau = {tau:.0f} steps")
+
+    # --- step 1: diffusion averaging (footnote 1) ---------------------
+    steps = int(np.ceil(tau))
+    estimates = diffusion_average_estimates(walk, loads0, steps=steps)
+    err = estimation_error(estimates, loads0)
+    print(
+        f"after {steps} diffusion steps every node knows the average to "
+        f"within {100 * err:.2f}% (true avg {total / n:.2f})"
+    )
+
+    # --- step 2: per-node thresholds ----------------------------------
+    thresholds = decentralized_thresholds(walk, loads0, EPS, wmax, steps=steps)
+    assert feasible_threshold(thresholds, total, n), "estimates too low!"
+
+    # --- step 3: balance, estimated vs exact thresholds ---------------
+    for label, threshold in [
+        ("exact global threshold", (1 + EPS) * total / n + wmax),
+        ("estimated per-node thresholds", thresholds),
+    ]:
+        state = SystemState.from_workload(
+            weights, placement.copy(), n, threshold
+        )
+        result = simulate(
+            ResourceControlledProtocol(graph),
+            state,
+            np.random.default_rng(SEED + 1),
+            record_traces=True,
+        )
+        print(
+            f"\n{label}: balanced={result.balanced} in {result.rounds} "
+            f"rounds, final max load {result.final_max_load:.2f}"
+        )
+        trace = result.potential_trace
+        if trace is not None and trace.size:
+            mid = trace.size // 2
+            print(
+                f"  overload potential: start {trace[0]:.0f}, "
+                f"halfway {trace[mid]:.0f}, monotone decrease = "
+                f"{bool(np.all(np.diff(trace) <= 1e-9))}"
+            )
+
+
+if __name__ == "__main__":
+    main()

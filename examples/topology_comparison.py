@@ -1,0 +1,116 @@
+"""How much does the network topology cost you?  (Theorem 3, visually.)
+
+Theorem 3 says the resource-controlled balancing time is
+``O(tau(G) log m)`` — the *only* graph-dependent quantity is the mixing
+time of the random walk.  This example takes one fixed workload and
+balances it on six topologies of identical size, printing measured
+rounds next to the spectral prediction ``tau(G) ln m``.  The ranking of
+the measured column follows the ranking of the prediction, which is the
+practical takeaway: you can forecast balancing behaviour from the
+spectral gap alone, before deploying anything.
+
+Run:  python examples/topology_comparison.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    AboveAverageThreshold,
+    ResourceControlledProtocol,
+    SystemState,
+    cycle_graph,
+    complete_graph,
+    hypercube_graph,
+    lazy_walk,
+    max_degree_walk,
+    mixing_time_bound,
+    random_regular_graph,
+    simulate,
+    single_source_placement,
+    spectral_gap,
+    torus_graph,
+    binary_tree_graph,
+)
+from repro.experiments import format_table
+
+N = 256
+M = 2048
+EPS = 0.25
+TRIALS = 5
+SEED = 3
+
+
+def main() -> None:
+    rng = np.random.default_rng(SEED)
+    graphs = [
+        complete_graph(N),
+        random_regular_graph(N, 4, rng),
+        hypercube_graph(8),           # 256 vertices
+        torus_graph(16, 16),          # 256 vertices
+        cycle_graph(N),
+        binary_tree_graph(7),         # 255 vertices
+    ]
+    weights = np.ones(M)
+    weights[:20] = 10.0
+
+    rows = []
+    for graph in graphs:
+        walk = max_degree_walk(graph)
+        tau = mixing_time_bound(walk)
+        gap = spectral_gap(walk)
+        if gap <= 1e-12:  # periodic (bipartite) walk: report the lazy gap
+            gap = spectral_gap(lazy_walk(graph))
+        times = []
+        for t in range(TRIALS):
+            placement = single_source_placement(M, graph.n)
+            state = SystemState.from_workload(
+                weights, placement, graph.n, AboveAverageThreshold(EPS)
+            )
+            result = simulate(
+                ResourceControlledProtocol(graph),
+                state,
+                np.random.default_rng(SEED * 1000 + t),
+                max_rounds=500_000,
+            )
+            times.append(result.rounds)
+        mean_rounds = float(np.mean(times))
+        rows.append(
+            {
+                "graph": graph.name,
+                "spectral_gap": gap,
+                "tau": tau,
+                "predicted": tau * np.log(M),
+                "measured_rounds": mean_rounds,
+                "measured/predicted": mean_rounds / (tau * np.log(M)),
+            }
+        )
+    rows.sort(key=lambda r: r["predicted"])
+    print(
+        format_table(
+            rows,
+            columns=[
+                "graph", "spectral_gap", "tau", "predicted",
+                "measured_rounds", "measured/predicted",
+            ],
+            float_fmt=".3g",
+            title=(
+                f"one workload (m={M}, n~{N}), six topologies — "
+                "measured rounds track tau(G) ln m (Theorem 3)"
+            ),
+        )
+    )
+    raw_spread = rows[-1]["measured_rounds"] / rows[0]["measured_rounds"]
+    consts = [r["measured/predicted"] for r in rows]
+    const_spread = max(consts) / min(consts)
+    print(
+        "\nthe 'measured/predicted' column is Theorem 3's hidden constant: "
+        f"raw times span {raw_spread:,.0f}x across topologies,\n"
+        f"the normalised constant only {const_spread:.0f}x — the spectral "
+        "bound explains the topology effect."
+    )
+
+
+if __name__ == "__main__":
+    main()

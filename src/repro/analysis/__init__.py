@@ -1,0 +1,67 @@
+"""Analysis: theoretical bounds, drift, diffusion averaging, fitting."""
+
+from .averaging import (
+    decentralized_thresholds,
+    diffusion_average_estimates,
+    estimation_error,
+)
+from .bounds import (
+    TABLE1_ASYMPTOTICS,
+    lemma1_acceptor_fraction,
+    observation8_rounds,
+    theorem3_rounds,
+    theorem3_success_probability,
+    theorem7_rounds,
+    theorem11_rounds,
+    theorem12_rounds,
+)
+from .drift import DriftEstimate, drift_time_bound, estimate_drift, lemma10_delta
+from .phases import (
+    PhaseReport,
+    analyze_phases,
+    phase_survival_ratios,
+    theorem3_survival_bound,
+)
+from .fitting import FitResult, fit_linear, fit_logarithmic, fit_power_law
+from .stats import MeanCI, bootstrap_mean_ci, mean_confidence_interval
+from .trajectories import (
+    TrajectorySummary,
+    migration_efficiency,
+    overload_exposure,
+    summarize_trajectory,
+    time_to_fraction,
+)
+
+__all__ = [
+    "DriftEstimate",
+    "FitResult",
+    "MeanCI",
+    "PhaseReport",
+    "TABLE1_ASYMPTOTICS",
+    "TrajectorySummary",
+    "bootstrap_mean_ci",
+    "decentralized_thresholds",
+    "diffusion_average_estimates",
+    "drift_time_bound",
+    "estimate_drift",
+    "estimation_error",
+    "fit_linear",
+    "fit_logarithmic",
+    "fit_power_law",
+    "lemma10_delta",
+    "lemma1_acceptor_fraction",
+    "mean_confidence_interval",
+    "migration_efficiency",
+    "overload_exposure",
+    "analyze_phases",
+    "observation8_rounds",
+    "phase_survival_ratios",
+    "theorem11_rounds",
+    "theorem12_rounds",
+    "theorem3_rounds",
+    "theorem3_success_probability",
+    "theorem3_survival_bound",
+    "theorem7_rounds",
+    "summarize_trajectory",
+    "time_to_fraction",
+]

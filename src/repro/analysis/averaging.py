@@ -1,0 +1,89 @@
+"""Decentralised average-load estimation by diffusion (paper footnote 1).
+
+The thresholds depend on the average load ``W/n``, which a node cannot
+see locally.  Footnote 1 of the paper sketches the standard fix: "Each
+resource keeps a value representing the current estimated average load
+... the resources then simulate continuous diffusion load balancing
+(always using their current estimate) for mixing time number of steps,
+at which point their estimates will be concentrated around the average
+load."
+
+Continuous diffusion with the walk's transition matrix is simply the
+power iteration ``y(t+1) = P^T y(t)`` started from the initial load
+vector; because ``P`` is doubly stochastic the average of ``y`` is
+conserved and ``y(t) -> (W/n) * 1`` at the walk's mixing rate.  From the
+estimates we can build the paper's thresholds *per resource* — the
+"non-uniform thresholds" extension of the conclusion.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphs.random_walk import RandomWalk, lazy_walk
+from ..graphs.spectral import mixing_time_bound, spectral_gap
+
+__all__ = [
+    "diffusion_average_estimates",
+    "estimation_error",
+    "decentralized_thresholds",
+]
+
+
+def diffusion_average_estimates(
+    walk: RandomWalk,
+    loads: np.ndarray,
+    steps: int | None = None,
+) -> np.ndarray:
+    """Per-resource estimates of ``W/n`` after diffusion ``steps``.
+
+    ``steps`` defaults to the paper's mixing-time bound
+    ``ceil(4 ln n / mu)`` (computed on the lazy walk when the given one
+    is periodic).  Estimates conserve the average exactly at every step.
+    """
+    y = np.asarray(loads, dtype=np.float64).copy()
+    if y.shape != (walk.n,):
+        raise ValueError(f"loads must have shape ({walk.n},)")
+    if steps is None:
+        steps = int(np.ceil(mixing_time_bound(walk)))
+    if steps < 0:
+        raise ValueError("steps must be non-negative")
+    w = walk
+    if steps > 0 and spectral_gap(w) <= 1e-12:
+        w = lazy_walk(walk.graph)
+    p = w.transition_matrix()
+    for _ in range(steps):
+        y = p.T @ y
+    return y
+
+
+def estimation_error(estimates: np.ndarray, loads: np.ndarray) -> float:
+    """Worst-case relative deviation of estimates from the true average."""
+    est = np.asarray(estimates, dtype=np.float64)
+    avg = float(np.asarray(loads, dtype=np.float64).mean())
+    if avg == 0:
+        return float(np.abs(est).max())
+    return float(np.abs(est - avg).max() / abs(avg))
+
+
+def decentralized_thresholds(
+    walk: RandomWalk,
+    loads: np.ndarray,
+    eps: float,
+    wmax: float,
+    steps: int | None = None,
+    safety: float = 0.0,
+) -> np.ndarray:
+    """Per-resource thresholds ``(1+eps) * estimate_r + wmax``.
+
+    Produces the non-uniform threshold vector a fully decentralised
+    deployment would use.  ``safety`` adds a margin (fraction of the
+    estimate) for nodes that want to be conservative about estimation
+    error; feasibility (total capacity >= W) should be checked by the
+    caller via :func:`repro.core.thresholds.feasible_threshold` because
+    per-node under-estimates can otherwise make balancing impossible.
+    """
+    if eps < 0 or wmax <= 0 or safety < 0:
+        raise ValueError("invalid parameters")
+    est = diffusion_average_estimates(walk, loads, steps=steps)
+    return (1.0 + eps + safety) * est + wmax

@@ -1,0 +1,138 @@
+"""The paper's theoretical bounds, as executable formulas.
+
+Every theorem's balancing-time bound is implemented with the explicit
+constants the proofs provide, so benchmarks can print *measured vs
+predicted* side by side.  Where a theorem only gives an order bound
+(``O(.)``), the function returns the expression inside the ``O`` and the
+caller compares ratios across a sweep instead of absolute values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "lemma1_acceptor_fraction",
+    "theorem3_rounds",
+    "theorem3_success_probability",
+    "theorem7_rounds",
+    "theorem11_rounds",
+    "theorem12_rounds",
+    "observation8_rounds",
+    "TABLE1_ASYMPTOTICS",
+]
+
+
+def lemma1_acceptor_fraction(eps: float) -> float:
+    """Lemma 1: at any time, at least an ``eps/(1+eps)`` fraction of the
+    resources has load at most ``T - wmax`` — i.e. can accept *any*
+    task — under the above-average threshold ``(1+eps) W/n + wmax``."""
+    if eps < 0:
+        raise ValueError("eps must be non-negative")
+    return eps / (1.0 + eps)
+
+
+def theorem3_rounds(tau: float, m: int, eps: float, c: float = 1.0) -> float:
+    """Theorem 3's explicit w.h.p. balancing-time bound.
+
+    With probability at least ``1 - n^{-c}`` all tasks are allocated
+    after ``2 (c+1) tau(G) log(m) / log(2(1+eps) / (2+eps))`` steps.
+    The log ratio is base-independent; natural logs are used.
+    """
+    if m < 2:
+        raise ValueError("need m >= 2")
+    if eps <= 0:
+        raise ValueError("Theorem 3 needs eps > 0")
+    if tau < 0 or c <= 0:
+        raise ValueError("need tau >= 0 and c > 0")
+    rate = np.log(2.0 * (1.0 + eps) / (2.0 + eps))
+    return 2.0 * (c + 1.0) * tau * np.log(m) / rate
+
+
+def theorem3_success_probability(n: int, c: float = 1.0) -> float:
+    """The ``1 - n^{-c}`` guarantee attached to Theorem 3's bound."""
+    if n < 2:
+        raise ValueError("need n >= 2")
+    return 1.0 - float(n) ** (-c)
+
+
+def theorem7_rounds(hitting_time: float, total_weight: float,
+                    wmin: float = 1.0) -> float:
+    """Theorem 7's expected balancing time under ``T = W/n + 2 wmax``.
+
+    The proof applies the drift theorem with ``delta = 1/4``,
+    ``s0 <= W``, ``smin = wmin`` over phases of length ``2 H(G)``:
+    ``E[T] <= 2 H(G) * (1 + ln(W / wmin)) / (1/4)``.
+    """
+    if hitting_time < 0 or total_weight <= 0 or wmin <= 0:
+        raise ValueError("invalid parameters")
+    return 2.0 * hitting_time * (1.0 + np.log(total_weight / wmin)) * 4.0
+
+
+def theorem11_rounds(m: int, eps: float, alpha: float, wmax: float,
+                     wmin: float = 1.0) -> float:
+    """Theorem 11: ``E[T] = 2 (1+eps)/(alpha eps) * wmax/wmin * log m``
+    for the user-controlled protocol, above-average threshold."""
+    if m < 2:
+        raise ValueError("need m >= 2")
+    if eps <= 0 or alpha <= 0 or wmax <= 0 or wmin <= 0:
+        raise ValueError("invalid parameters")
+    return 2.0 * (1.0 + eps) / (alpha * eps) * (wmax / wmin) * np.log(m)
+
+
+def theorem12_rounds(m: int, n: int, alpha: float, wmax: float,
+                     wmin: float = 1.0) -> float:
+    """Theorem 12: ``E[T] = 2 n/alpha * wmax/wmin * log m`` for the
+    user-controlled protocol under the tight threshold ``W/n + wmax``."""
+    if m < 2 or n < 1:
+        raise ValueError("need m >= 2, n >= 1")
+    if alpha <= 0 or wmax <= 0 or wmin <= 0:
+        raise ValueError("invalid parameters")
+    return 2.0 * n / alpha * (wmax / wmin) * np.log(m)
+
+
+def observation8_rounds(hitting_time: float, m: int) -> float:
+    """Observation 8's lower-bound expression ``H(G) log m`` (up to a
+    constant): expected rounds the clique-plus-pendant instance needs."""
+    if m < 2:
+        raise ValueError("need m >= 2")
+    if hitting_time < 0:
+        raise ValueError("hitting time must be non-negative")
+    return hitting_time * np.log(m)
+
+
+#: Table 1 of the paper: the asymptotic mixing/hitting orders per family,
+#: as (mixing, hitting) display strings plus scaling callables used by
+#: benchmark E3 to check measured values against expected growth.
+TABLE1_ASYMPTOTICS: dict[str, dict[str, object]] = {
+    "complete": {
+        "mixing": "O(1)",
+        "hitting": "O(n)",
+        "mixing_scale": lambda n: 1.0,
+        "hitting_scale": lambda n: float(n),
+    },
+    "regular_expander": {
+        "mixing": "O(log n)",
+        "hitting": "O(n)",
+        "mixing_scale": lambda n: np.log(n),
+        "hitting_scale": lambda n: float(n),
+    },
+    "erdos_renyi": {
+        "mixing": "O(log n)",
+        "hitting": "O(n)",
+        "mixing_scale": lambda n: np.log(n),
+        "hitting_scale": lambda n: float(n),
+    },
+    "hypercube": {
+        "mixing": "O(log n loglog n)",
+        "hitting": "O(n)",
+        "mixing_scale": lambda n: np.log(n) * np.log(np.log(n)),
+        "hitting_scale": lambda n: float(n),
+    },
+    "grid": {
+        "mixing": "O(n)",
+        "hitting": "O(n log n)",
+        "mixing_scale": lambda n: float(n),
+        "hitting_scale": lambda n: n * np.log(n),
+    },
+}

@@ -1,0 +1,117 @@
+"""The multiplicative drift theorem (Theorem 6) and empirical drift.
+
+Theorem 6 (Doerr & Pohl): if a non-negative process ``V(t)`` over a
+finite value set with minimum ``smin`` satisfies
+
+    E[V(t) - V(t+1) | V(t) = s] >= delta * s,
+
+then ``E[T | V(0) = s0] <= (1 + ln(s0 / smin)) / delta`` where ``T`` is
+the first hitting time of 0.  The paper instantiates it with the
+potential ``Phi`` (``delta = 1/4`` per ``2 H(G)``-step phase for Theorem
+7; ``delta = eps/(2(1+eps))`` per round for Theorem 11).
+
+The empirical side estimates the realised per-step drift from a recorded
+potential trajectory, which benchmark E8 compares against the analysis
+constants — demonstrating (as Section 7 observes for ``alpha``) how
+conservative the proofs are.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "drift_time_bound",
+    "DriftEstimate",
+    "estimate_drift",
+    "lemma10_delta",
+]
+
+
+def drift_time_bound(s0: float, smin: float, delta: float) -> float:
+    """Theorem 6's bound ``(1 + ln(s0/smin)) / delta``.
+
+    ``s0`` is the initial potential, ``smin`` the smallest positive
+    value the potential can take (``wmin`` for the paper's potentials).
+    """
+    if s0 < smin:
+        raise ValueError("s0 must be at least smin")
+    if smin <= 0 or delta <= 0 or delta > 1:
+        raise ValueError("need smin > 0 and delta in (0, 1]")
+    return (1.0 + np.log(s0 / smin)) / delta
+
+
+def lemma10_delta(
+    eps: float, alpha: float | None = None, wmax: float = 1.0, wmin: float = 1.0
+) -> float:
+    """Lemma 10's per-round expected potential-drop factor.
+
+    The proof establishes ``E[Delta Phi] >= alpha * eps / (2 (1+eps)) *
+    (wmin / wmax) * Phi`` — the drift that, fed into Theorem 6, yields
+    Theorem 11's ``2 (1+eps)/(alpha eps) * wmax/wmin * log m``.  With
+    ``alpha=None`` the analysis value ``eps / (120 (1+eps))`` is used.
+    """
+    if eps <= 0:
+        raise ValueError("eps must be positive")
+    if wmax <= 0 or wmin <= 0 or wmin > wmax:
+        raise ValueError("need 0 < wmin <= wmax")
+    if alpha is None:
+        alpha = eps / (120.0 * (1.0 + eps))
+    if not 0 < alpha <= 1:
+        raise ValueError("alpha must lie in (0, 1]")
+    return alpha * eps / (2.0 * (1.0 + eps)) * (wmin / wmax)
+
+
+@dataclass(frozen=True)
+class DriftEstimate:
+    """Empirical drift extracted from one potential trajectory.
+
+    Attributes
+    ----------
+    delta_mean:
+        Average one-step relative drop ``1 - Phi(t+1)/Phi(t)`` over
+        steps with positive potential.
+    delta_regression:
+        Drift implied by the slope of ``ln Phi(t)`` (robust to noise:
+        least-squares over the whole decay).
+    steps_observed:
+        Number of one-step transitions with ``Phi(t) > 0`` used.
+    predicted_rounds:
+        Drift-theorem prediction using ``delta_regression``.
+    """
+
+    delta_mean: float
+    delta_regression: float
+    steps_observed: int
+    predicted_rounds: float
+
+
+def estimate_drift(
+    potential_trace: np.ndarray, smin: float = 1.0
+) -> DriftEstimate:
+    """Estimate the realised multiplicative drift of a potential trace.
+
+    The trace is the per-round potential recorded by the simulator
+    (value at the start of each round); the run must contain at least
+    two positive entries.
+    """
+    phi = np.asarray(potential_trace, dtype=np.float64)
+    pos = phi > 0
+    phi = phi[pos]
+    if phi.shape[0] < 2:
+        raise ValueError("need at least two positive potential values")
+    ratios = phi[1:] / phi[:-1]
+    delta_mean = float(np.mean(1.0 - ratios))
+    t = np.arange(phi.shape[0])
+    slope = float(np.polyfit(t, np.log(phi), 1)[0])
+    delta_reg = float(1.0 - np.exp(slope))
+    delta_reg = min(max(delta_reg, 1e-12), 1.0)
+    predicted = drift_time_bound(float(phi[0]), smin, delta_reg)
+    return DriftEstimate(
+        delta_mean=delta_mean,
+        delta_regression=delta_reg,
+        steps_observed=int(phi.shape[0] - 1),
+        predicted_rounds=predicted,
+    )

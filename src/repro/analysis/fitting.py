@@ -1,0 +1,92 @@
+"""Curve fitting for the scaling claims in the figures.
+
+The simulations make two quantitative claims:
+
+* Figure 1: balancing time is "proportional to the logarithm of
+  ``m + k``" — fitted by :func:`fit_logarithmic`;
+* Figure 2: normalised balancing time is "almost linear in
+  ``wmax/wmin``" — fitted by :func:`fit_linear`.
+
+Benchmark E3 additionally fits power laws to mixing/hitting times vs
+``n`` to confirm Table 1's asymptotic orders.  All fits are plain
+least squares and report ``R^2`` so shape claims come with a number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["FitResult", "fit_linear", "fit_logarithmic", "fit_power_law"]
+
+
+@dataclass(frozen=True)
+class FitResult:
+    """A two-parameter least-squares fit ``y ~ slope * f(x) + intercept``."""
+
+    slope: float
+    intercept: float
+    r_squared: float
+    model: str
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if self.model == "linear":
+            basis = x
+        elif self.model == "logarithmic":
+            basis = np.log(x)
+        elif self.model == "power":
+            return np.exp(self.intercept) * x**self.slope
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown model {self.model}")
+        return self.slope * basis + self.intercept
+
+
+def _fit(basis: np.ndarray, y: np.ndarray, model: str) -> FitResult:
+    if basis.shape[0] != y.shape[0]:
+        raise ValueError("x and y must have the same length")
+    if basis.shape[0] < 2:
+        raise ValueError("need at least two points to fit")
+    slope, intercept = np.polyfit(basis, y, 1)
+    pred = slope * basis + intercept
+    ss_res = float(((y - pred) ** 2).sum())
+    ss_tot = float(((y - y.mean()) ** 2).sum())
+    r2 = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return FitResult(
+        slope=float(slope), intercept=float(intercept), r_squared=r2, model=model
+    )
+
+
+def fit_linear(x: np.ndarray, y: np.ndarray) -> FitResult:
+    """Least-squares ``y ~ a x + b``."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    return _fit(x, y, "linear")
+
+
+def fit_logarithmic(x: np.ndarray, y: np.ndarray) -> FitResult:
+    """Least-squares ``y ~ a ln(x) + b`` (x must be positive)."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if np.any(x <= 0):
+        raise ValueError("logarithmic fit needs positive x")
+    return _fit(np.log(x), y, "logarithmic")
+
+
+def fit_power_law(x: np.ndarray, y: np.ndarray) -> FitResult:
+    """Least-squares ``ln y ~ a ln x + b``, i.e. ``y ~ e^b x^a``.
+
+    The returned ``slope`` is the scaling exponent ``a`` — the number
+    benchmark E3 compares against Table 1 (e.g. hitting time of the
+    grid should fit with exponent about 1 in ``n`` modulo the log
+    factor).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if np.any(x <= 0) or np.any(y <= 0):
+        raise ValueError("power-law fit needs positive data")
+    logx = np.log(x)
+    logy = np.log(y)
+    fit = _fit(logx, logy, "power")
+    return fit

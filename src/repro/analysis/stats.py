@@ -1,0 +1,83 @@
+"""Small statistics helpers for experiment reporting.
+
+Confidence intervals use the Student-t quantile (via scipy) because
+bench configurations run far fewer than the paper's 1000 trials, where a
+normal approximation would overstate precision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats as _sps
+
+__all__ = ["MeanCI", "mean_confidence_interval", "bootstrap_mean_ci"]
+
+
+@dataclass(frozen=True)
+class MeanCI:
+    """A sample mean with a symmetric confidence interval."""
+
+    mean: float
+    halfwidth: float
+    confidence: float
+    n: int
+
+    @property
+    def low(self) -> float:
+        return self.mean - self.halfwidth
+
+    @property
+    def high(self) -> float:
+        return self.mean + self.halfwidth
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.mean:.2f} ± {self.halfwidth:.2f}"
+
+
+def mean_confidence_interval(
+    values: np.ndarray, confidence: float = 0.95
+) -> MeanCI:
+    """Student-t confidence interval for the mean of i.i.d. samples."""
+    v = np.asarray(values, dtype=np.float64)
+    if v.size == 0:
+        raise ValueError("no samples")
+    if not 0 < confidence < 1:
+        raise ValueError("confidence must be in (0, 1)")
+    mean = float(v.mean())
+    if v.size == 1:
+        return MeanCI(mean=mean, halfwidth=float("inf"),
+                      confidence=confidence, n=1)
+    sem = float(v.std(ddof=1) / np.sqrt(v.size))
+    tq = float(_sps.t.ppf(0.5 + confidence / 2.0, df=v.size - 1))
+    return MeanCI(mean=mean, halfwidth=tq * sem, confidence=confidence,
+                  n=int(v.size))
+
+
+def bootstrap_mean_ci(
+    values: np.ndarray,
+    rng: np.random.Generator,
+    confidence: float = 0.95,
+    resamples: int = 2000,
+) -> MeanCI:
+    """Percentile-bootstrap confidence interval for the mean.
+
+    Distribution-free; preferred for the heavily skewed balancing-time
+    samples that tight-threshold runs produce.
+    """
+    v = np.asarray(values, dtype=np.float64)
+    if v.size == 0:
+        raise ValueError("no samples")
+    if not 0 < confidence < 1:
+        raise ValueError("confidence must be in (0, 1)")
+    idx = rng.integers(0, v.size, size=(resamples, v.size))
+    means = v[idx].mean(axis=1)
+    lo, hi = np.quantile(means, [0.5 - confidence / 2, 0.5 + confidence / 2])
+    mean = float(v.mean())
+    return MeanCI(
+        mean=mean,
+        halfwidth=float(max(mean - lo, hi - mean)),
+        confidence=confidence,
+        n=int(v.size),
+    )

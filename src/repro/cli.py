@@ -1,0 +1,116 @@
+"""Command-line interface for the experiment suite.
+
+Usage::
+
+    python -m repro.cli list
+    python -m repro.cli run figure1 --quick --trials 20 --out fig1.csv
+    python -m repro.cli run table1
+    python -m repro.cli run all --quick
+
+``--quick`` switches every experiment to its minutes-scale preset
+(reduced sweeps/trials that preserve the qualitative shape); without it
+the paper-scale defaults run, which for figure1/figure2 means the full
+1000 trials per point.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+import time
+
+from .experiments.io import write_csv
+from .experiments.registry import EXPERIMENTS
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Reproduce the tables and figures of 'Threshold Load Balancing "
+            "with Weighted Tasks' (Berenbrink et al.)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run = sub.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument(
+        "experiment",
+        choices=[*EXPERIMENTS.keys(), "all"],
+        help="experiment key or 'all'",
+    )
+    run.add_argument(
+        "--quick",
+        action="store_true",
+        help="use the reduced minutes-scale preset",
+    )
+    run.add_argument(
+        "--trials", type=int, default=None, help="override trials per point"
+    )
+    run.add_argument("--seed", type=int, default=None, help="override root seed")
+    run.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process-pool size for trials (-1 = all cores)",
+    )
+    run.add_argument(
+        "--out", type=str, default=None, help="write result rows to this CSV"
+    )
+    return parser
+
+
+def _configure(exp, args) -> object:
+    config = exp.config_factory()
+    if args.quick and hasattr(config, "quick"):
+        config = config.quick()
+    overrides = {}
+    for name in ("trials", "seed", "workers"):
+        value = getattr(args, name)
+        if value is not None and hasattr(config, name):
+            overrides[name] = value
+    if overrides:
+        config = dataclasses.replace(config, **overrides)
+    return config
+
+
+def _run_one(key: str, args) -> int:
+    exp = EXPERIMENTS[key]
+    config = _configure(exp, args)
+    print(f"== {exp.paper_artifact}: {exp.description}")
+    start = time.perf_counter()
+    result = exp.runner(config)
+    elapsed = time.perf_counter() - start
+    print(result.format_table())
+    if hasattr(result, "chart"):
+        print()
+        print(result.chart())
+    print(f"-- completed in {elapsed:.1f}s")
+    if args.out:
+        suffix = f".{key}" if args.experiment == "all" else ""
+        path = write_csv(result.rows, args.out + suffix)
+        print(f"-- rows written to {path}")
+    print()
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        width = max(len(k) for k in EXPERIMENTS)
+        for exp in EXPERIMENTS.values():
+            print(f"{exp.key:<{width}}  [{exp.paper_artifact}] {exp.description}")
+        return 0
+    keys = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for key in keys:
+        _run_one(key, args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

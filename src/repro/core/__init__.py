@@ -1,0 +1,76 @@
+"""Core: states, stacks, thresholds, potentials, protocols, simulation."""
+
+from .metrics import TrialSummary, normalized_balancing_time, summarize_runs
+from .potential import (
+    active_count,
+    active_weight,
+    per_resource_potential,
+    resource_potential,
+    total_potential,
+    user_potential,
+)
+from .protocols import (
+    HybridProtocol,
+    Protocol,
+    ResourceControlledProtocol,
+    StepStats,
+    UserControlledProtocol,
+    theorem11_alpha,
+    theorem12_alpha,
+)
+from .reference import (
+    build_stacks,
+    reference_resource_step,
+    reference_user_step,
+)
+from .runner import run_single_trial, run_trial_summary, run_trials
+from .simulator import RunResult, simulate
+from .stack import ResourceStack, StackPartition, partition_stacks
+from .state import SystemState
+from .thresholds import (
+    AboveAverageThreshold,
+    FixedThreshold,
+    ProportionalThresholds,
+    ThresholdPolicy,
+    TightResourceThreshold,
+    TightUserThreshold,
+    feasible_threshold,
+)
+
+__all__ = [
+    "AboveAverageThreshold",
+    "FixedThreshold",
+    "HybridProtocol",
+    "ProportionalThresholds",
+    "Protocol",
+    "ResourceControlledProtocol",
+    "ResourceStack",
+    "RunResult",
+    "StackPartition",
+    "StepStats",
+    "SystemState",
+    "ThresholdPolicy",
+    "TightResourceThreshold",
+    "TightUserThreshold",
+    "TrialSummary",
+    "UserControlledProtocol",
+    "active_count",
+    "active_weight",
+    "build_stacks",
+    "feasible_threshold",
+    "normalized_balancing_time",
+    "partition_stacks",
+    "per_resource_potential",
+    "reference_resource_step",
+    "reference_user_step",
+    "resource_potential",
+    "run_single_trial",
+    "run_trial_summary",
+    "run_trials",
+    "simulate",
+    "summarize_runs",
+    "theorem11_alpha",
+    "theorem12_alpha",
+    "total_potential",
+    "user_potential",
+]

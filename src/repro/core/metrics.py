@@ -1,0 +1,94 @@
+"""Metrics over simulation runs.
+
+Aggregates :class:`~repro.core.simulator.RunResult` objects into the
+numbers the paper reports (mean balancing time over trials), plus the
+operational metrics a practitioner cares about (migration volume,
+makespan) and normalisations used by the figures (rounds / log m).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .simulator import RunResult
+
+__all__ = ["TrialSummary", "summarize_runs", "normalized_balancing_time"]
+
+
+@dataclass(frozen=True)
+class TrialSummary:
+    """Summary statistics of the balancing time across repeated trials."""
+
+    trials: int
+    balanced_trials: int
+    mean_rounds: float
+    std_rounds: float
+    sem_rounds: float
+    median_rounds: float
+    min_rounds: float
+    max_rounds: float
+    mean_migrations: float
+    mean_migrated_weight: float
+
+    @property
+    def all_balanced(self) -> bool:
+        return self.balanced_trials == self.trials
+
+    @property
+    def ci95_halfwidth(self) -> float:
+        """Normal-approximation 95% confidence half-width of the mean."""
+        return 1.96 * self.sem_rounds
+
+    def row(self) -> dict[str, float | int]:
+        return {
+            "trials": self.trials,
+            "balanced": self.balanced_trials,
+            "mean_rounds": self.mean_rounds,
+            "std_rounds": self.std_rounds,
+            "ci95": self.ci95_halfwidth,
+            "median_rounds": self.median_rounds,
+            "mean_migrations": self.mean_migrations,
+        }
+
+
+def summarize_runs(results: list[RunResult]) -> TrialSummary:
+    """Aggregate repeated trials.
+
+    Censored runs (budget exhausted before balancing) are included in
+    the round statistics at their censoring value, which *under*-states
+    the true balancing time; ``balanced_trials`` exposes how many runs
+    were censored so callers can flag the point.
+    """
+    if not results:
+        raise ValueError("no results to summarise")
+    rounds = np.array([r.rounds for r in results], dtype=np.float64)
+    balanced = np.array([r.balanced for r in results], dtype=bool)
+    migrations = np.array([r.total_migrations for r in results], dtype=np.float64)
+    weight = np.array([r.total_migrated_weight for r in results])
+    std = float(rounds.std(ddof=1)) if rounds.shape[0] > 1 else 0.0
+    return TrialSummary(
+        trials=len(results),
+        balanced_trials=int(balanced.sum()),
+        mean_rounds=float(rounds.mean()),
+        std_rounds=std,
+        sem_rounds=std / np.sqrt(rounds.shape[0]) if rounds.shape[0] else 0.0,
+        median_rounds=float(np.median(rounds)),
+        min_rounds=float(rounds.min()),
+        max_rounds=float(rounds.max()),
+        mean_migrations=float(migrations.mean()),
+        mean_migrated_weight=float(weight.mean()),
+    )
+
+
+def normalized_balancing_time(mean_rounds: float, m: int) -> float:
+    """Figure 2's y-axis: balancing time divided by ``log m``.
+
+    Natural log, matching the paper's convention that unspecified logs
+    in bounds are base-e up to the constants it absorbs anyway; ``m``
+    must be at least 2 so the normaliser is positive.
+    """
+    if m < 2:
+        raise ValueError("normalisation needs m >= 2")
+    return mean_rounds / float(np.log(m))

@@ -1,0 +1,74 @@
+"""Potential functions (Eq. 1 and Section 6).
+
+Both halves of the paper drive their convergence proofs with the same
+quantity measured two ways:
+
+* **Resource-controlled** (Eq. 1):
+  ``Phi(X(t)) = sum_{i in I^a(t) ∪ I^c(t)} w_i`` — the total weight of
+  tasks completely above or cutting the threshold.  Observation 4 shows
+  ``Phi`` never increases under Algorithm 5.1; Lemma 5 shows it drops by
+  a constant factor every ``2 H(G)`` steps under tight thresholds.
+
+* **User-controlled** (Section 6): ``phi_r(t)`` is the same weight
+  measured per overloaded resource, and ``Phi(t) = sum_r phi_r(t)``.
+  Here ``Phi`` *can* increase (tasks below the threshold may hop onto
+  overloaded resources) but drops by a factor ``(1 - eps/(2(1+eps)))``
+  per round in expectation (Lemma 10).
+
+The two definitions coincide numerically: a non-overloaded resource has
+no cutting/above tasks, so restricting the sum to overloaded resources
+changes nothing.  We expose one implementation with both names so code
+reads like the paper it reproduces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .state import SystemState
+
+__all__ = [
+    "per_resource_potential",
+    "total_potential",
+    "resource_potential",
+    "user_potential",
+    "active_weight",
+    "active_count",
+]
+
+
+def per_resource_potential(state: SystemState) -> np.ndarray:
+    """``phi_r`` for every resource (0 where not overloaded)."""
+    return state.partition().phi
+
+
+def total_potential(state: SystemState) -> float:
+    """``Phi`` — total weight cutting or above the thresholds."""
+    return state.partition().total_potential()
+
+
+def resource_potential(state: SystemState) -> float:
+    """Eq. (1)'s ``Phi(X(t))`` (alias of :func:`total_potential`)."""
+    return total_potential(state)
+
+
+def user_potential(state: SystemState) -> float:
+    """Section 6's ``Phi(t) = sum_r phi_r`` (alias of
+    :func:`total_potential`; see module docstring for why the two
+    coincide)."""
+    return total_potential(state)
+
+
+def active_weight(state: SystemState) -> float:
+    """Total weight of *active* tasks (not yet accepted by a resource).
+
+    For the resource-controlled protocol this equals ``Phi``.
+    """
+    part = state.partition()
+    return float(part.sorted_weight[~part.below].sum())
+
+
+def active_count(state: SystemState) -> int:
+    """Number of active (cutting/above) tasks."""
+    part = state.partition()
+    return int((~part.below).sum())

@@ -1,0 +1,20 @@
+"""Balancing protocols: Algorithm 5.1, Algorithm 6.1, and hybrids."""
+
+from .base import Protocol, StepStats
+from .hybrid import HybridProtocol
+from .resource_controlled import ResourceControlledProtocol
+from .user_controlled import (
+    UserControlledProtocol,
+    theorem11_alpha,
+    theorem12_alpha,
+)
+
+__all__ = [
+    "HybridProtocol",
+    "Protocol",
+    "ResourceControlledProtocol",
+    "StepStats",
+    "UserControlledProtocol",
+    "theorem11_alpha",
+    "theorem12_alpha",
+]

@@ -1,0 +1,62 @@
+"""Protocol interface shared by all balancing algorithms.
+
+A *protocol* implements one synchronous round (``step``).  Rounds are
+the paper's unit of time: the balancing time of a run is the number of
+``step`` calls until :meth:`repro.core.state.SystemState.is_balanced`.
+
+``step`` returns a :class:`StepStats` record so the simulator can build
+trajectories (potential, migrations, overload counts) without
+recomputing partitions.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..state import SystemState
+
+__all__ = ["StepStats", "Protocol"]
+
+
+@dataclass(frozen=True)
+class StepStats:
+    """What happened during one protocol round.
+
+    Attributes
+    ----------
+    movers:
+        Number of tasks that migrated this round (including self-loop
+        migrations of the resource-controlled walk, which re-stack).
+    moved_weight:
+        Total weight of the migrating tasks.
+    overloaded_before:
+        Number of overloaded resources at the start of the round.
+    potential_before:
+        ``Phi`` at the start of the round.
+    max_load_before:
+        Maximum resource load at the start of the round.
+    """
+
+    movers: int
+    moved_weight: float
+    overloaded_before: int
+    potential_before: float
+    max_load_before: float
+
+
+class Protocol(ABC):
+    """One distributed threshold load-balancing protocol."""
+
+    #: Human-readable name used in experiment tables.
+    name: str = "protocol"
+
+    @abstractmethod
+    def step(self, state: SystemState, rng: np.random.Generator) -> StepStats:
+        """Execute one synchronous round, mutating ``state`` in place."""
+
+    def validate_state(self, state: SystemState) -> None:
+        """Optional pre-run check; protocols override to reject states
+        they cannot operate on (e.g. wrong graph size)."""

@@ -1,0 +1,71 @@
+"""Hybrid resource/user protocol (paper's future-work direction).
+
+The conclusion of the paper suggests studying "mixed protocols, which
+are both resource-based and user-based".  This module provides the
+natural formalisation: each round is either a resource-controlled round
+or a user-controlled round.
+
+Two mixing modes:
+
+* ``"probabilistic"`` — every round is a resource round with
+  probability ``resource_fraction`` and a user round otherwise;
+* ``"alternate"`` — rounds deterministically alternate, starting with a
+  resource round (``resource_fraction`` is ignored).
+
+Both inherit termination from their components: a resource round never
+increases ``Phi`` (Observation 4) and a user round drives ``Phi`` down
+in expectation (Lemma 10), so the mixture still balances; benchmark E7's
+ablation shows where each mode shines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..state import SystemState
+from .base import Protocol, StepStats
+from .resource_controlled import ResourceControlledProtocol
+from .user_controlled import UserControlledProtocol
+
+__all__ = ["HybridProtocol"]
+
+
+class HybridProtocol(Protocol):
+    """Mix a resource-controlled and a user-controlled protocol."""
+
+    def __init__(
+        self,
+        resource_protocol: ResourceControlledProtocol,
+        user_protocol: UserControlledProtocol,
+        resource_fraction: float = 0.5,
+        mode: str = "probabilistic",
+    ) -> None:
+        if mode not in ("probabilistic", "alternate"):
+            raise ValueError("mode must be 'probabilistic' or 'alternate'")
+        if not 0.0 <= resource_fraction <= 1.0:
+            raise ValueError("resource_fraction must lie in [0, 1]")
+        self.resource_protocol = resource_protocol
+        self.user_protocol = user_protocol
+        self.resource_fraction = float(resource_fraction)
+        self.mode = mode
+        self._round = 0
+        self.name = (
+            f"hybrid({mode},q={resource_fraction:g},"
+            f"{resource_protocol.graph.name})"
+        )
+
+    def validate_state(self, state: SystemState) -> None:
+        self.resource_protocol.validate_state(state)
+        self.user_protocol.validate_state(state)
+
+    def _pick_resource_round(self, rng: np.random.Generator) -> bool:
+        if self.mode == "alternate":
+            return self._round % 2 == 0
+        return bool(rng.random() < self.resource_fraction)
+
+    def step(self, state: SystemState, rng: np.random.Generator) -> StepStats:
+        use_resource = self._pick_resource_round(rng)
+        self._round += 1
+        if use_resource:
+            return self.resource_protocol.step(state, rng)
+        return self.user_protocol.step(state, rng)

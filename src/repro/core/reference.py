@@ -1,0 +1,113 @@
+"""Executable specification: naive protocol rounds for differential tests.
+
+The production engine selects movers and computes ``phi_r`` with
+vectorised segmented scans (:func:`repro.core.stack.partition_stacks`).
+This module re-implements one round of each protocol the *obvious* way —
+one :class:`~repro.core.stack.ResourceStack` per resource, Python loops,
+straight transcription of Algorithms 5.1 and 6.1 — while consuming
+randomness in exactly the same order as the engine.
+
+Because the randomness layout matches, running the reference step and
+the engine step from identical ``(state, rng)`` pairs must produce
+*bit-identical* successor states.  The differential tests in
+``tests/properties/test_reference_equivalence.py`` assert exactly that
+over random instances and many rounds, which pins down the engine's
+semantics far more tightly than statistical checks could.
+
+These functions are not fast (O(n + m) Python-level work per round) and
+exist purely as the specification; use the protocol classes for real
+simulations.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..graphs.random_walk import RandomWalk
+from .stack import ResourceStack
+from .state import SystemState
+
+__all__ = ["build_stacks", "reference_resource_step", "reference_user_step"]
+
+
+def build_stacks(state: SystemState) -> list[ResourceStack]:
+    """Materialise the per-resource stacks of a state (bottom-up order)."""
+    thresholds = state.threshold_vector()
+    stacks = [
+        ResourceStack(threshold=float(thresholds[r]), atol=state.atol)
+        for r in range(state.n)
+    ]
+    for task in np.argsort(state.seq, kind="stable"):
+        task = int(task)
+        stacks[int(state.resource[task])].push(
+            task, float(state.weights[task])
+        )
+    return stacks
+
+
+def reference_resource_step(
+    state: SystemState,
+    walk: RandomWalk,
+    rng: np.random.Generator,
+    arrival_order: str = "random",
+) -> int:
+    """One naive round of Algorithm 5.1; returns the number of movers.
+
+    Mirrors :class:`~repro.core.protocols.ResourceControlledProtocol`
+    exactly: every overloaded resource pops ``I^a ∪ I^c``; the movers
+    (ordered by resource, then stack position) each take one walk step;
+    all movers re-stack on top of their destinations.
+    """
+    stacks = build_stacks(state)
+    movers: list[int] = []
+    for r in range(state.n):
+        if stacks[r].overloaded:
+            movers.extend(stacks[r].pop_active())
+    if not movers:
+        return 0
+    mover_arr = np.asarray(movers, dtype=np.int64)
+    destinations = walk.step(state.resource[mover_arr], rng)
+    order_rng = rng if arrival_order == "random" else None
+    state.move_tasks(mover_arr, destinations, order_rng)
+    return len(movers)
+
+
+def reference_user_step(
+    state: SystemState,
+    alpha: float,
+    rng: np.random.Generator,
+    wmax_estimate: float | None = None,
+    arrival_order: str = "random",
+) -> int:
+    """One naive round of Algorithm 6.1; returns the number of movers.
+
+    Mirrors :class:`~repro.core.protocols.UserControlledProtocol`: for
+    every task on an overloaded resource, migrate to a uniform resource
+    with probability ``alpha * ceil(phi_r / wmax) / b_r`` (clipped to 1).
+    Randomness layout matches the engine: one uniform per task (task
+    index order), one destination draw per mover, one arrival shuffle.
+    """
+    stacks = build_stacks(state)
+    wmax = wmax_estimate if wmax_estimate is not None else state.wmax
+    probs = np.zeros(state.n)
+    for r in range(state.n):
+        stack = stacks[r]
+        if stack.overloaded and len(stack) > 0 and wmax > 0:
+            lots = math.ceil(round(stack.potential() / wmax, 9))
+            probs[r] = min(1.0, alpha * lots / len(stack))
+    if not np.any(probs > 0):
+        return 0
+
+    draws = rng.random(state.m)
+    movers = [
+        i for i in range(state.m) if draws[i] < probs[int(state.resource[i])]
+    ]
+    if not movers:
+        return 0
+    mover_arr = np.asarray(movers, dtype=np.int64)
+    destinations = rng.integers(0, state.n, size=mover_arr.shape[0])
+    order_rng = rng if arrival_order == "random" else None
+    state.move_tasks(mover_arr, destinations, order_rng)
+    return len(movers)

@@ -1,0 +1,117 @@
+"""Multi-trial experiment runner.
+
+Section 7 of the paper averages every data point over 1000 independent
+trials.  This module runs repeated simulations with properly independent
+randomness (``SeedSequence.spawn``) either serially or across a process
+pool — trials are embarrassingly parallel, which is the only parallelism
+a reproduction like this needs.
+
+For the process pool to work, the ``setup`` callable must be picklable:
+use a module-level function or a dataclass implementing ``__call__``
+(all drivers in :mod:`repro.experiments` do the latter).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Protocol as TypingProtocol
+
+import numpy as np
+
+from .metrics import TrialSummary, summarize_runs
+from .protocols.base import Protocol
+from .simulator import RunResult, simulate
+from .state import SystemState
+
+__all__ = ["TrialSetup", "run_single_trial", "run_trials", "run_trial_summary"]
+
+
+class TrialSetup(TypingProtocol):
+    """Builds a fresh ``(protocol, state)`` pair for one trial.
+
+    The generator provided is the *setup* stream; the simulation itself
+    receives an independent stream, so workload sampling and protocol
+    randomness never alias.
+    """
+
+    def __call__(
+        self, rng: np.random.Generator
+    ) -> tuple[Protocol, SystemState]: ...
+
+
+def run_single_trial(
+    setup: TrialSetup,
+    seed_seq: np.random.SeedSequence,
+    max_rounds: int = 100_000,
+    record_traces: bool = False,
+) -> RunResult:
+    """Run one trial with randomness derived from ``seed_seq``."""
+    setup_seed, sim_seed = seed_seq.spawn(2)
+    protocol, state = setup(np.random.default_rng(setup_seed))
+    return simulate(
+        protocol,
+        state,
+        np.random.default_rng(sim_seed),
+        max_rounds=max_rounds,
+        record_traces=record_traces,
+    )
+
+
+def _worker(
+    args: tuple[TrialSetup, np.random.SeedSequence, int, bool],
+) -> RunResult:
+    setup, seed_seq, max_rounds, record_traces = args
+    return run_single_trial(setup, seed_seq, max_rounds, record_traces)
+
+
+def run_trials(
+    setup: TrialSetup,
+    trials: int,
+    seed: int | np.random.SeedSequence | None = None,
+    max_rounds: int = 100_000,
+    workers: int | None = None,
+    record_traces: bool = False,
+) -> list[RunResult]:
+    """Run ``trials`` independent simulations.
+
+    Parameters
+    ----------
+    seed:
+        Root seed (int) or a pre-built ``SeedSequence``; ``None`` draws
+        fresh OS entropy.  Trials receive spawned children, so results
+        are reproducible given the root and independent of ``workers``.
+    workers:
+        ``None``/``0``/``1`` = serial.  Otherwise a process pool of that
+        many workers (capped at ``os.cpu_count()``); ``-1`` = all cores.
+    """
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    root = (
+        seed
+        if isinstance(seed, np.random.SeedSequence)
+        else np.random.SeedSequence(seed)
+    )
+    children = root.spawn(trials)
+    payloads = [(setup, child, max_rounds, record_traces) for child in children]
+
+    if workers in (None, 0, 1):
+        return [_worker(p) for p in payloads]
+
+    cpu = os.cpu_count() or 1
+    nproc = cpu if workers == -1 else min(workers, cpu)
+    with ProcessPoolExecutor(max_workers=nproc) as pool:
+        return list(pool.map(_worker, payloads, chunksize=max(1, trials // (4 * nproc))))
+
+
+def run_trial_summary(
+    setup: TrialSetup,
+    trials: int,
+    seed: int | np.random.SeedSequence | None = None,
+    max_rounds: int = 100_000,
+    workers: int | None = None,
+) -> TrialSummary:
+    """Run trials and summarise the balancing times in one call."""
+    return summarize_runs(
+        run_trials(setup, trials, seed=seed, max_rounds=max_rounds, workers=workers)
+    )

@@ -1,0 +1,157 @@
+"""Round-based simulator for threshold load-balancing protocols.
+
+Drives a :class:`~repro.core.protocols.base.Protocol` against a
+:class:`~repro.core.state.SystemState` until the state is balanced (the
+paper's *balancing time*) or a round budget is exhausted, recording the
+trajectories that the analysis module consumes (potential, overload
+count, migration volume, maximum load).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .protocols.base import Protocol
+from .state import SystemState
+
+__all__ = ["RunResult", "simulate"]
+
+
+@dataclass
+class RunResult:
+    """Outcome of one simulation run.
+
+    ``rounds`` is the balancing time when ``balanced`` is True; when the
+    round budget ran out first, ``rounds`` equals the budget and
+    ``balanced`` is False (callers decide how to treat censored runs).
+
+    Trajectories have one entry per executed round and describe the
+    state *at the start* of that round; ``potential_trace[0]`` is the
+    initial potential.
+    """
+
+    balanced: bool
+    rounds: int
+    final_loads: np.ndarray
+    threshold: float | np.ndarray
+    total_migrations: int
+    total_migrated_weight: float
+    potential_trace: np.ndarray | None = None
+    overloaded_trace: np.ndarray | None = None
+    movers_trace: np.ndarray | None = None
+    max_load_trace: np.ndarray | None = None
+    protocol_name: str = ""
+
+    @property
+    def balancing_time(self) -> float:
+        """Rounds to balance, or ``inf`` for censored runs."""
+        return float(self.rounds) if self.balanced else float("inf")
+
+    @property
+    def final_max_load(self) -> float:
+        return float(self.final_loads.max())
+
+    def summary(self) -> dict[str, float | int | bool | str]:
+        """Flat dict for tables / CSV export."""
+        return {
+            "protocol": self.protocol_name,
+            "balanced": self.balanced,
+            "rounds": self.rounds,
+            "final_max_load": self.final_max_load,
+            "total_migrations": self.total_migrations,
+            "total_migrated_weight": self.total_migrated_weight,
+        }
+
+
+@dataclass
+class _TraceBuffer:
+    """Append-only float buffer that grows geometrically."""
+
+    data: np.ndarray = field(default_factory=lambda: np.empty(64))
+    size: int = 0
+
+    def append(self, value: float) -> None:
+        if self.size == self.data.shape[0]:
+            self.data = np.resize(self.data, self.data.shape[0] * 2)
+        self.data[self.size] = value
+        self.size += 1
+
+    def array(self) -> np.ndarray:
+        return self.data[: self.size].copy()
+
+
+def simulate(
+    protocol: Protocol,
+    state: SystemState,
+    rng: np.random.Generator,
+    max_rounds: int = 100_000,
+    record_traces: bool = False,
+    check_invariants: bool = False,
+    on_round=None,
+) -> RunResult:
+    """Run ``protocol`` on ``state`` (mutated in place) until balanced.
+
+    Parameters
+    ----------
+    max_rounds:
+        Safety budget; runs that exhaust it are returned with
+        ``balanced=False`` rather than raising, so experiment sweeps can
+        report censored points honestly.
+    record_traces:
+        Record per-round potential / overload / migration / max-load
+        trajectories (costs one stack partition per round — the
+        protocols already compute it, so the overhead is small).
+    check_invariants:
+        Re-verify state bookkeeping after every round (tests only).
+    on_round:
+        Optional callback ``on_round(round_index, state, stats)``
+        invoked after every executed round — custom instrumentation
+        (e.g. snapshotting load histograms) without forking the loop.
+        Returning ``False`` stops the loop after the current round; a
+        run stopped while still unbalanced is reported as censored.
+    """
+    if max_rounds < 0:
+        raise ValueError("max_rounds must be non-negative")
+    protocol.validate_state(state)
+
+    pot = _TraceBuffer() if record_traces else None
+    over = _TraceBuffer() if record_traces else None
+    move = _TraceBuffer() if record_traces else None
+    peak = _TraceBuffer() if record_traces else None
+
+    total_migrations = 0
+    total_weight_moved = 0.0
+    rounds = 0
+    balanced = state.is_balanced()
+
+    while not balanced and rounds < max_rounds:
+        stats = protocol.step(state, rng)
+        rounds += 1
+        total_migrations += stats.movers
+        total_weight_moved += stats.moved_weight
+        if record_traces:
+            pot.append(stats.potential_before)
+            over.append(stats.overloaded_before)
+            move.append(stats.movers)
+            peak.append(stats.max_load_before)
+        if check_invariants:
+            state.check_invariants()
+        balanced = state.is_balanced()
+        if on_round is not None and on_round(rounds, state, stats) is False:
+            break
+
+    return RunResult(
+        balanced=balanced,
+        rounds=rounds,
+        final_loads=state.loads(),
+        threshold=state.threshold,
+        total_migrations=total_migrations,
+        total_migrated_weight=total_weight_moved,
+        potential_trace=pot.array() if record_traces else None,
+        overloaded_trace=over.array() if record_traces else None,
+        movers_trace=move.array() if record_traces else None,
+        max_load_trace=peak.array() if record_traces else None,
+        protocol_name=protocol.name,
+    )

@@ -1,0 +1,238 @@
+"""System state: who holds which task, in which stack position.
+
+``SystemState`` is the single mutable object the protocols operate on.
+It tracks, for each of the ``m`` tasks, its current resource and its
+stack-order key, plus the (immutable) weights and the threshold.  Every
+quantity of the paper's model — load vector ``x(t)``, ball counts
+``b_r(t)``, stack heights, the potential — derives from these arrays.
+
+Stack order is encoded by a monotone global counter: when tasks arrive
+at a resource they receive fresh, increasing ``seq`` values, so "later
+arrival = higher in the stack" and ties are impossible.  Arrival order
+within a round is randomised by the protocols, matching the paper's
+"new balls are added in an arbitrary order".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..workloads.placement import loads_from_placement
+from .stack import StackPartition, partition_stacks
+from .thresholds import ThresholdPolicy, feasible_threshold
+
+__all__ = ["SystemState"]
+
+
+@dataclass
+class SystemState:
+    """Complete state of a threshold load-balancing system.
+
+    Attributes
+    ----------
+    n:
+        Number of resources.
+    weights:
+        Task weights, shape ``(m,)`` — never mutated after construction.
+    resource:
+        Current resource of each task, shape ``(m,)``.
+    seq:
+        Stack-order key of each task (globally unique ints).
+    threshold:
+        Scalar threshold ``T`` or per-resource vector (shape ``(n,)``).
+    atol:
+        Absolute tolerance used for *every* threshold comparison.
+    """
+
+    n: int
+    weights: np.ndarray
+    resource: np.ndarray
+    seq: np.ndarray
+    threshold: float | np.ndarray
+    atol: float = 1e-9
+    _next_seq: int = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self.weights = np.ascontiguousarray(self.weights, dtype=np.float64)
+        self.resource = np.ascontiguousarray(self.resource, dtype=np.int64)
+        self.seq = np.ascontiguousarray(self.seq, dtype=np.int64)
+        m = self.weights.shape[0]
+        if self.resource.shape != (m,) or self.seq.shape != (m,):
+            raise ValueError("weights, resource and seq must share length m")
+        if m and self.weights.min() <= 0:
+            raise ValueError("task weights must be strictly positive")
+        if m and (self.resource.min() < 0 or self.resource.max() >= self.n):
+            raise ValueError("a task sits on a resource out of range")
+        if np.unique(self.seq).shape[0] != m:
+            raise ValueError("seq keys must be unique")
+        t = np.asarray(self.threshold, dtype=np.float64)
+        if t.ndim not in (0, 1):
+            raise ValueError("threshold must be a scalar or a vector")
+        if t.ndim == 1 and t.shape != (self.n,):
+            raise ValueError(f"vector threshold must have shape ({self.n},)")
+        if np.any(t <= 0):
+            raise ValueError("thresholds must be positive")
+        if m and not feasible_threshold(self.threshold, float(self.weights.sum()),
+                                        self.n, self.atol):
+            raise ValueError(
+                "infeasible threshold: total capacity below total weight"
+            )
+        self._next_seq = int(self.seq.max()) + 1 if m else 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_workload(
+        cls,
+        weights: np.ndarray,
+        placement: np.ndarray,
+        n: int,
+        threshold: float | np.ndarray | ThresholdPolicy,
+        atol: float = 1e-9,
+    ) -> "SystemState":
+        """Build a state from a weight vector and an initial placement.
+
+        ``threshold`` may be a number, a per-resource vector, or a
+        :class:`~repro.core.thresholds.ThresholdPolicy` (in which case
+        it is evaluated against this workload's ``W`` and ``wmax``).
+        """
+        weights = np.asarray(weights, dtype=np.float64)
+        placement = np.asarray(placement, dtype=np.int64)
+        if isinstance(threshold, ThresholdPolicy) or hasattr(
+            threshold, "compute_for"
+        ):
+            threshold = threshold.compute_for(weights, n)
+        return cls(
+            n=n,
+            weights=weights,
+            resource=placement.copy(),
+            seq=np.arange(weights.shape[0], dtype=np.int64),
+            threshold=threshold,
+            atol=atol,
+        )
+
+    def copy(self) -> "SystemState":
+        """Deep copy (weights are shared — they are immutable)."""
+        dup = SystemState(
+            n=self.n,
+            weights=self.weights,
+            resource=self.resource.copy(),
+            seq=self.seq.copy(),
+            threshold=(
+                self.threshold.copy()
+                if isinstance(self.threshold, np.ndarray)
+                else self.threshold
+            ),
+            atol=self.atol,
+        )
+        dup._next_seq = self._next_seq
+        return dup
+
+    # ------------------------------------------------------------------
+    # Scalar summaries
+    # ------------------------------------------------------------------
+    @property
+    def m(self) -> int:
+        """Number of tasks."""
+        return int(self.weights.shape[0])
+
+    @property
+    def total_weight(self) -> float:
+        """``W`` — total weight of all tasks."""
+        return float(self.weights.sum())
+
+    @property
+    def wmax(self) -> float:
+        return float(self.weights.max()) if self.m else 0.0
+
+    @property
+    def wmin(self) -> float:
+        return float(self.weights.min()) if self.m else 0.0
+
+    @property
+    def average_load(self) -> float:
+        """``W / n`` — the quantity thresholds are anchored to."""
+        return self.total_weight / self.n
+
+    # ------------------------------------------------------------------
+    # Derived vectors
+    # ------------------------------------------------------------------
+    def loads(self) -> np.ndarray:
+        """Load vector ``x(t)``, shape ``(n,)``."""
+        return loads_from_placement(self.resource, self.weights, self.n)
+
+    def counts(self) -> np.ndarray:
+        """Ball counts ``b_r(t)``, shape ``(n,)``."""
+        return np.bincount(self.resource, minlength=self.n)
+
+    def threshold_vector(self) -> np.ndarray:
+        """The threshold as a per-resource vector (broadcast if scalar)."""
+        t = np.asarray(self.threshold, dtype=np.float64)
+        return np.full(self.n, float(t)) if t.ndim == 0 else t
+
+    def partition(self) -> StackPartition:
+        """The below/cutting/above stack partition (see
+        :func:`repro.core.stack.partition_stacks`)."""
+        return partition_stacks(
+            self.resource, self.seq, self.weights, self.n, self.threshold,
+            self.atol,
+        )
+
+    def overloaded_resources(self) -> np.ndarray:
+        """Indices of resources with ``x_r > T_r``."""
+        mask = self.loads() > self.threshold_vector() + self.atol
+        return np.flatnonzero(mask)
+
+    def is_balanced(self) -> bool:
+        """Termination predicate: every load at or below its threshold."""
+        return bool(np.all(self.loads() <= self.threshold_vector() + self.atol))
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def move_tasks(
+        self,
+        task_idx: np.ndarray,
+        destinations: np.ndarray,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        """Move the given tasks to their destinations, restacking on top.
+
+        Every moved task receives a fresh ``seq`` key above everything
+        currently in the system, i.e. it lands on *top* of its
+        destination stack ("Assign new heights to all migrated balls").
+        If ``rng`` is given, the relative arrival order of the movers is
+        randomised (the paper's "arbitrary order"); otherwise task-index
+        order is used, which is deterministic and equally valid.
+        """
+        task_idx = np.asarray(task_idx, dtype=np.int64)
+        destinations = np.asarray(destinations, dtype=np.int64)
+        if task_idx.shape != destinations.shape:
+            raise ValueError("task_idx and destinations must match in shape")
+        if task_idx.size == 0:
+            return
+        if np.unique(task_idx).shape[0] != task_idx.shape[0]:
+            raise ValueError("a task cannot move twice in one call")
+        if destinations.min() < 0 or destinations.max() >= self.n:
+            raise ValueError("destination out of range")
+        k = task_idx.shape[0]
+        arrival = rng.permutation(k) if rng is not None else np.arange(k)
+        self.resource[task_idx] = destinations
+        self.seq[task_idx] = self._next_seq + arrival
+        self._next_seq += k
+
+    # ------------------------------------------------------------------
+    # Invariant checks (used by tests and the simulator's debug mode)
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Raise ``AssertionError`` if internal bookkeeping broke."""
+        assert self.resource.shape == self.weights.shape == self.seq.shape
+        assert self.resource.min() >= 0 and self.resource.max() < self.n
+        assert np.unique(self.seq).shape[0] == self.m, "seq keys collided"
+        assert self.seq.max() < self._next_seq, "next_seq fell behind"
+        assert abs(self.loads().sum() - self.total_weight) < 1e-6 * max(
+            1.0, self.total_weight
+        ), "weight was created or destroyed"

@@ -1,0 +1,174 @@
+"""Threshold policies (Section 4).
+
+Every resource has a threshold — the maximum load it can accept.  The
+paper distinguishes:
+
+* **above-average** thresholds ``T = (1 + eps) W/n + wmax`` with
+  ``eps > 0`` (Theorems 3 and 11),
+* the **tight** threshold ``T = W/n + wmax`` for the user-controlled
+  protocol (Theorem 12), and
+* the **tight** threshold ``T = W/n + 2 wmax`` for the resource-
+  controlled protocol (Theorem 7).
+
+Thresholds must be at least the average load or balancing is infeasible
+(pigeonhole); policies validate this.  The module also supports
+per-resource threshold *vectors* — the paper's "non-uniform thresholds"
+future-work direction — which is what the decentralised diffusion
+estimator in :mod:`repro.analysis.averaging` produces.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "ThresholdPolicy",
+    "AboveAverageThreshold",
+    "TightUserThreshold",
+    "TightResourceThreshold",
+    "FixedThreshold",
+    "ProportionalThresholds",
+    "feasible_threshold",
+]
+
+
+def feasible_threshold(threshold: float | np.ndarray, total_weight: float,
+                       n: int, atol: float = 1e-9) -> bool:
+    """A threshold is feasible iff balancing below it is possible at all.
+
+    A scalar threshold needs ``T >= W/n``; a vector threshold needs
+    ``sum(T) >= W`` (total capacity covers total weight).
+    """
+    t = np.asarray(threshold, dtype=np.float64)
+    if t.ndim == 0:
+        return bool(float(t) * n >= total_weight - atol)
+    if t.shape != (n,):
+        raise ValueError(f"vector threshold must have shape ({n},)")
+    return bool(t.sum() >= total_weight - atol)
+
+
+class ThresholdPolicy(ABC):
+    """A rule mapping workload statistics to the threshold value."""
+
+    @abstractmethod
+    def compute(self, total_weight: float, n: int, wmax: float) -> float:
+        """The scalar threshold for a system with these statistics."""
+
+    def compute_for(self, weights: np.ndarray, n: int) -> float:
+        """Convenience: compute from a raw weight vector."""
+        w = np.asarray(weights, dtype=np.float64)
+        if w.size == 0:
+            raise ValueError("empty weight vector")
+        return self.compute(float(w.sum()), n, float(w.max()))
+
+
+@dataclass(frozen=True)
+class AboveAverageThreshold(ThresholdPolicy):
+    """``T = (1 + eps) W/n + wmax`` (paper Section 4, ``eps >= 0``).
+
+    ``eps = 0`` degenerates to the user-controlled tight threshold; the
+    above-average theorems need ``eps > 0``.
+    """
+
+    eps: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.eps < 0:
+            raise ValueError("eps must be non-negative")
+
+    def compute(self, total_weight: float, n: int, wmax: float) -> float:
+        if n <= 0 or total_weight < 0 or wmax < 0:
+            raise ValueError("invalid workload statistics")
+        return (1.0 + self.eps) * total_weight / n + wmax
+
+
+@dataclass(frozen=True)
+class TightUserThreshold(ThresholdPolicy):
+    """``T = W/n + wmax`` — the tight threshold of Theorem 12."""
+
+    def compute(self, total_weight: float, n: int, wmax: float) -> float:
+        if n <= 0 or total_weight < 0 or wmax < 0:
+            raise ValueError("invalid workload statistics")
+        return total_weight / n + wmax
+
+
+@dataclass(frozen=True)
+class TightResourceThreshold(ThresholdPolicy):
+    """``T = W/n + 2 wmax`` — the tight threshold of Theorem 7.
+
+    The extra ``wmax`` of slack over the user-controlled tight threshold
+    is what lets Lemma 5's *full* resources absorb blue and red tasks
+    past the ``W/n + wmax`` properness line without overflowing ``T``.
+    """
+
+    def compute(self, total_weight: float, n: int, wmax: float) -> float:
+        if n <= 0 or total_weight < 0 or wmax < 0:
+            raise ValueError("invalid workload statistics")
+        return total_weight / n + 2.0 * wmax
+
+
+@dataclass(frozen=True)
+class FixedThreshold(ThresholdPolicy):
+    """An externally supplied threshold ("the thresholds are provided
+    externally", Section 1)."""
+
+    value: float
+
+    def __post_init__(self) -> None:
+        if self.value <= 0:
+            raise ValueError("threshold must be positive")
+
+    def compute(self, total_weight: float, n: int, wmax: float) -> float:
+        return self.value
+
+
+@dataclass(frozen=True)
+class ProportionalThresholds:
+    """Per-resource thresholds proportional to resource *speeds*.
+
+    The paper's conclusion names non-uniform thresholds as an open
+    direction, and its related work (Adolphs & Berenbrink [14]) studies
+    weighted tasks on resources with speeds.  This policy produces the
+    natural threshold vector for heterogeneous resources:
+
+        T_r = (1 + eps) * W * s_r / sum(s) + wmax,
+
+    i.e. faster resources shoulder proportionally more load while every
+    resource keeps the ``wmax`` headroom that makes acceptance of any
+    single task possible.  Total capacity exceeds ``W`` for any
+    ``eps >= 0``, so the threshold vector is always feasible.
+
+    Unlike the scalar policies this returns a vector; use
+    :meth:`compute_for` and pass the result directly as the
+    ``threshold`` of :meth:`repro.core.state.SystemState.from_workload`.
+    """
+
+    speeds: tuple[float, ...]
+    eps: float = 0.2
+
+    def __post_init__(self) -> None:
+        if not self.speeds:
+            raise ValueError("need at least one resource speed")
+        if any(s <= 0 for s in self.speeds):
+            raise ValueError("speeds must be positive")
+        if self.eps < 0:
+            raise ValueError("eps must be non-negative")
+
+    def compute(self, total_weight: float, n: int, wmax: float) -> np.ndarray:
+        if n != len(self.speeds):
+            raise ValueError(
+                f"policy has {len(self.speeds)} speeds but n={n} resources"
+            )
+        if total_weight < 0 or wmax < 0:
+            raise ValueError("invalid workload statistics")
+        s = np.asarray(self.speeds, dtype=np.float64)
+        return (1.0 + self.eps) * total_weight * s / s.sum() + wmax
+
+    def compute_for(self, weights: np.ndarray, n: int) -> np.ndarray:
+        w = np.asarray(weights, dtype=np.float64)
+        if w.size == 0:
+            raise ValueError("empty weight vector")
+        return self.compute(float(w.sum()), n, float(w.max()))

@@ -1,0 +1,78 @@
+"""Experiment drivers — one per table/figure/claim of the paper."""
+
+from .alpha_ablation import (
+    AlphaAblationConfig,
+    AlphaAblationResult,
+    run_alpha_ablation,
+)
+from .arrival_order import (
+    ArrivalOrderConfig,
+    ArrivalOrderResult,
+    run_arrival_order,
+)
+from .drift_check import DriftCheckConfig, DriftCheckResult, run_drift_check
+from .charts import ascii_chart
+from .figure1 import Figure1Config, Figure1Result, run_figure1
+from .figure2 import Figure2Config, Figure2Result, run_figure2
+from .io import format_table, write_csv, write_json
+from .lower_bound import LowerBoundConfig, LowerBoundResult, run_lower_bound
+from .registry import EXPERIMENTS, Experiment
+from .resource_above import (
+    ResourceAboveConfig,
+    ResourceAboveResult,
+    run_resource_above,
+)
+from .resource_tight import (
+    ResourceTightConfig,
+    ResourceTightResult,
+    run_resource_tight,
+)
+from .setups import HybridSetup, ResourceControlledSetup, UserControlledSetup
+from .table1 import Table1Config, Table1Result, run_table1
+from .tight_scaling import (
+    TightScalingConfig,
+    TightScalingResult,
+    run_tight_scaling,
+)
+
+__all__ = [
+    "AlphaAblationConfig",
+    "AlphaAblationResult",
+    "ArrivalOrderConfig",
+    "ArrivalOrderResult",
+    "DriftCheckConfig",
+    "DriftCheckResult",
+    "EXPERIMENTS",
+    "Experiment",
+    "Figure1Config",
+    "Figure1Result",
+    "Figure2Config",
+    "Figure2Result",
+    "HybridSetup",
+    "LowerBoundConfig",
+    "LowerBoundResult",
+    "ResourceAboveConfig",
+    "ResourceAboveResult",
+    "ResourceControlledSetup",
+    "ResourceTightConfig",
+    "ResourceTightResult",
+    "Table1Config",
+    "Table1Result",
+    "TightScalingConfig",
+    "TightScalingResult",
+    "UserControlledSetup",
+    "ascii_chart",
+    "format_table",
+    "run_alpha_ablation",
+    "run_arrival_order",
+    "run_drift_check",
+    "run_figure1",
+    "run_figure2",
+    "run_lower_bound",
+    "run_resource_above",
+    "run_resource_tight",
+    "run_table1",
+    "run_tight_scaling",
+    "write_csv",
+    "write_json",
+]

@@ -1,0 +1,111 @@
+"""ASCII charts for experiment results.
+
+Offline environments (like the one this reproduction targets) have no
+matplotlib, but the *figures* of the paper are still easiest to judge
+visually.  :func:`ascii_chart` renders one or more ``(x, y)`` series as
+a fixed-size character plot — enough to see Figure 1's logarithmic
+curves or Figure 2's fan of ``wmax`` lines directly in the terminal or
+a CI log.
+
+The renderer is deliberately simple: linear axes, one glyph per series,
+last-writer-wins on collisions, x/y ranges taken from the union of the
+series.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["ascii_chart"]
+
+_GLYPHS = "ox+*#@%&"
+
+
+def ascii_chart(
+    series: Mapping[str, tuple[Sequence[float], Sequence[float]]],
+    width: int = 64,
+    height: int = 16,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render labelled ``(xs, ys)`` series as an ASCII scatter chart.
+
+    Parameters
+    ----------
+    series:
+        Mapping from label to ``(xs, ys)``.  Series are assigned glyphs
+        in insertion order (``o``, ``x``, ``+``, ...).
+    width / height:
+        Plot area size in characters (axes add two columns / rows).
+
+    Returns
+    -------
+    A multi-line string: the plot, an x-range footer, and a legend.
+    """
+    if not series:
+        raise ValueError("no series to plot")
+    if width < 8 or height < 4:
+        raise ValueError("chart too small to be readable")
+    if len(series) > len(_GLYPHS):
+        raise ValueError(f"at most {len(_GLYPHS)} series supported")
+
+    cleaned: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+    for label, (xs, ys) in series.items():
+        x = np.asarray(xs, dtype=np.float64)
+        y = np.asarray(ys, dtype=np.float64)
+        if x.shape != y.shape or x.ndim != 1:
+            raise ValueError(f"series {label!r}: xs and ys must match 1-D")
+        if x.size == 0:
+            raise ValueError(f"series {label!r} is empty")
+        cleaned[label] = (x, y)
+
+    all_x = np.concatenate([x for x, _ in cleaned.values()])
+    all_y = np.concatenate([y for _, y in cleaned.values()])
+    x_lo, x_hi = float(all_x.min()), float(all_x.max())
+    y_lo, y_hi = float(all_y.min()), float(all_y.max())
+    x_span = x_hi - x_lo or 1.0
+    y_span = y_hi - y_lo or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for glyph, (label, (xs, ys)) in zip(_GLYPHS, cleaned.items()):
+        cols = np.clip(
+            ((xs - x_lo) / x_span * (width - 1)).round().astype(int),
+            0,
+            width - 1,
+        )
+        rows = np.clip(
+            ((ys - y_lo) / y_span * (height - 1)).round().astype(int),
+            0,
+            height - 1,
+        )
+        for c, r in zip(cols, rows):
+            grid[height - 1 - r][c] = glyph
+
+    lines = []
+    top_label = f"{y_hi:.4g}"
+    bot_label = f"{y_lo:.4g}"
+    margin = max(len(top_label), len(bot_label), len(y_label))
+    for i, row in enumerate(grid):
+        if i == 0:
+            prefix = top_label.rjust(margin)
+        elif i == height - 1:
+            prefix = bot_label.rjust(margin)
+        elif i == height // 2:
+            prefix = y_label.rjust(margin)
+        else:
+            prefix = " " * margin
+        lines.append(f"{prefix} |{''.join(row)}")
+    lines.append(f"{' ' * margin} +{'-' * width}")
+    footer = f"{x_lo:.4g}"
+    right = f"{x_hi:.4g}"
+    pad = width - len(footer) - len(right)
+    lines.append(
+        f"{' ' * margin}  {footer}{' ' * max(pad, 1)}{right}  ({x_label})"
+    )
+    legend = "   ".join(
+        f"{glyph}={label}" for glyph, label in zip(_GLYPHS, cleaned)
+    )
+    lines.append(f"{' ' * margin}  legend: {legend}")
+    return "\n".join(lines)

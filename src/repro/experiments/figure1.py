@@ -1,0 +1,179 @@
+"""Experiment E1 — Figure 1 of the paper.
+
+User-controlled protocol, complete graph, ``n = 1000``, ``eps = 0.2``,
+``alpha = 1``, all tasks initially on one resource.  The workload mixes
+``k`` heavy tasks of weight ``wmax = 50`` with ``W - 50 k`` unit tasks;
+the x-axis sweeps the total weight ``W`` from 2000 to 10000 and one
+curve is drawn per ``k`` in {1, 5, 10, 20, 50}.
+
+Paper's finding: "the balancing time is proportional to the logarithm
+of ``m(W, k) + k`` — the results seem to be more or less independent of
+the number of big tasks."  The driver reports, per curve, the
+logarithmic fit quality (R²) and the cross-``k`` spread, which should be
+small relative to the mean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from ..analysis.fitting import FitResult, fit_logarithmic
+from ..core.metrics import summarize_runs
+from ..core.runner import run_trials
+from ..workloads.weights import TwoPointWeights
+from .io import format_table
+from .setups import UserControlledSetup
+
+__all__ = ["Figure1Config", "Figure1Result", "run_figure1"]
+
+
+@dataclass(frozen=True)
+class Figure1Config:
+    """Parameters of the Figure 1 sweep (defaults = the paper's)."""
+
+    n: int = 1000
+    eps: float = 0.2
+    alpha: float = 1.0
+    heavy_weight: float = 50.0
+    total_weights: tuple[int, ...] = (
+        2000, 3000, 4000, 5000, 6000, 7000, 8000, 9000, 10000,
+    )
+    k_values: tuple[int, ...] = (1, 5, 10, 20, 50)
+    trials: int = 1000
+    seed: int = 2015
+    max_rounds: int = 100_000
+    workers: int | None = None
+
+    def quick(self) -> "Figure1Config":
+        """A minutes-scale variant preserving the sweep's shape."""
+        return replace(
+            self,
+            total_weights=(2000, 4000, 6000, 8000, 10000),
+            k_values=(1, 10, 50),
+            trials=20,
+        )
+
+
+@dataclass
+class Figure1Result:
+    """Rows (one per ``(W, k)`` point) plus per-curve fits."""
+
+    config: Figure1Config
+    rows: list[dict]
+    fits: dict[int, FitResult] = field(default_factory=dict)
+
+    def format_table(self) -> str:
+        table = format_table(
+            self.rows,
+            columns=[
+                "W", "k", "m", "mean_rounds", "ci95", "log_m_plus_k",
+            ],
+            title=(
+                "Figure 1 — user-controlled balancing time vs total weight W "
+                f"(n={self.config.n}, eps={self.config.eps}, "
+                f"alpha={self.config.alpha}, trials={self.config.trials})"
+            ),
+        )
+        fit_lines = [
+            f"  k={k}: rounds ~ {f.slope:.2f} * ln(m+k) + {f.intercept:.2f} "
+            f"(R^2={f.r_squared:.3f})"
+            for k, f in sorted(self.fits.items())
+        ]
+        return table + "\n\nlogarithmic fits per curve:\n" + "\n".join(fit_lines)
+
+    def curve(self, k: int) -> tuple[np.ndarray, np.ndarray]:
+        """(W values, mean rounds) for one ``k`` — a figure series."""
+        pts = [(r["W"], r["mean_rounds"]) for r in self.rows if r["k"] == k]
+        arr = np.array(sorted(pts))
+        return arr[:, 0], arr[:, 1]
+
+    def chart(self, width: int = 64, height: int = 16) -> str:
+        """ASCII rendering of the figure's series (one glyph per k)."""
+        from .charts import ascii_chart
+
+        series = {}
+        for k in self.config.k_values:
+            ws, times = self.curve(k)
+            if ws.size:
+                series[f"k={k}"] = (ws, times)
+        return ascii_chart(
+            series, width=width, height=height,
+            x_label="W", y_label="rounds",
+        )
+
+    def cross_k_spread(self) -> float:
+        """Max over W of (spread across k) / (mean across k).
+
+        The paper's independence-of-``k`` claim predicts this is small
+        (well under 1); benchmark E1 asserts it.
+        """
+        spreads = []
+        for w_tot in self.config.total_weights:
+            vals = [r["mean_rounds"] for r in self.rows if r["W"] == w_tot]
+            if len(vals) > 1:
+                spreads.append((max(vals) - min(vals)) / np.mean(vals))
+        return float(max(spreads)) if spreads else 0.0
+
+
+def run_figure1(config: Figure1Config = Figure1Config()) -> Figure1Result:
+    """Run the Figure 1 sweep and fit each curve.
+
+    Every ``(W, k)`` point averages ``config.trials`` independent runs;
+    randomness is derived from ``config.seed`` so results are exactly
+    reproducible.
+    """
+    rows: list[dict] = []
+    root = np.random.SeedSequence(config.seed)
+    for k in config.k_values:
+        for w_tot, child in zip(
+            config.total_weights, root.spawn(len(config.total_weights))
+        ):
+            light = int(round(w_tot - config.heavy_weight * k))
+            if light < 0:
+                # the k-heavy curve only exists for W >= k * heavy_weight
+                # (the paper's k=50 curve starts above W=2500)
+                continue
+            m = light + k
+            setup = UserControlledSetup(
+                n=config.n,
+                m=m,
+                distribution=TwoPointWeights(
+                    light=1.0, heavy=config.heavy_weight, heavy_count=k
+                ),
+                alpha=config.alpha,
+                eps=config.eps,
+            )
+            summary = summarize_runs(
+                run_trials(
+                    setup,
+                    config.trials,
+                    seed=child,
+                    max_rounds=config.max_rounds,
+                    workers=config.workers,
+                )
+            )
+            rows.append(
+                {
+                    "W": w_tot,
+                    "k": k,
+                    "m": m,
+                    "mean_rounds": summary.mean_rounds,
+                    "ci95": summary.ci95_halfwidth,
+                    "log_m_plus_k": float(np.log(m + k)),
+                    "balanced_trials": summary.balanced_trials,
+                    "trials": summary.trials,
+                }
+            )
+    result = Figure1Result(config=config, rows=rows)
+    for k in config.k_values:
+        pts = sorted(
+            (r["m"] + r["k"], r["mean_rounds"])
+            for r in result.rows
+            if r["k"] == k
+        )
+        if len(pts) >= 2:
+            arr = np.array(pts, dtype=np.float64)
+            result.fits[k] = fit_logarithmic(arr[:, 0], arr[:, 1])
+    return result

@@ -1,0 +1,94 @@
+"""Result tables: ASCII rendering, CSV and JSON export.
+
+Experiment drivers return lists of flat dicts ("rows"); these helpers
+turn them into the aligned tables the benchmarks print (the same
+series the paper's figures plot) and into machine-readable files.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+__all__ = ["format_table", "write_csv", "write_json"]
+
+
+def _render(value: Any, float_fmt: str) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value in (float("inf"), float("-inf")):
+            return "inf" if value > 0 else "-inf"
+        return format(value, float_fmt)
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, Any]],
+    columns: Sequence[str] | None = None,
+    float_fmt: str = ".2f",
+    title: str | None = None,
+) -> str:
+    """Render rows as an aligned, pipe-separated ASCII table.
+
+    ``columns`` selects and orders the columns (default: keys of the
+    first row, in insertion order).  Numeric cells are right-aligned.
+    """
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    cols = list(columns) if columns is not None else list(rows[0].keys())
+    rendered = [
+        [_render(row.get(c, ""), float_fmt) for c in cols] for row in rows
+    ]
+    widths = [
+        max(len(c), *(len(r[j]) for r in rendered)) for j, c in enumerate(cols)
+    ]
+    numeric = [
+        all(
+            isinstance(row.get(c), (int, float)) and not isinstance(row.get(c), bool)
+            for row in rows
+            if c in row
+        )
+        for c in cols
+    ]
+
+    def fmt_line(cells: list[str]) -> str:
+        out = []
+        for j, cell in enumerate(cells):
+            out.append(cell.rjust(widths[j]) if numeric[j] else cell.ljust(widths[j]))
+        return " | ".join(out)
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_line(list(cols)))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(fmt_line(r) for r in rendered)
+    return "\n".join(lines)
+
+
+def write_csv(rows: Sequence[Mapping[str, Any]], path: str | Path) -> Path:
+    """Write rows to CSV (column order from the first row)."""
+    path = Path(path)
+    if not rows:
+        raise ValueError("no rows to write")
+    cols = list(rows[0].keys())
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=cols, extrasaction="ignore")
+        writer.writeheader()
+        writer.writerows(rows)
+    return path
+
+
+def write_json(payload: Any, path: str | Path) -> Path:
+    """Write any JSON-serialisable payload (e.g. rows + metadata)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as fh:
+        json.dump(payload, fh, indent=2, default=str)
+    return path

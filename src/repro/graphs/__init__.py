@@ -1,0 +1,81 @@
+"""Graph substrate: topologies, random walks, spectral and hitting times.
+
+This subpackage implements everything Section 4 of the paper needs:
+the resource graph itself, the max-degree random walk with uniform
+stationary distribution, the spectral-gap mixing-time bound
+``tau(G) = 4 ln n / mu`` and exact maximum hitting times ``H(G)``.
+"""
+
+from .builders import (
+    barbell_graph,
+    binary_tree_graph,
+    clique_with_pendant,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_graph,
+    grid_graph,
+    hypercube_graph,
+    lollipop_graph,
+    path_graph,
+    random_regular_graph,
+    star_graph,
+    torus_graph,
+)
+from .hitting import (
+    hitting_time_matrix,
+    hitting_times_to_target,
+    max_hitting_time,
+    monte_carlo_hitting_time,
+)
+from .random_walk import RandomWalk, lazy_walk, max_degree_walk
+from .spectral import (
+    SpectralSummary,
+    empirical_mixing_time,
+    mixing_time_bound,
+    spectral_gap,
+    spectral_summary,
+    spectrum,
+    total_variation,
+)
+from .topology import Graph
+from .validation import (
+    GraphReport,
+    check_uniform_stationary,
+    inspect_graph,
+    validate_for_protocol,
+)
+
+__all__ = [
+    "Graph",
+    "GraphReport",
+    "RandomWalk",
+    "SpectralSummary",
+    "barbell_graph",
+    "binary_tree_graph",
+    "check_uniform_stationary",
+    "clique_with_pendant",
+    "complete_graph",
+    "cycle_graph",
+    "empirical_mixing_time",
+    "erdos_renyi_graph",
+    "grid_graph",
+    "hitting_time_matrix",
+    "hitting_times_to_target",
+    "hypercube_graph",
+    "inspect_graph",
+    "lazy_walk",
+    "lollipop_graph",
+    "max_degree_walk",
+    "max_hitting_time",
+    "mixing_time_bound",
+    "monte_carlo_hitting_time",
+    "path_graph",
+    "random_regular_graph",
+    "spectral_gap",
+    "spectral_summary",
+    "spectrum",
+    "star_graph",
+    "torus_graph",
+    "total_variation",
+    "validate_for_protocol",
+]

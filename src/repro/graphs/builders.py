@@ -1,0 +1,245 @@
+"""Builders for every graph family used in the paper.
+
+Table 1 of the paper compares mixing and hitting times for the complete
+graph, regular expanders, Erdős–Rényi graphs, hypercubes and grids;
+Observation 8's lower bound uses a clique with a pendant vertex attached
+by ``k`` edges.  All of those families are constructed here, plus a few
+classics (cycle, path, star, lollipop, barbell, binary tree) that are
+useful for tests and for stressing the hitting-time machinery.
+
+All builders return :class:`repro.graphs.topology.Graph` instances and
+are deterministic unless they take an ``rng``.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from .topology import Graph
+
+__all__ = [
+    "complete_graph",
+    "cycle_graph",
+    "path_graph",
+    "star_graph",
+    "grid_graph",
+    "torus_graph",
+    "hypercube_graph",
+    "random_regular_graph",
+    "erdos_renyi_graph",
+    "clique_with_pendant",
+    "lollipop_graph",
+    "barbell_graph",
+    "binary_tree_graph",
+]
+
+
+def complete_graph(n: int) -> Graph:
+    """The complete graph ``K_n`` (paper's user-controlled setting)."""
+    if n < 1:
+        raise ValueError("complete graph needs n >= 1")
+    edges = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    return Graph.from_edges(n, edges, name=f"complete(n={n})")
+
+
+def cycle_graph(n: int) -> Graph:
+    """The cycle ``C_n`` — maximal hitting time ``Theta(n^2)``."""
+    if n < 3:
+        raise ValueError("cycle needs n >= 3")
+    edges = [(i, (i + 1) % n) for i in range(n)]
+    return Graph.from_edges(n, edges, name=f"cycle(n={n})")
+
+
+def path_graph(n: int) -> Graph:
+    """The path ``P_n``."""
+    if n < 2:
+        raise ValueError("path needs n >= 2")
+    edges = [(i, i + 1) for i in range(n - 1)]
+    return Graph.from_edges(n, edges, name=f"path(n={n})")
+
+
+def star_graph(n: int) -> Graph:
+    """The star ``K_{1,n-1}`` with centre 0."""
+    if n < 2:
+        raise ValueError("star needs n >= 2")
+    edges = [(0, i) for i in range(1, n)]
+    return Graph.from_edges(n, edges, name=f"star(n={n})")
+
+
+def grid_graph(rows: int, cols: int) -> Graph:
+    """The ``rows x cols`` 2-D grid (Table 1's "Grid", open boundary)."""
+    if rows < 1 or cols < 1:
+        raise ValueError("grid needs positive dimensions")
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            if c + 1 < cols:
+                edges.append((v, v + 1))
+            if r + 1 < rows:
+                edges.append((v, v + cols))
+    return Graph.from_edges(rows * cols, edges, name=f"grid({rows}x{cols})")
+
+
+def torus_graph(rows: int, cols: int) -> Graph:
+    """The 2-D torus (grid with wrap-around; 4-regular when dims >= 3)."""
+    if rows < 3 or cols < 3:
+        raise ValueError("torus needs both dimensions >= 3")
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            edges.append((v, r * cols + (c + 1) % cols))
+            edges.append((v, ((r + 1) % rows) * cols + c))
+    return Graph.from_edges(rows * cols, edges, name=f"torus({rows}x{cols})")
+
+
+def hypercube_graph(dim: int) -> Graph:
+    """The ``dim``-dimensional hypercube on ``2**dim`` vertices."""
+    if dim < 1:
+        raise ValueError("hypercube needs dim >= 1")
+    n = 1 << dim
+    edges = []
+    for v in range(n):
+        for b in range(dim):
+            u = v ^ (1 << b)
+            if v < u:
+                edges.append((v, u))
+    return Graph.from_edges(n, edges, name=f"hypercube(dim={dim})")
+
+
+def random_regular_graph(
+    n: int, degree: int, rng: np.random.Generator, max_tries: int = 200
+) -> Graph:
+    """A uniform-ish random ``degree``-regular graph via pairing model.
+
+    Random regular graphs with ``degree >= 3`` are expanders with high
+    probability, which is how we instantiate Table 1's "Reg. Expander"
+    row.  The pairing (configuration) model is retried until it yields a
+    simple connected graph; for ``degree >= 3`` this succeeds within a
+    few tries with overwhelming probability.
+    """
+    if degree < 1 or degree >= n:
+        raise ValueError("need 1 <= degree < n")
+    if (n * degree) % 2 != 0:
+        raise ValueError("n * degree must be even")
+    for _ in range(max_tries):
+        stubs = np.repeat(np.arange(n, dtype=np.int64), degree)
+        rng.shuffle(stubs)
+        u = stubs[0::2]
+        v = stubs[1::2]
+        if np.any(u == v):
+            continue
+        lo = np.minimum(u, v)
+        hi = np.maximum(u, v)
+        keys = lo * np.int64(n) + hi
+        if np.unique(keys).shape[0] != keys.shape[0]:
+            continue  # parallel edge
+        g = Graph.from_edges(
+            n, list(zip(lo, hi)), name=f"random_regular(n={n},d={degree})"
+        )
+        if g.is_connected():
+            return g
+    raise RuntimeError(
+        f"failed to sample a simple connected {degree}-regular graph on "
+        f"{n} vertices in {max_tries} tries"
+    )
+
+
+def erdos_renyi_graph(
+    n: int,
+    p: float,
+    rng: np.random.Generator,
+    require_connected: bool = True,
+    max_tries: int = 100,
+) -> Graph:
+    """An Erdős–Rényi graph ``G(n, p)``.
+
+    Table 1 assumes ``p > (1 + eps) ln n / n``, above the connectivity
+    threshold, so by default sampling is retried until connected.
+    """
+    if not 0.0 <= p <= 1.0:
+        raise ValueError("p must be in [0, 1]")
+    iu = np.triu_indices(n, k=1)
+    for _ in range(max_tries):
+        mask = rng.random(iu[0].shape[0]) < p
+        edges = list(zip(iu[0][mask], iu[1][mask]))
+        g = Graph.from_edges(n, edges, name=f"erdos_renyi(n={n},p={p:.4g})")
+        if not require_connected or g.is_connected():
+            return g
+    raise RuntimeError(
+        f"G({n},{p}) not connected after {max_tries} tries; "
+        "is p above the connectivity threshold ln(n)/n?"
+    )
+
+
+def clique_with_pendant(n: int, k: int) -> Graph:
+    """Observation 8's lower-bound graph.
+
+    A clique ``K`` on ``n - 1`` vertices (labels ``0 .. n-2``) plus one
+    pendant vertex ``u = n - 1`` connected to exactly ``k`` clique
+    vertices (labels ``0 .. k-1``).  The maximum hitting time is
+    ``Theta(n^2 / k)``, which makes the resource-controlled protocol pay
+    ``Omega(H(G) log m)`` rounds on the adversarial placement of
+    :func:`repro.workloads.placement.adversarial_clique_placement`.
+    """
+    if n < 3:
+        raise ValueError("clique_with_pendant needs n >= 3")
+    if not 1 <= k <= n - 1:
+        raise ValueError("need 1 <= k <= n - 1")
+    edges = [(u, v) for u in range(n - 1) for v in range(u + 1, n - 1)]
+    edges += [(i, n - 1) for i in range(k)]
+    return Graph.from_edges(n, edges, name=f"clique_pendant(n={n},k={k})")
+
+
+def lollipop_graph(clique_size: int, path_length: int) -> Graph:
+    """A clique with a path attached — the classical ``Theta(n^3)``
+    hitting-time extremal graph, useful for stress tests."""
+    if clique_size < 3 or path_length < 1:
+        raise ValueError("need clique_size >= 3 and path_length >= 1")
+    n = clique_size + path_length
+    edges = [
+        (u, v) for u in range(clique_size) for v in range(u + 1, clique_size)
+    ]
+    prev = clique_size - 1
+    for i in range(clique_size, n):
+        edges.append((prev, i))
+        prev = i
+    return Graph.from_edges(n, edges, name=f"lollipop({clique_size},{path_length})")
+
+
+def barbell_graph(clique_size: int, bridge_length: int = 0) -> Graph:
+    """Two cliques joined by a path of ``bridge_length`` extra vertices."""
+    if clique_size < 3:
+        raise ValueError("need clique_size >= 3")
+    n = 2 * clique_size + bridge_length
+    edges = [
+        (u, v) for u in range(clique_size) for v in range(u + 1, clique_size)
+    ]
+    off = clique_size + bridge_length
+    edges += [
+        (off + u, off + v)
+        for u in range(clique_size)
+        for v in range(u + 1, clique_size)
+    ]
+    chain = [clique_size - 1, *range(clique_size, clique_size + bridge_length), off]
+    edges += list(itertools.pairwise(chain))
+    return Graph.from_edges(n, edges, name=f"barbell({clique_size},{bridge_length})")
+
+
+def binary_tree_graph(depth: int) -> Graph:
+    """The complete binary tree of the given depth (root = 0)."""
+    if depth < 1:
+        raise ValueError("need depth >= 1")
+    n = (1 << (depth + 1)) - 1
+    edges = []
+    for v in range(n):
+        left = 2 * v + 1
+        right = 2 * v + 2
+        if left < n:
+            edges.append((v, left))
+        if right < n:
+            edges.append((v, right))
+    return Graph.from_edges(n, edges, name=f"binary_tree(depth={depth})")

@@ -1,0 +1,110 @@
+"""Hitting times of resource-graph random walks.
+
+Theorem 7 bounds the resource-controlled balancing time under tight
+thresholds by ``O(H(G) ln W)`` where
+
+    H(G) = max_{u,v} H_{u,v}(G)
+
+is the maximum expected hitting time of the walk.  This module computes
+hitting times three ways, which cross-validate each other in the tests:
+
+* **All pairs, exact** via the fundamental matrix
+  ``Z = (I - P + 1 pi^T)^{-1}``: for an irreducible chain,
+  ``H(u, v) = (Z[v, v] - Z[u, v]) / pi[v]`` (Aldous & Fill, Ch. 2).
+  One ``O(n^3)`` solve yields the full ``(n, n)`` table.
+* **Single target, exact** by deleting the target's row/column and
+  solving ``(I - Q) h = 1``.
+* **Monte Carlo** estimation by simulating walks, for spot checks and
+  for graphs too large to invert.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .random_walk import RandomWalk
+
+__all__ = [
+    "hitting_time_matrix",
+    "hitting_times_to_target",
+    "max_hitting_time",
+    "monte_carlo_hitting_time",
+]
+
+
+def hitting_time_matrix(walk: RandomWalk) -> np.ndarray:
+    """Exact expected hitting times ``H[u, v]`` for all pairs.
+
+    Uses the fundamental-matrix identity, valid for any irreducible
+    chain (periodicity does not matter for hitting times).  ``H[v, v]``
+    is 0 by convention.
+    """
+    p = walk.transition_matrix()
+    n = walk.n
+    pi = walk.stationary_distribution()
+    z = np.linalg.inv(np.eye(n) - p + np.outer(np.ones(n), pi))
+    # H[u, v] = (Z[v, v] - Z[u, v]) / pi[v]
+    h = (np.diag(z)[None, :] - z) / pi[None, :]
+    np.fill_diagonal(h, 0.0)
+    if h.min() < -1e-6:
+        raise RuntimeError("negative hitting time: is the chain irreducible?")
+    return np.maximum(h, 0.0)
+
+
+def hitting_times_to_target(walk: RandomWalk, target: int) -> np.ndarray:
+    """Exact ``E[time to hit target]`` from every start vertex.
+
+    Solves ``(I - Q) h = 1`` where ``Q`` is ``P`` with the target's row
+    and column removed.  Entry ``target`` of the result is 0.
+    """
+    n = walk.n
+    if not 0 <= target < n:
+        raise IndexError(f"target {target} out of range")
+    p = walk.transition_matrix()
+    keep = np.arange(n) != target
+    q = p[np.ix_(keep, keep)]
+    h_sub = np.linalg.solve(np.eye(n - 1) - q, np.ones(n - 1))
+    h = np.zeros(n)
+    h[keep] = h_sub
+    return h
+
+
+def max_hitting_time(walk: RandomWalk) -> float:
+    """``H(G) = max_{u,v} H_{u,v}`` — the quantity in Theorem 7."""
+    return float(hitting_time_matrix(walk).max())
+
+
+def monte_carlo_hitting_time(
+    walk: RandomWalk,
+    start: int,
+    target: int,
+    rng: np.random.Generator,
+    trials: int = 200,
+    max_steps: int | None = None,
+) -> float:
+    """Monte-Carlo estimate of ``H(start, target)``.
+
+    Simulates ``trials`` independent walks in lock-step (vectorised over
+    trials).  Walks that have not hit within ``max_steps`` (default
+    ``50 * n^3``, far beyond any connected graph's hitting time) raise.
+    """
+    n = walk.n
+    if max_steps is None:
+        max_steps = 50 * n**3
+    pos = np.full(trials, start, dtype=np.int64)
+    hit_at = np.full(trials, -1, dtype=np.int64)
+    if start == target:
+        return 0.0
+    alive = np.ones(trials, dtype=bool)
+    for t in range(1, max_steps + 1):
+        pos[alive] = walk.step(pos[alive], rng)
+        newly = alive & (pos == target)
+        hit_at[newly] = t
+        alive &= ~newly
+        if not alive.any():
+            break
+    if alive.any():
+        raise RuntimeError(
+            f"{int(alive.sum())}/{trials} walks did not hit within {max_steps} steps"
+        )
+    return float(hit_at.mean())

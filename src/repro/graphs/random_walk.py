@@ -1,0 +1,182 @@
+"""The paper's random walk on resource graphs.
+
+Section 4.1 defines the *max-degree* random walk with transition matrix
+
+    P[i, j] = 1/d        for i != j, (i, j) in E,
+    P[i, i] = (d - d_i)/d,
+
+where ``d`` is the maximum degree of ``G`` and ``d_i`` the degree of
+vertex ``i``.  ``P`` is symmetric and doubly stochastic, so its
+stationary distribution is uniform — the property all of the paper's
+results rely on.
+
+This module provides:
+
+* :class:`RandomWalk` — dense transition matrix plus a *vectorised*
+  single-step sampler (``step``) that advances an arbitrary array of
+  walker positions in O(len(positions)) NumPy work, which is what the
+  protocol simulators call every round;
+* :func:`max_degree_walk` — the paper's walk;
+* :func:`lazy_walk` — the ``(I + P) / 2`` variant used for spectral
+  mixing-time estimates on bipartite (periodic) graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .topology import Graph
+
+__all__ = ["RandomWalk", "max_degree_walk", "lazy_walk"]
+
+
+@dataclass(frozen=True)
+class RandomWalk:
+    """A random walk on a :class:`Graph` with per-vertex laziness.
+
+    The walk is parameterised so that from vertex ``v`` it stays put
+    with probability ``stay[v]`` and otherwise moves to a uniformly
+    random neighbour.  Both the paper's max-degree walk
+    (``stay[v] = (d - d_v)/d``) and the lazy walk are of this form,
+    which is exactly what makes single steps vectorisable.
+    """
+
+    graph: Graph
+    stay: np.ndarray
+    name: str = "walk"
+    _move: np.ndarray = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        stay = np.ascontiguousarray(self.stay, dtype=np.float64)
+        if stay.shape != (self.graph.n,):
+            raise ValueError(f"stay must have shape ({self.graph.n},)")
+        if np.any(stay < -1e-12) or np.any(stay > 1 + 1e-12):
+            raise ValueError("stay probabilities must lie in [0, 1]")
+        stay = np.clip(stay, 0.0, 1.0)
+        isolated = (self.graph.degrees == 0) & (stay < 1.0)
+        if np.any(isolated):
+            raise ValueError("isolated vertices must have stay probability 1")
+        object.__setattr__(self, "stay", stay)
+        object.__setattr__(self, "_move", 1.0 - stay)
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return self.graph.n
+
+    def transition_matrix(self) -> np.ndarray:
+        """Dense ``(n, n)`` transition matrix ``P``."""
+        g = self.graph
+        p = np.zeros((g.n, g.n))
+        deg = g.degrees
+        src = np.repeat(np.arange(g.n), deg)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            per_nbr = np.where(deg > 0, self._move / np.maximum(deg, 1), 0.0)
+        p[src, g.indices] = per_nbr[src]
+        p[np.arange(g.n), np.arange(g.n)] = self.stay
+        return p
+
+    def stationary_distribution(self) -> np.ndarray:
+        """Stationary distribution (uniform iff ``P`` is doubly stochastic).
+
+        Computed from the leading left eigenvector; for the paper's
+        max-degree walk this returns the uniform distribution up to
+        numerical noise.
+        """
+        p = self.transition_matrix()
+        vals, vecs = np.linalg.eig(p.T)
+        idx = int(np.argmax(vals.real))
+        pi = np.abs(vecs[:, idx].real)
+        return pi / pi.sum()
+
+    def is_doubly_stochastic(self, atol: float = 1e-9) -> bool:
+        p = self.transition_matrix()
+        ones = np.ones(self.n)
+        return bool(
+            np.allclose(p @ ones, ones, atol=atol)
+            and np.allclose(p.T @ ones, ones, atol=atol)
+        )
+
+    # ------------------------------------------------------------------
+    def step(self, positions: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Advance every walker in ``positions`` by one step of the walk.
+
+        Parameters
+        ----------
+        positions:
+            Integer array of current vertices (any shape ok, flattened
+            semantics; duplicates allowed — each entry is an independent
+            walker).
+        rng:
+            Source of randomness.
+
+        Returns
+        -------
+        New positions array of the same shape.
+
+        Notes
+        -----
+        Vectorised: draws one uniform per walker to decide stay/move and
+        one uniform per mover to pick the neighbour slot in the CSR
+        adjacency, so the cost is O(#walkers) regardless of ``n``.
+        """
+        pos = np.asarray(positions, dtype=np.int64)
+        if pos.size == 0:
+            return pos.copy()
+        out = pos.copy()
+        moves = rng.random(pos.shape) >= self.stay[pos]
+        movers = pos[moves]
+        if movers.size:
+            deg = self.graph.degrees[movers]
+            slot = (rng.random(movers.shape) * deg).astype(np.int64)
+            # guard against the measure-zero event random() == 1.0
+            np.minimum(slot, deg - 1, out=slot)
+            out[moves] = self.graph.indices[self.graph.indptr[movers] + slot]
+        return out
+
+    def walk_length(
+        self, start: int, steps: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Trajectory of a single walker: ``steps + 1`` vertices."""
+        traj = np.empty(steps + 1, dtype=np.int64)
+        traj[0] = start
+        here = np.array([start], dtype=np.int64)
+        for t in range(1, steps + 1):
+            here = self.step(here, rng)
+            traj[t] = here[0]
+        return traj
+
+
+def max_degree_walk(graph: Graph) -> RandomWalk:
+    """The paper's walk: move to each neighbour w.p. ``1/d``, stay w.p.
+    ``(d - d_v)/d`` where ``d = max_degree``.
+
+    Symmetric, doubly stochastic, uniform stationary distribution on any
+    connected graph.  On *regular bipartite* graphs the walk is periodic
+    (no self-loops anywhere); the protocols still terminate because task
+    acceptance breaks periodicity, but for spectral mixing-time numbers
+    use :func:`lazy_walk`.
+    """
+    d = graph.max_degree
+    if d == 0:
+        raise ValueError("graph has no edges; the walk is degenerate")
+    stay = (d - graph.degrees) / float(d)
+    return RandomWalk(graph=graph, stay=stay, name=f"max_degree({graph.name})")
+
+
+def lazy_walk(graph: Graph, laziness: float = 0.5) -> RandomWalk:
+    """The lazy max-degree walk ``P' = laziness * I + (1 - laziness) * P``.
+
+    Aperiodic for ``laziness > 0``; with ``laziness = 0.5`` all
+    eigenvalues are non-negative, the standard trick for bipartite
+    graphs.  Mixing slows down by at most the constant ``1/(1-laziness)``.
+    """
+    if not 0.0 <= laziness < 1.0:
+        raise ValueError("laziness must be in [0, 1)")
+    base = max_degree_walk(graph)
+    stay = laziness + (1.0 - laziness) * base.stay
+    return RandomWalk(
+        graph=graph, stay=stay, name=f"lazy({graph.name},beta={laziness})"
+    )

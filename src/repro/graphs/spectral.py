@@ -1,0 +1,191 @@
+"""Spectral analysis of resource-graph random walks.
+
+The paper expresses the resource-controlled balancing time in terms of
+the *mixing time* ``tau(G)`` of the max-degree walk.  Following Section
+4.1 (and Lemma 2, quoting Hoefer & Sauerwald), the paper works with the
+bound
+
+    tau(G) = 4 ln(n) / mu,
+
+where ``mu = 1 - max_{2<=i<=n} |lambda_i|`` is the spectral gap of the
+transition matrix ``P``.  This module computes:
+
+* the full spectrum of ``P`` (symmetric for the max-degree walk, so
+  ``eigvalsh`` applies),
+* the spectral gap and the paper's mixing-time bound,
+* an *empirical* mixing time: the first ``t`` with worst-case total
+  variation distance ``max_u TV(P^t(u, .), pi) <= eps``.
+
+The empirical version is what the Table 1 bench prints next to the
+spectral bound; the two agree up to constants on every family.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .random_walk import RandomWalk, lazy_walk, max_degree_walk
+from .topology import Graph
+
+__all__ = [
+    "spectrum",
+    "spectral_gap",
+    "mixing_time_bound",
+    "total_variation",
+    "empirical_mixing_time",
+    "SpectralSummary",
+    "spectral_summary",
+]
+
+
+def spectrum(walk: RandomWalk) -> np.ndarray:
+    """All eigenvalues of ``P`` in descending order.
+
+    Uses the symmetric eigensolver when ``P`` is symmetric (always true
+    for max-degree and lazy walks) and falls back to the general solver
+    otherwise.
+    """
+    p = walk.transition_matrix()
+    if np.allclose(p, p.T, atol=1e-12):
+        vals = np.linalg.eigvalsh(p)
+    else:  # pragma: no cover - non-symmetric walks are not built here
+        vals = np.sort(np.linalg.eigvals(p).real)
+    return vals[::-1]
+
+
+def spectral_gap(walk: RandomWalk) -> float:
+    """``mu = 1 - max_{2<=i<=n} |lambda_i|`` (Section 4.1).
+
+    Zero for disconnected graphs (eigenvalue 1 repeated) and for
+    periodic walks (eigenvalue -1), signalling "does not mix".
+    """
+    vals = spectrum(walk)
+    if vals.shape[0] < 2:
+        return 1.0
+    second = float(np.max(np.abs(vals[1:])))
+    return max(0.0, 1.0 - second)
+
+
+def mixing_time_bound(walk: RandomWalk, fallback_lazy: bool = True) -> float:
+    """The paper's mixing-time bound ``tau = 4 ln(n) / mu``.
+
+    If the walk does not mix (``mu = 0``, e.g. the max-degree walk on a
+    regular bipartite graph) and ``fallback_lazy`` is set, the bound is
+    computed for the lazy version of the same walk instead — the
+    convention stated in DESIGN.md and used throughout the experiments.
+    """
+    n = walk.n
+    if n == 1:
+        return 0.0
+    mu = spectral_gap(walk)
+    if mu <= 1e-12:
+        if not fallback_lazy:
+            return float("inf")
+        mu = spectral_gap(lazy_walk(walk.graph))
+        if mu <= 1e-12:
+            return float("inf")
+    return 4.0 * np.log(n) / mu
+
+
+def total_variation(p: np.ndarray, q: np.ndarray) -> float:
+    """Total variation distance between two distributions."""
+    return 0.5 * float(np.abs(np.asarray(p) - np.asarray(q)).sum())
+
+
+def empirical_mixing_time(
+    walk: RandomWalk,
+    eps: float = 0.25,
+    max_steps: int = 1_000_000,
+    starts: np.ndarray | None = None,
+) -> int:
+    """Smallest ``t`` with ``max_u TV(P^t(u, .), pi) <= eps``.
+
+    Parameters
+    ----------
+    walk:
+        The walk to analyse.  Must be aperiodic (use a lazy walk for
+        bipartite graphs) or the call will hit ``max_steps``.
+    eps:
+        Target accuracy; ``0.25`` is the standard mixing-time threshold.
+    starts:
+        Optional subset of starting vertices to track (all by default;
+        for vertex-transitive graphs a single start suffices).
+
+    Notes
+    -----
+    Evolves the selected rows of ``P^t`` by repeated multiplication, so
+    the cost is O(max(t) * len(starts) * n^2 / n) = len(starts) dense
+    mat-vecs per step — fine for the ``n <= 4096`` instances Table 1
+    uses.
+    """
+    p = walk.transition_matrix()
+    n = walk.n
+    pi = np.full(n, 1.0 / n)
+    if starts is None:
+        rows = np.eye(n)
+    else:
+        starts = np.asarray(starts, dtype=np.int64)
+        rows = np.zeros((starts.shape[0], n))
+        rows[np.arange(starts.shape[0]), starts] = 1.0
+    for t in range(1, max_steps + 1):
+        rows = rows @ p
+        tv = 0.5 * np.abs(rows - pi).sum(axis=1).max()
+        if tv <= eps:
+            return t
+    raise RuntimeError(
+        f"walk did not mix to TV<={eps} within {max_steps} steps; "
+        "is it periodic? (use lazy_walk on bipartite graphs)"
+    )
+
+
+@dataclass(frozen=True)
+class SpectralSummary:
+    """Everything Table 1 reports about one graph's walk."""
+
+    name: str
+    n: int
+    max_degree: int
+    spectral_gap: float
+    mixing_bound: float
+    empirical_mixing: int | None
+    used_lazy: bool
+
+    def row(self) -> tuple:
+        return (
+            self.name,
+            self.n,
+            self.max_degree,
+            round(self.spectral_gap, 6),
+            round(self.mixing_bound, 2),
+            self.empirical_mixing,
+            self.used_lazy,
+        )
+
+
+def spectral_summary(
+    graph: Graph, empirical: bool = True, eps: float = 0.25
+) -> SpectralSummary:
+    """Compute the spectral block of a Table 1 row for one graph.
+
+    Falls back to the lazy walk when the max-degree walk is periodic
+    (bipartite graph), and records that it did.
+    """
+    walk = max_degree_walk(graph)
+    used_lazy = False
+    if spectral_gap(walk) <= 1e-12:
+        walk = lazy_walk(graph)
+        used_lazy = True
+    gap = spectral_gap(walk)
+    bound = mixing_time_bound(walk, fallback_lazy=False)
+    emp = empirical_mixing_time(walk, eps=eps) if empirical else None
+    return SpectralSummary(
+        name=graph.name,
+        n=graph.n,
+        max_degree=graph.max_degree,
+        spectral_gap=gap,
+        mixing_bound=bound,
+        empirical_mixing=emp,
+        used_lazy=used_lazy,
+    )

@@ -1,0 +1,247 @@
+"""Graph topology substrate.
+
+The paper models the ``n`` resources as the vertices of an arbitrary
+undirected graph ``G``; tasks may only migrate along edges.  This module
+provides an immutable, NumPy-native graph representation optimised for
+the two operations the simulator needs in its inner loop:
+
+* degree lookups (for the max-degree random walk), and
+* "pick a uniformly random neighbour of every vertex in this array"
+  (vectorised via CSR adjacency).
+
+Graphs are stored in compressed-sparse-row (CSR) form: ``indptr`` has
+length ``n + 1`` and the neighbours of vertex ``v`` are
+``indices[indptr[v]:indptr[v + 1]]``, sorted ascending.  The structure is
+undirected and simple: every edge ``{u, v}`` appears as both ``(u, v)``
+and ``(v, u)``, there are no self-loops and no parallel edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+import numpy as np
+
+__all__ = ["Graph"]
+
+
+def _as_edge_array(edges: Iterable[tuple[int, int]]) -> np.ndarray:
+    """Normalise an edge iterable to a ``(k, 2)`` int64 array."""
+    arr = np.asarray(list(edges), dtype=np.int64)
+    if arr.size == 0:
+        return arr.reshape(0, 2)
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise ValueError(f"edges must be pairs, got array of shape {arr.shape}")
+    return arr
+
+
+@dataclass(frozen=True)
+class Graph:
+    """An immutable simple undirected graph in CSR form.
+
+    Attributes
+    ----------
+    n:
+        Number of vertices, labelled ``0 .. n-1``.
+    indptr:
+        CSR row pointer, shape ``(n + 1,)``.
+    indices:
+        CSR column indices (neighbour lists, each sorted), shape
+        ``(2 * num_edges,)``.
+    name:
+        Human-readable description used in reports and experiment tables.
+    """
+
+    n: int
+    indptr: np.ndarray
+    indices: np.ndarray
+    name: str = "graph"
+    _degrees: np.ndarray = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.n <= 0:
+            raise ValueError(f"graph needs at least one vertex, got n={self.n}")
+        indptr = np.ascontiguousarray(self.indptr, dtype=np.int64)
+        indices = np.ascontiguousarray(self.indices, dtype=np.int64)
+        if indptr.shape != (self.n + 1,):
+            raise ValueError(
+                f"indptr must have shape ({self.n + 1},), got {indptr.shape}"
+            )
+        if indptr[0] != 0 or indptr[-1] != indices.shape[0]:
+            raise ValueError("indptr endpoints do not match indices length")
+        if np.any(np.diff(indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        if indices.size and (indices.min() < 0 or indices.max() >= self.n):
+            raise ValueError("neighbour index out of range")
+        object.__setattr__(self, "indptr", indptr)
+        object.__setattr__(self, "indices", indices)
+        object.__setattr__(self, "_degrees", np.diff(indptr))
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls, n: int, edges: Iterable[tuple[int, int]], name: str = "graph"
+    ) -> "Graph":
+        """Build a graph from an iterable of undirected edges.
+
+        Self-loops are rejected; duplicate edges (in either orientation)
+        are collapsed.
+        """
+        arr = _as_edge_array(edges)
+        if arr.size:
+            if arr.min() < 0 or arr.max() >= n:
+                raise ValueError("edge endpoint out of range")
+            if np.any(arr[:, 0] == arr[:, 1]):
+                raise ValueError("self-loops are not allowed")
+            lo = np.minimum(arr[:, 0], arr[:, 1])
+            hi = np.maximum(arr[:, 0], arr[:, 1])
+            canon = np.unique(lo * np.int64(n) + hi)
+            lo = canon // n
+            hi = canon % n
+            src = np.concatenate([lo, hi])
+            dst = np.concatenate([hi, lo])
+        else:
+            src = np.empty(0, dtype=np.int64)
+            dst = np.empty(0, dtype=np.int64)
+        order = np.lexsort((dst, src))
+        src = src[order]
+        dst = dst[order]
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.add.at(indptr, src + 1, 1)
+        np.cumsum(indptr, out=indptr)
+        return cls(n=n, indptr=indptr, indices=dst, name=name)
+
+    @classmethod
+    def from_adjacency(cls, matrix: np.ndarray, name: str = "graph") -> "Graph":
+        """Build a graph from a dense, symmetric 0/1 adjacency matrix."""
+        a = np.asarray(matrix)
+        if a.ndim != 2 or a.shape[0] != a.shape[1]:
+            raise ValueError("adjacency matrix must be square")
+        if not np.array_equal(a, a.T):
+            raise ValueError("adjacency matrix must be symmetric")
+        if np.any(np.diag(a) != 0):
+            raise ValueError("self-loops are not allowed")
+        src, dst = np.nonzero(a)
+        keep = src < dst
+        return cls.from_edges(a.shape[0], list(zip(src[keep], dst[keep])), name=name)
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+    @property
+    def degrees(self) -> np.ndarray:
+        """Degree of every vertex, shape ``(n,)``."""
+        return self._degrees
+
+    @property
+    def max_degree(self) -> int:
+        """The maximum degree ``d`` that parameterises the paper's walk."""
+        return int(self._degrees.max()) if self.n else 0
+
+    @property
+    def min_degree(self) -> int:
+        return int(self._degrees.min()) if self.n else 0
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges."""
+        return int(self.indices.shape[0] // 2)
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Sorted neighbour array of vertex ``v`` (a view, do not mutate)."""
+        if not 0 <= v < self.n:
+            raise IndexError(f"vertex {v} out of range for n={self.n}")
+        return self.indices[self.indptr[v] : self.indptr[v + 1]]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the undirected edge ``{u, v}`` is present."""
+        nbrs = self.neighbors(u)
+        pos = np.searchsorted(nbrs, v)
+        return bool(pos < nbrs.shape[0] and nbrs[pos] == v)
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Iterate undirected edges as ``(u, v)`` with ``u < v``."""
+        for u in range(self.n):
+            for v in self.neighbors(u):
+                if u < int(v):
+                    yield (u, int(v))
+
+    def is_regular(self) -> bool:
+        """Whether every vertex has the same degree."""
+        return bool(self.n == 0 or self._degrees.min() == self._degrees.max())
+
+    # ------------------------------------------------------------------
+    # Conversions
+    # ------------------------------------------------------------------
+    def to_adjacency(self) -> np.ndarray:
+        """Dense ``(n, n)`` 0/1 adjacency matrix (float64)."""
+        a = np.zeros((self.n, self.n))
+        src = np.repeat(np.arange(self.n), self._degrees)
+        a[src, self.indices] = 1.0
+        return a
+
+    def to_networkx(self):  # pragma: no cover - thin convenience wrapper
+        """Convert to a :class:`networkx.Graph` (requires networkx)."""
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from(range(self.n))
+        g.add_edges_from(self.edges())
+        return g
+
+    # ------------------------------------------------------------------
+    # Structure checks
+    # ------------------------------------------------------------------
+    def connected_components(self) -> np.ndarray:
+        """Component label for every vertex (labels are 0-based, dense)."""
+        labels = np.full(self.n, -1, dtype=np.int64)
+        current = 0
+        for start in range(self.n):
+            if labels[start] != -1:
+                continue
+            frontier = np.array([start], dtype=np.int64)
+            labels[start] = current
+            while frontier.size:
+                nxt = []
+                for u in frontier:
+                    nbrs = self.indices[self.indptr[u] : self.indptr[u + 1]]
+                    fresh = nbrs[labels[nbrs] == -1]
+                    labels[fresh] = current
+                    nxt.append(fresh)
+                frontier = np.concatenate(nxt) if nxt else np.empty(0, dtype=np.int64)
+            current += 1
+        return labels
+
+    def is_connected(self) -> bool:
+        """Whether the graph has a single connected component."""
+        if self.n == 1:
+            return True
+        return bool(self.connected_components().max() == 0)
+
+    def is_bipartite(self) -> bool:
+        """Two-colourability check (BFS); bipartite walks are periodic."""
+        color = np.full(self.n, -1, dtype=np.int8)
+        for start in range(self.n):
+            if color[start] != -1:
+                continue
+            color[start] = 0
+            frontier = [start]
+            while frontier:
+                nxt: list[int] = []
+                for u in frontier:
+                    cu = color[u]
+                    for v in self.neighbors(u):
+                        v = int(v)
+                        if color[v] == -1:
+                            color[v] = 1 - cu
+                            nxt.append(v)
+                        elif color[v] == cu:
+                            return False
+                frontier = nxt
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Graph(name={self.name!r}, n={self.n}, edges={self.num_edges})"

@@ -1,0 +1,101 @@
+"""Validation helpers for graphs and walks.
+
+The paper's analysis silently assumes a few structural facts — the
+graph is connected, the walk's stationary distribution is uniform, the
+walk actually mixes.  Experiments call :func:`validate_for_protocol`
+up-front so a configuration error surfaces as a clear message instead of
+a simulation that never terminates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .random_walk import RandomWalk, max_degree_walk
+from .topology import Graph
+
+__all__ = [
+    "GraphReport",
+    "check_uniform_stationary",
+    "inspect_graph",
+    "validate_for_protocol",
+]
+
+
+@dataclass(frozen=True)
+class GraphReport:
+    """Structural facts the protocols and the analysis care about."""
+
+    name: str
+    n: int
+    num_edges: int
+    min_degree: int
+    max_degree: int
+    connected: bool
+    bipartite: bool
+    regular: bool
+    warnings: tuple[str, ...] = field(default_factory=tuple)
+
+
+def inspect_graph(graph: Graph) -> GraphReport:
+    """Gather the structural report for a graph."""
+    connected = graph.is_connected()
+    bipartite = graph.is_bipartite()
+    regular = graph.is_regular()
+    warnings: list[str] = []
+    if not connected:
+        warnings.append(
+            "graph is disconnected: tasks cannot leave their component and "
+            "balancing may be impossible"
+        )
+    if bipartite and regular:
+        warnings.append(
+            "max-degree walk is periodic on regular bipartite graphs; "
+            "spectral mixing-time estimates fall back to the lazy walk"
+        )
+    if graph.min_degree == 0:
+        warnings.append("graph has isolated vertices")
+    return GraphReport(
+        name=graph.name,
+        n=graph.n,
+        num_edges=graph.num_edges,
+        min_degree=graph.min_degree,
+        max_degree=graph.max_degree,
+        connected=connected,
+        bipartite=bipartite,
+        regular=regular,
+        warnings=tuple(warnings),
+    )
+
+
+def check_uniform_stationary(walk: RandomWalk, atol: float = 1e-8) -> bool:
+    """Whether the walk's stationary distribution is uniform.
+
+    All results of the paper assume this (Section 4.1: "The results in
+    this paper hold for all random walks where the stationary
+    distribution equals the uniform distribution").
+    """
+    pi = walk.stationary_distribution()
+    return bool(np.allclose(pi, 1.0 / walk.n, atol=atol))
+
+
+def validate_for_protocol(graph: Graph, strict: bool = True) -> GraphReport:
+    """Validate a graph before handing it to a protocol simulator.
+
+    Raises ``ValueError`` when the graph is unusable (disconnected, or
+    edgeless with ``n > 1``); in ``strict`` mode also verifies that the
+    max-degree walk is doubly stochastic with a uniform stationary
+    distribution (cheap for the sizes the experiments use).
+    """
+    report = inspect_graph(graph)
+    if graph.n > 1 and graph.num_edges == 0:
+        raise ValueError(f"{graph.name}: no edges, tasks cannot migrate")
+    if not report.connected:
+        raise ValueError(f"{graph.name}: disconnected graphs cannot balance")
+    if strict and graph.n <= 2048:
+        walk = max_degree_walk(graph)
+        if not walk.is_doubly_stochastic():
+            raise ValueError(f"{graph.name}: walk is not doubly stochastic")
+    return report

@@ -1,0 +1,53 @@
+"""Workload substrate: task weights, initial placements, assignments."""
+
+from .assignment import (
+    first_fit_assignment,
+    is_proper_assignment,
+    lpt_assignment,
+    proper_capacity,
+)
+from .placement import (
+    adversarial_clique_placement,
+    balanced_plus_spike_placement,
+    loads_from_placement,
+    round_robin_placement,
+    single_source_placement,
+    uniform_random_placement,
+)
+from .weights import (
+    ExplicitWeights,
+    ExponentialWeights,
+    ParetoWeights,
+    TwoPointWeights,
+    UniformRangeWeights,
+    UniformWeights,
+    WeightDistribution,
+    figure1_weights,
+    normalize_min_weight,
+    single_heavy_weights,
+    weight_stats,
+)
+
+__all__ = [
+    "ExplicitWeights",
+    "ExponentialWeights",
+    "ParetoWeights",
+    "TwoPointWeights",
+    "UniformRangeWeights",
+    "UniformWeights",
+    "WeightDistribution",
+    "adversarial_clique_placement",
+    "balanced_plus_spike_placement",
+    "figure1_weights",
+    "first_fit_assignment",
+    "is_proper_assignment",
+    "loads_from_placement",
+    "lpt_assignment",
+    "normalize_min_weight",
+    "proper_capacity",
+    "round_robin_placement",
+    "single_heavy_weights",
+    "single_source_placement",
+    "uniform_random_placement",
+    "weight_stats",
+]

@@ -1,0 +1,120 @@
+"""Unit tests for diffusion average estimation (paper footnote 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    complete_graph,
+    cycle_graph,
+    decentralized_thresholds,
+    diffusion_average_estimates,
+    estimation_error,
+    feasible_threshold,
+    grid_graph,
+    max_degree_walk,
+)
+
+
+class TestDiffusionEstimates:
+    def test_converges_to_average(self):
+        g = complete_graph(10)
+        walk = max_degree_walk(g)
+        loads = np.zeros(10)
+        loads[0] = 100.0
+        est = diffusion_average_estimates(walk, loads, steps=50)
+        assert np.allclose(est, 10.0, atol=1e-6)
+
+    def test_mean_conserved_every_step(self):
+        g = grid_graph(3, 3)
+        walk = max_degree_walk(g)
+        loads = np.arange(9, dtype=np.float64)
+        for steps in (0, 1, 5, 20):
+            est = diffusion_average_estimates(walk, loads, steps=steps)
+            assert est.mean() == pytest.approx(loads.mean())
+
+    def test_zero_steps_identity(self):
+        g = complete_graph(4)
+        loads = np.array([4.0, 0.0, 0.0, 0.0])
+        est = diffusion_average_estimates(max_degree_walk(g), loads, steps=0)
+        assert np.array_equal(est, loads)
+
+    def test_input_not_mutated(self):
+        g = complete_graph(4)
+        loads = np.array([4.0, 0.0, 0.0, 0.0])
+        diffusion_average_estimates(max_degree_walk(g), loads, steps=3)
+        assert loads[0] == 4.0
+
+    def test_default_steps_mix(self):
+        g = complete_graph(8)
+        loads = np.zeros(8)
+        loads[3] = 80.0
+        est = diffusion_average_estimates(max_degree_walk(g), loads)
+        assert estimation_error(est, loads) < 0.01
+
+    def test_bipartite_uses_lazy_fallback(self):
+        # the max-degree walk on an even cycle is periodic; diffusion
+        # must still converge via the lazy fallback
+        g = cycle_graph(8)
+        loads = np.zeros(8)
+        loads[0] = 8.0
+        est = diffusion_average_estimates(max_degree_walk(g), loads, steps=500)
+        assert np.allclose(est, 1.0, atol=1e-3)
+
+    def test_shape_validated(self):
+        g = complete_graph(4)
+        with pytest.raises(ValueError, match="shape"):
+            diffusion_average_estimates(max_degree_walk(g), np.ones(3))
+
+    def test_negative_steps_rejected(self):
+        g = complete_graph(4)
+        with pytest.raises(ValueError):
+            diffusion_average_estimates(max_degree_walk(g), np.ones(4), steps=-1)
+
+
+class TestEstimationError:
+    def test_zero_for_exact(self):
+        assert estimation_error(np.full(5, 2.0), np.full(5, 2.0)) == 0.0
+
+    def test_relative(self):
+        loads = np.array([1.0, 3.0])  # avg 2
+        est = np.array([2.0, 3.0])
+        assert estimation_error(est, loads) == pytest.approx(0.5)
+
+    def test_zero_average(self):
+        assert estimation_error(np.array([1.0]), np.array([0.0])) == 1.0
+
+
+class TestDecentralizedThresholds:
+    def test_formula_after_convergence(self):
+        g = complete_graph(6)
+        walk = max_degree_walk(g)
+        loads = np.full(6, 5.0)
+        t = decentralized_thresholds(walk, loads, eps=0.2, wmax=2.0, steps=10)
+        assert np.allclose(t, 1.2 * 5.0 + 2.0)
+
+    def test_feasible_after_mixing(self):
+        g = grid_graph(4, 4)
+        walk = max_degree_walk(g)
+        rng = np.random.default_rng(0)
+        loads = rng.uniform(0, 10, size=16)
+        t = decentralized_thresholds(walk, loads, eps=0.2, wmax=1.0)
+        assert feasible_threshold(t, loads.sum(), 16)
+
+    def test_safety_margin(self):
+        g = complete_graph(4)
+        walk = max_degree_walk(g)
+        loads = np.full(4, 1.0)
+        base = decentralized_thresholds(walk, loads, 0.2, 1.0, steps=5)
+        safe = decentralized_thresholds(walk, loads, 0.2, 1.0, steps=5,
+                                        safety=0.1)
+        assert np.all(safe > base)
+
+    def test_invalid(self):
+        g = complete_graph(4)
+        walk = max_degree_walk(g)
+        with pytest.raises(ValueError):
+            decentralized_thresholds(walk, np.ones(4), -0.1, 1.0)
+        with pytest.raises(ValueError):
+            decentralized_thresholds(walk, np.ones(4), 0.2, 0.0)

@@ -1,0 +1,167 @@
+"""Unit tests for the theorem-bound formulas."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    TABLE1_ASYMPTOTICS,
+    lemma1_acceptor_fraction,
+    observation8_rounds,
+    theorem3_rounds,
+    theorem3_success_probability,
+    theorem7_rounds,
+    theorem11_rounds,
+    theorem12_rounds,
+)
+
+
+class TestLemma1:
+    def test_formula(self):
+        assert lemma1_acceptor_fraction(0.2) == pytest.approx(0.2 / 1.2)
+
+    def test_limits(self):
+        assert lemma1_acceptor_fraction(0.0) == 0.0
+        assert lemma1_acceptor_fraction(1e9) == pytest.approx(1.0, abs=1e-8)
+
+    def test_monotone_in_eps(self):
+        assert lemma1_acceptor_fraction(0.5) > lemma1_acceptor_fraction(0.1)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            lemma1_acceptor_fraction(-0.1)
+
+
+class TestTheorem3:
+    def test_explicit_value(self):
+        # 2 (c+1) tau ln m / ln(2(1+eps)/(2+eps))
+        expected = 2 * 2 * 10 * np.log(100) / np.log(2 * 1.2 / 2.2)
+        assert theorem3_rounds(10.0, 100, 0.2) == pytest.approx(expected)
+
+    def test_scales_linearly_in_tau(self):
+        assert theorem3_rounds(20.0, 100, 0.2) == pytest.approx(
+            2 * theorem3_rounds(10.0, 100, 0.2)
+        )
+
+    def test_decreasing_in_eps(self):
+        assert theorem3_rounds(10.0, 100, 0.5) < theorem3_rounds(10.0, 100, 0.1)
+
+    def test_increasing_in_c(self):
+        assert theorem3_rounds(10.0, 100, 0.2, c=2) > theorem3_rounds(
+            10.0, 100, 0.2, c=1
+        )
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            theorem3_rounds(10.0, 1, 0.2)
+        with pytest.raises(ValueError):
+            theorem3_rounds(10.0, 100, 0.0)
+        with pytest.raises(ValueError):
+            theorem3_rounds(-1.0, 100, 0.2)
+
+    def test_success_probability(self):
+        assert theorem3_success_probability(100, c=1) == pytest.approx(0.99)
+        assert theorem3_success_probability(100, c=2) == pytest.approx(0.9999)
+        with pytest.raises(ValueError):
+            theorem3_success_probability(1)
+
+
+class TestTheorem7:
+    def test_explicit_value(self):
+        # 2 H (1 + ln(W/wmin)) / (1/4)
+        expected = 2 * 50 * (1 + np.log(1000)) * 4
+        assert theorem7_rounds(50.0, 1000.0) == pytest.approx(expected)
+
+    def test_scales_linearly_in_H(self):
+        assert theorem7_rounds(100.0, 1000.0) == pytest.approx(
+            2 * theorem7_rounds(50.0, 1000.0)
+        )
+
+    def test_logarithmic_in_W(self):
+        t1 = theorem7_rounds(10.0, 100.0)
+        t2 = theorem7_rounds(10.0, 10_000.0)
+        assert t2 / t1 < 3  # log growth, not linear
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            theorem7_rounds(-1.0, 100.0)
+        with pytest.raises(ValueError):
+            theorem7_rounds(10.0, 0.0)
+
+
+class TestTheorem11And12:
+    def test_theorem11_explicit(self):
+        expected = 2 * 1.2 / (0.5 * 0.2) * 8 * np.log(100)
+        assert theorem11_rounds(100, 0.2, 0.5, 8.0) == pytest.approx(expected)
+
+    def test_theorem11_inverse_alpha(self):
+        assert theorem11_rounds(100, 0.2, 0.5, 8.0) == pytest.approx(
+            2 * theorem11_rounds(100, 0.2, 1.0, 8.0)
+        )
+
+    def test_theorem11_linear_in_skew(self):
+        assert theorem11_rounds(100, 0.2, 1.0, 16.0) == pytest.approx(
+            2 * theorem11_rounds(100, 0.2, 1.0, 8.0)
+        )
+
+    def test_theorem11_wmin_scaling(self):
+        assert theorem11_rounds(100, 0.2, 1.0, 8.0, wmin=2.0) == pytest.approx(
+            theorem11_rounds(100, 0.2, 1.0, 8.0) / 2
+        )
+
+    def test_theorem12_explicit(self):
+        expected = 2 * 50 / 0.1 * 4 * np.log(200)
+        assert theorem12_rounds(200, 50, 0.1, 4.0) == pytest.approx(expected)
+
+    def test_theorem12_linear_in_n(self):
+        assert theorem12_rounds(100, 80, 1.0, 1.0) == pytest.approx(
+            2 * theorem12_rounds(100, 40, 1.0, 1.0)
+        )
+
+    def test_tight_exceeds_above_average(self):
+        # the n factor of Theorem 12 dwarfs Theorem 11's 1/eps for any
+        # moderately large n
+        t11 = theorem11_rounds(1000, 0.2, 1.0, 1.0)
+        t12 = theorem12_rounds(1000, 1000, 1.0, 1.0)
+        assert t12 > 10 * t11
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            theorem11_rounds(1, 0.2, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            theorem11_rounds(100, 0.2, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            theorem12_rounds(100, 0, 1.0, 1.0)
+
+
+class TestObservation8:
+    def test_formula(self):
+        assert observation8_rounds(100.0, 1000) == pytest.approx(
+            100 * np.log(1000)
+        )
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            observation8_rounds(100.0, 1)
+        with pytest.raises(ValueError):
+            observation8_rounds(-1.0, 100)
+
+
+class TestTable1Asymptotics:
+    def test_all_families_present(self):
+        assert set(TABLE1_ASYMPTOTICS) == {
+            "complete", "regular_expander", "erdos_renyi", "hypercube",
+            "grid",
+        }
+
+    def test_scales_callable(self):
+        for family, spec in TABLE1_ASYMPTOTICS.items():
+            assert spec["hitting_scale"](100) > 0
+            assert spec["mixing_scale"](100) > 0
+            assert isinstance(spec["mixing"], str)
+
+    def test_grid_hitting_superlinear(self):
+        grid = TABLE1_ASYMPTOTICS["grid"]["hitting_scale"]
+        complete = TABLE1_ASYMPTOTICS["complete"]["hitting_scale"]
+        assert grid(10_000) / grid(100) > complete(10_000) / complete(100)

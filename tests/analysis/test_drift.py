@@ -1,0 +1,96 @@
+"""Unit tests for the drift theorem machinery (Theorem 6)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import drift_time_bound, estimate_drift, lemma10_delta
+
+
+class TestDriftTimeBound:
+    def test_formula(self):
+        assert drift_time_bound(100.0, 1.0, 0.25) == pytest.approx(
+            (1 + np.log(100)) / 0.25
+        )
+
+    def test_s0_equals_smin(self):
+        assert drift_time_bound(1.0, 1.0, 0.5) == pytest.approx(2.0)
+
+    def test_decreasing_in_delta(self):
+        assert drift_time_bound(10.0, 1.0, 0.5) < drift_time_bound(
+            10.0, 1.0, 0.1
+        )
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            drift_time_bound(0.5, 1.0, 0.5)  # s0 < smin
+        with pytest.raises(ValueError):
+            drift_time_bound(10.0, 0.0, 0.5)
+        with pytest.raises(ValueError):
+            drift_time_bound(10.0, 1.0, 0.0)
+        with pytest.raises(ValueError):
+            drift_time_bound(10.0, 1.0, 1.5)
+
+
+class TestLemma10Delta:
+    def test_formula_with_alpha(self):
+        assert lemma10_delta(0.2, alpha=1.0, wmax=4.0) == pytest.approx(
+            1.0 * 0.2 / (2 * 1.2) / 4.0
+        )
+
+    def test_default_alpha_is_analysis_value(self):
+        expected = (0.2 / (120 * 1.2)) * 0.2 / (2 * 1.2)
+        assert lemma10_delta(0.2) == pytest.approx(expected)
+
+    def test_uniform_weights(self):
+        assert lemma10_delta(0.5, alpha=1.0) == pytest.approx(0.5 / 3.0)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            lemma10_delta(0.0)
+        with pytest.raises(ValueError):
+            lemma10_delta(0.2, alpha=2.0)
+        with pytest.raises(ValueError):
+            lemma10_delta(0.2, alpha=1.0, wmax=1.0, wmin=2.0)
+
+
+class TestEstimateDrift:
+    def test_recovers_geometric_decay(self):
+        # Phi(t) = 1000 * 0.8^t  ->  delta = 0.2 exactly
+        trace = 1000.0 * 0.8 ** np.arange(20)
+        est = estimate_drift(trace)
+        assert est.delta_mean == pytest.approx(0.2, abs=1e-9)
+        assert est.delta_regression == pytest.approx(0.2, abs=1e-6)
+        assert est.steps_observed == 19
+
+    def test_prediction_uses_drift_theorem(self):
+        trace = 64.0 * 0.5 ** np.arange(10)
+        est = estimate_drift(trace)
+        assert est.predicted_rounds == pytest.approx(
+            (1 + np.log(64)) / est.delta_regression, rel=1e-6
+        )
+
+    def test_ignores_trailing_zeros(self):
+        trace = np.array([100.0, 50.0, 25.0, 0.0, 0.0])
+        est = estimate_drift(trace)
+        assert est.steps_observed == 2
+        assert est.delta_mean == pytest.approx(0.5)
+
+    def test_noisy_decay_estimated_reasonably(self, rng):
+        t = np.arange(60)
+        trace = 500.0 * 0.9**t * rng.uniform(0.9, 1.1, size=60)
+        est = estimate_drift(trace)
+        assert est.delta_regression == pytest.approx(0.1, abs=0.03)
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_drift(np.array([5.0]))
+        with pytest.raises(ValueError):
+            estimate_drift(np.array([5.0, 0.0]))
+
+    def test_increasing_trace_clamped(self):
+        # growth means no positive drift: regression clamps near zero
+        trace = np.array([1.0, 2.0, 4.0, 8.0])
+        est = estimate_drift(trace)
+        assert 0 < est.delta_regression <= 1e-10 or est.delta_regression < 0.01

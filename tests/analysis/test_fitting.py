@@ -1,0 +1,84 @@
+"""Unit tests for the fitting helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import fit_linear, fit_logarithmic, fit_power_law
+
+
+class TestLinear:
+    def test_exact_recovery(self):
+        x = np.array([1.0, 2.0, 3.0, 4.0])
+        fit = fit_linear(x, 3.0 * x + 2.0)
+        assert fit.slope == pytest.approx(3.0)
+        assert fit.intercept == pytest.approx(2.0)
+        assert fit.r_squared == pytest.approx(1.0)
+        assert fit.model == "linear"
+
+    def test_predict(self):
+        x = np.array([0.0, 1.0, 2.0])
+        fit = fit_linear(x, 2.0 * x)
+        assert fit.predict(np.array([5.0]))[0] == pytest.approx(10.0)
+
+    def test_constant_data(self):
+        fit = fit_linear(np.array([1.0, 2.0]), np.array([5.0, 5.0]))
+        assert fit.slope == pytest.approx(0.0)
+        assert fit.r_squared == 1.0  # ss_tot == 0 convention
+
+    def test_noisy_r2_below_one(self, rng):
+        x = np.linspace(0, 10, 50)
+        y = x + rng.normal(0, 2.0, size=50)
+        fit = fit_linear(x, y)
+        assert 0.0 < fit.r_squared < 1.0
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            fit_linear(np.array([1.0]), np.array([1.0]))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            fit_linear(np.array([1.0, 2.0]), np.array([1.0]))
+
+
+class TestLogarithmic:
+    def test_exact_recovery(self):
+        x = np.array([10.0, 100.0, 1000.0])
+        fit = fit_logarithmic(x, 4.0 * np.log(x) - 1.0)
+        assert fit.slope == pytest.approx(4.0)
+        assert fit.intercept == pytest.approx(-1.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_predict(self):
+        x = np.array([np.e, np.e**2])
+        fit = fit_logarithmic(x, np.array([1.0, 2.0]))
+        assert fit.predict(np.array([np.e**3]))[0] == pytest.approx(3.0)
+
+    def test_positive_x_required(self):
+        with pytest.raises(ValueError):
+            fit_logarithmic(np.array([0.0, 1.0]), np.array([1.0, 2.0]))
+
+
+class TestPowerLaw:
+    def test_exact_exponent(self):
+        x = np.array([2.0, 4.0, 8.0, 16.0])
+        fit = fit_power_law(x, 3.0 * x**1.5)
+        assert fit.slope == pytest.approx(1.5)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_predict(self):
+        x = np.array([1.0, 2.0, 4.0])
+        fit = fit_power_law(x, 2.0 * x**2)
+        assert fit.predict(np.array([3.0]))[0] == pytest.approx(18.0)
+
+    def test_positive_data_required(self):
+        with pytest.raises(ValueError):
+            fit_power_law(np.array([1.0, 2.0]), np.array([-1.0, 2.0]))
+        with pytest.raises(ValueError):
+            fit_power_law(np.array([0.0, 2.0]), np.array([1.0, 2.0]))
+
+    def test_linear_data_exponent_one(self):
+        x = np.array([1.0, 10.0, 100.0])
+        fit = fit_power_law(x, 7.0 * x)
+        assert fit.slope == pytest.approx(1.0)

@@ -1,0 +1,93 @@
+"""Unit tests for the Theorem 3 phase analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    AboveAverageThreshold,
+    ResourceControlledProtocol,
+    SystemState,
+    analyze_phases,
+    cycle_graph,
+    max_degree_walk,
+    mixing_time_bound,
+    phase_survival_ratios,
+    simulate,
+    single_source_placement,
+    theorem3_survival_bound,
+)
+
+
+class TestSurvivalBound:
+    def test_formula(self):
+        assert theorem3_survival_bound(0.2) == pytest.approx(1 - 0.2 / 2.4)
+
+    def test_monotone_in_eps(self):
+        assert theorem3_survival_bound(1.0) < theorem3_survival_bound(0.1)
+
+    def test_bounds(self):
+        assert 0.5 < theorem3_survival_bound(1e6) <= 1.0
+        with pytest.raises(ValueError):
+            theorem3_survival_bound(0.0)
+
+
+class TestSurvivalRatios:
+    def test_geometric_trace(self):
+        trace = 64.0 * 0.5 ** np.arange(10)
+        ratios = phase_survival_ratios(trace, phase_length=2)
+        assert np.allclose(ratios, 0.25)
+
+    def test_skips_zero_start(self):
+        trace = np.array([4.0, 2.0, 0.0, 0.0, 0.0])
+        ratios = phase_survival_ratios(trace, phase_length=2)
+        assert list(ratios) == [0.0]  # only the first window counted
+
+    def test_short_trace_empty(self):
+        assert phase_survival_ratios(np.array([5.0]), 2).size == 0
+
+    def test_invalid_phase(self):
+        with pytest.raises(ValueError):
+            phase_survival_ratios(np.ones(5), 0)
+
+
+class TestAnalyzePhases:
+    def test_synthetic_within_bound(self):
+        trace = 1000.0 * 0.5 ** np.arange(40)
+        report = analyze_phases(trace, tau=1.0, eps=0.2)
+        assert report.phase_length == 2
+        assert report.phases_observed > 0
+        assert report.within_bound  # 0.25 << 1 - 0.2/2.4
+
+    def test_flat_trace_violates_bound(self):
+        trace = np.full(50, 10.0)
+        report = analyze_phases(trace, tau=2.0, eps=0.2)
+        assert report.mean_survival == pytest.approx(1.0)
+        assert not report.within_bound
+
+    def test_run_shorter_than_phase(self):
+        report = analyze_phases(np.array([5.0, 3.0]), tau=10.0, eps=0.2)
+        assert report.phases_observed == 0
+        assert report.mean_survival == 0.0
+        assert report.within_bound
+
+    def test_real_run_respects_theorem3(self):
+        """A real resource-controlled run decays at least as fast per
+        phase as the proof guarantees (in the mean)."""
+        eps = 0.5
+        g = cycle_graph(16)
+        tau = mixing_time_bound(max_degree_walk(g))
+        state = SystemState.from_workload(
+            np.ones(96), single_source_placement(96, 16), 16,
+            AboveAverageThreshold(eps),
+        )
+        result = simulate(
+            ResourceControlledProtocol(g), state,
+            np.random.default_rng(0), max_rounds=200_000,
+            record_traces=True,
+        )
+        assert result.balanced
+        report = analyze_phases(result.movers_trace, tau=tau, eps=eps)
+        assert report.within_bound
+        assert report.bound == theorem3_survival_bound(eps)

@@ -1,0 +1,74 @@
+"""Unit tests for confidence-interval helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import bootstrap_mean_ci, mean_confidence_interval
+
+
+class TestMeanCI:
+    def test_contains_mean(self, rng):
+        v = rng.normal(10.0, 2.0, size=100)
+        ci = mean_confidence_interval(v)
+        assert ci.low <= ci.mean <= ci.high
+        assert ci.mean == pytest.approx(v.mean())
+        assert ci.n == 100
+
+    def test_halfwidth_shrinks_with_n(self):
+        rng = np.random.default_rng(0)
+        small = mean_confidence_interval(rng.normal(0, 1, size=10))
+        large = mean_confidence_interval(rng.normal(0, 1, size=1000))
+        assert large.halfwidth < small.halfwidth
+
+    def test_single_sample_infinite(self):
+        ci = mean_confidence_interval(np.array([3.0]))
+        assert ci.halfwidth == float("inf")
+        assert ci.mean == 3.0
+
+    def test_zero_variance(self):
+        ci = mean_confidence_interval(np.full(10, 4.0))
+        assert ci.halfwidth == 0.0
+
+    def test_coverage_statistical(self):
+        # ~95% of intervals should contain the true mean
+        rng = np.random.default_rng(1)
+        hits = 0
+        for _ in range(300):
+            v = rng.normal(5.0, 1.0, size=20)
+            ci = mean_confidence_interval(v)
+            hits += ci.low <= 5.0 <= ci.high
+        assert 0.90 <= hits / 300 <= 0.99
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            mean_confidence_interval(np.empty(0))
+        with pytest.raises(ValueError):
+            mean_confidence_interval(np.ones(3), confidence=1.5)
+
+
+class TestBootstrapCI:
+    def test_contains_mean(self, rng):
+        v = rng.exponential(3.0, size=200)
+        ci = bootstrap_mean_ci(v, rng)
+        assert ci.low <= ci.mean <= ci.high
+
+    def test_reproducible(self):
+        v = np.arange(50, dtype=np.float64)
+        a = bootstrap_mean_ci(v, np.random.default_rng(2))
+        b = bootstrap_mean_ci(v, np.random.default_rng(2))
+        assert a.halfwidth == b.halfwidth
+
+    def test_agrees_with_t_interval_for_normal(self):
+        rng = np.random.default_rng(3)
+        v = rng.normal(0, 1, size=500)
+        t_ci = mean_confidence_interval(v)
+        b_ci = bootstrap_mean_ci(v, rng)
+        assert b_ci.halfwidth == pytest.approx(t_ci.halfwidth, rel=0.25)
+
+    def test_invalid(self, rng):
+        with pytest.raises(ValueError):
+            bootstrap_mean_ci(np.empty(0), rng)
+        with pytest.raises(ValueError):
+            bootstrap_mean_ci(np.ones(3), rng, confidence=0.0)

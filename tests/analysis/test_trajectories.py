@@ -1,0 +1,120 @@
+"""Unit tests for trajectory diagnostics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    AboveAverageThreshold,
+    ResourceControlledProtocol,
+    SystemState,
+    UserControlledProtocol,
+    complete_graph,
+    simulate,
+    single_source_placement,
+)
+from repro.analysis.trajectories import (
+    migration_efficiency,
+    overload_exposure,
+    summarize_trajectory,
+    time_to_fraction,
+)
+
+
+class TestTimeToFraction:
+    def test_geometric_decay(self):
+        trace = 100.0 * 0.5 ** np.arange(10)
+        assert time_to_fraction(trace, 0.5) == 1
+        assert time_to_fraction(trace, 0.25) == 2
+        assert time_to_fraction(trace, 1.0) == 0
+
+    def test_never_reached_returns_length(self):
+        trace = np.full(5, 10.0)
+        assert time_to_fraction(trace, 0.5) == 5
+
+    def test_zero_fraction_needs_zero_potential(self):
+        trace = np.array([10.0, 5.0, 0.0])
+        assert time_to_fraction(trace, 0.0) == 2
+
+    def test_empty_trace(self):
+        assert time_to_fraction(np.empty(0), 0.5) == 0
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            time_to_fraction(np.ones(3), 1.5)
+
+
+class TestOverloadExposure:
+    def test_sum(self):
+        assert overload_exposure(np.array([3, 2, 1, 0])) == 6.0
+
+    def test_empty(self):
+        assert overload_exposure(np.empty(0)) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            overload_exposure(np.array([-1.0]))
+
+
+class TestMigrationEfficiency:
+    def test_perfect(self):
+        assert migration_efficiency(10.0, 10.0) == 1.0
+
+    def test_churn(self):
+        assert migration_efficiency(10.0, 40.0) == 0.25
+
+    def test_clipped_at_one(self):
+        assert migration_efficiency(10.0, 5.0) == 1.0
+
+    def test_no_migration(self):
+        assert migration_efficiency(0.0, 0.0) == 1.0
+        assert migration_efficiency(5.0, 0.0) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            migration_efficiency(-1.0, 1.0)
+
+
+class TestSummarizeTrajectory:
+    def run(self, proto):
+        state = SystemState.from_workload(
+            np.ones(80), single_source_placement(80, 10), 10,
+            AboveAverageThreshold(0.2),
+        )
+        return simulate(
+            proto, state, np.random.default_rng(0), record_traces=True
+        )
+
+    def test_fields_consistent(self):
+        result = self.run(UserControlledProtocol(alpha=1.0))
+        summary = summarize_trajectory(result)
+        assert summary.balanced
+        assert 0 <= summary.time_to_half <= summary.time_to_99 <= summary.rounds
+        assert summary.overload_exposure >= summary.rounds  # >=1 per round
+        assert 0.0 <= summary.migration_efficiency <= 1.0
+        assert set(summary.row()) == {
+            "rounds", "balanced", "t_half", "t_99", "exposure", "efficiency",
+        }
+
+    def test_resource_protocol_more_frugal_than_user(self):
+        """The resource protocol only ever moves surplus tasks; the user
+        protocol churns below-threshold tasks too."""
+        res_eff = summarize_trajectory(
+            self.run(ResourceControlledProtocol(complete_graph(10)))
+        ).migration_efficiency
+        user_eff = summarize_trajectory(
+            self.run(UserControlledProtocol(alpha=1.0))
+        ).migration_efficiency
+        assert res_eff >= user_eff
+
+    def test_requires_traces(self):
+        state = SystemState.from_workload(
+            np.ones(20), single_source_placement(20, 5), 5,
+            AboveAverageThreshold(0.2),
+        )
+        result = simulate(
+            UserControlledProtocol(), state, np.random.default_rng(1)
+        )
+        with pytest.raises(ValueError, match="record_traces"):
+            summarize_trajectory(result)

@@ -1,0 +1,75 @@
+"""Unit tests for run metrics and trial summaries."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import RunResult, normalized_balancing_time, summarize_runs
+
+
+def mk_result(rounds: int, balanced: bool = True,
+              migrations: int = 10) -> RunResult:
+    return RunResult(
+        balanced=balanced,
+        rounds=rounds,
+        final_loads=np.array([1.0, 2.0]),
+        threshold=5.0,
+        total_migrations=migrations,
+        total_migrated_weight=float(migrations),
+        protocol_name="test",
+    )
+
+
+class TestSummarizeRuns:
+    def test_basic_stats(self):
+        s = summarize_runs([mk_result(10), mk_result(20), mk_result(30)])
+        assert s.trials == 3
+        assert s.mean_rounds == 20.0
+        assert s.median_rounds == 20.0
+        assert s.min_rounds == 10.0 and s.max_rounds == 30.0
+        assert s.std_rounds == pytest.approx(10.0)
+        assert s.sem_rounds == pytest.approx(10.0 / np.sqrt(3))
+        assert s.all_balanced
+
+    def test_censored_counted(self):
+        s = summarize_runs([mk_result(10), mk_result(99, balanced=False)])
+        assert s.balanced_trials == 1
+        assert not s.all_balanced
+
+    def test_single_run_no_std(self):
+        s = summarize_runs([mk_result(7)])
+        assert s.std_rounds == 0.0
+        assert s.ci95_halfwidth == 0.0
+
+    def test_migration_means(self):
+        s = summarize_runs([mk_result(1, migrations=4),
+                            mk_result(1, migrations=8)])
+        assert s.mean_migrations == 6.0
+        assert s.mean_migrated_weight == 6.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_runs([])
+
+    def test_row_keys(self):
+        row = summarize_runs([mk_result(5)]).row()
+        assert {"trials", "mean_rounds", "ci95", "median_rounds"} <= set(row)
+
+    def test_ci95_formula(self):
+        s = summarize_runs([mk_result(10), mk_result(20)])
+        assert s.ci95_halfwidth == pytest.approx(1.96 * s.sem_rounds)
+
+
+class TestNormalizedTime:
+    def test_formula(self):
+        assert normalized_balancing_time(100.0, 1000) == pytest.approx(
+            100.0 / np.log(1000)
+        )
+
+    def test_m_too_small(self):
+        with pytest.raises(ValueError):
+            normalized_balancing_time(10.0, 1)
+
+    def test_m_two_ok(self):
+        assert normalized_balancing_time(np.log(2), 2) == pytest.approx(1.0)

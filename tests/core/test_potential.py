@@ -1,0 +1,76 @@
+"""Unit tests for the potential functions (Eq. 1 / Section 6)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    SystemState,
+    active_count,
+    active_weight,
+    per_resource_potential,
+    resource_potential,
+    total_potential,
+    user_potential,
+)
+
+
+def mk(weights, placement, n, threshold) -> SystemState:
+    return SystemState.from_workload(
+        np.asarray(weights, dtype=np.float64),
+        np.asarray(placement, dtype=np.int64),
+        n,
+        threshold,
+    )
+
+
+class TestPotential:
+    def test_zero_when_balanced(self):
+        st = mk([1, 1], [0, 1], 2, 2.0)
+        assert total_potential(st) == 0.0
+        assert active_count(st) == 0
+
+    def test_single_overloaded(self):
+        st = mk([6, 6, 3], [0, 0, 0], 2, 10.0)
+        # below prefix = first task (6); cutting (6) + above (3) = 9
+        assert total_potential(st) == pytest.approx(9.0)
+        assert active_weight(st) == pytest.approx(9.0)
+        assert active_count(st) == 2
+
+    def test_aliases_agree(self):
+        st = mk([6, 6, 3, 1], [0, 0, 0, 1], 2, 10.0)
+        assert resource_potential(st) == total_potential(st)
+        assert user_potential(st) == total_potential(st)
+
+    def test_per_resource_sums_to_total(self, rng):
+        m, n = 100, 5
+        st = mk(
+            rng.uniform(1, 4, size=m),
+            rng.integers(0, n, size=m),
+            n,
+            rng.uniform(1, 4, size=m).sum() / n + 4.0,
+        )
+        assert per_resource_potential(st).sum() == pytest.approx(
+            total_potential(st)
+        )
+
+    def test_non_overloaded_contributes_zero(self):
+        st = mk([6, 6, 3, 1], [0, 0, 0, 1], 2, 10.0)
+        phi = per_resource_potential(st)
+        assert phi[1] == 0.0
+        assert phi[0] == pytest.approx(9.0)
+
+    def test_potential_zero_iff_balanced(self, rng):
+        for seed in range(5):
+            r = np.random.default_rng(seed)
+            m, n = 50, 4
+            w = r.uniform(1, 3, size=m)
+            st = mk(w, r.integers(0, n, size=m), n, w.sum() / n + 3.0)
+            assert (total_potential(st) == 0.0) == st.is_balanced()
+
+    def test_potential_bounded_by_total_weight(self, rng):
+        m, n = 80, 3
+        w = rng.uniform(1, 5, size=m)
+        st = mk(w, np.zeros(m, dtype=np.int64), n, w.sum() / n + 5.0)
+        assert 0.0 < total_potential(st) <= w.sum()

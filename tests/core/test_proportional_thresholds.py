@@ -1,0 +1,83 @@
+"""Unit tests for proportional (heterogeneous-resource) thresholds."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    ProportionalThresholds,
+    SystemState,
+    UserControlledProtocol,
+    feasible_threshold,
+    simulate,
+    single_source_placement,
+)
+
+
+class TestPolicy:
+    def test_formula(self):
+        pol = ProportionalThresholds(speeds=(1.0, 3.0), eps=0.0)
+        t = pol.compute(8.0, 2, 1.0)
+        assert t[0] == pytest.approx(8.0 * 0.25 + 1.0)
+        assert t[1] == pytest.approx(8.0 * 0.75 + 1.0)
+
+    def test_equal_speeds_match_scalar_policy(self):
+        pol = ProportionalThresholds(speeds=(1.0, 1.0, 1.0, 1.0), eps=0.2)
+        t = pol.compute(100.0, 4, 5.0)
+        assert np.allclose(t, 1.2 * 25.0 + 5.0)
+
+    def test_always_feasible(self):
+        pol = ProportionalThresholds(speeds=(0.5, 2.0, 7.0), eps=0.0)
+        t = pol.compute(30.0, 3, 2.0)
+        assert feasible_threshold(t, 30.0, 3)
+
+    def test_compute_for(self):
+        pol = ProportionalThresholds(speeds=(1.0, 1.0))
+        w = np.array([2.0, 4.0])
+        t = pol.compute_for(w, 2)
+        assert t[0] == pytest.approx(1.2 * 3.0 + 4.0)
+
+    def test_speed_count_must_match_n(self):
+        pol = ProportionalThresholds(speeds=(1.0, 2.0))
+        with pytest.raises(ValueError, match="speeds"):
+            pol.compute(10.0, 3, 1.0)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            ProportionalThresholds(speeds=())
+        with pytest.raises(ValueError):
+            ProportionalThresholds(speeds=(1.0, 0.0))
+        with pytest.raises(ValueError):
+            ProportionalThresholds(speeds=(1.0,), eps=-0.1)
+        with pytest.raises(ValueError):
+            ProportionalThresholds(speeds=(1.0,)).compute_for(np.empty(0), 1)
+
+
+class TestEndToEnd:
+    def test_balances_and_respects_speeds(self):
+        n, m = 4, 48
+        pol = ProportionalThresholds(speeds=(1.0, 1.0, 2.0, 4.0), eps=0.2)
+        weights = np.ones(m)
+        state = SystemState.from_workload(
+            weights, single_source_placement(m, n), n, pol
+        )
+        result = simulate(
+            UserControlledProtocol(alpha=1.0),
+            state,
+            np.random.default_rng(0),
+            max_rounds=50_000,
+        )
+        assert result.balanced
+        loads = state.loads()
+        t = state.threshold_vector()
+        assert np.all(loads <= t + 1e-9)
+        # fast resources are allowed to (and typically do) carry more
+        assert t[3] > t[0]
+
+    def test_from_workload_accepts_policy_object(self):
+        pol = ProportionalThresholds(speeds=(1.0, 2.0))
+        state = SystemState.from_workload(
+            np.ones(6), single_source_placement(6, 2), 2, pol
+        )
+        assert state.threshold_vector().shape == (2,)

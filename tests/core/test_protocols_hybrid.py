@@ -1,0 +1,104 @@
+"""Unit tests for the hybrid protocol (future-work extension)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    AboveAverageThreshold,
+    HybridProtocol,
+    ResourceControlledProtocol,
+    SystemState,
+    UserControlledProtocol,
+    complete_graph,
+    simulate,
+)
+
+
+def mk_protocol(n=8, q=0.5, mode="probabilistic") -> HybridProtocol:
+    return HybridProtocol(
+        ResourceControlledProtocol(complete_graph(n)),
+        UserControlledProtocol(alpha=1.0),
+        resource_fraction=q,
+        mode=mode,
+    )
+
+
+def mk_state(m=40, n=8) -> SystemState:
+    return SystemState.from_workload(
+        np.ones(m),
+        np.zeros(m, dtype=np.int64),
+        n,
+        AboveAverageThreshold(0.2),
+    )
+
+
+class TestConstruction:
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError, match="mode"):
+            mk_protocol(mode="sometimes")
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError, match="fraction"):
+            mk_protocol(q=1.5)
+
+    def test_name(self):
+        assert "hybrid" in mk_protocol().name
+
+    def test_validate_state_checks_both(self):
+        proto = mk_protocol(n=8)
+        bad = SystemState.from_workload(
+            np.ones(4), np.zeros(4, dtype=np.int64), 5, 10.0
+        )
+        with pytest.raises(ValueError):
+            proto.validate_state(bad)
+
+
+class TestScheduling:
+    def test_alternate_mode_deterministic(self, rng):
+        proto = mk_protocol(mode="alternate")
+        assert proto._pick_resource_round(rng) is True
+        proto._round += 1
+        assert proto._pick_resource_round(rng) is False
+        proto._round += 1
+        assert proto._pick_resource_round(rng) is True
+
+    def test_probabilistic_fraction(self):
+        proto = mk_protocol(q=0.3)
+        rng = np.random.default_rng(0)
+        picks = [proto._pick_resource_round(rng) for _ in range(5000)]
+        assert np.mean(picks) == pytest.approx(0.3, abs=0.03)
+
+    def test_fraction_one_always_resource(self):
+        proto = mk_protocol(q=1.0)
+        rng = np.random.default_rng(1)
+        assert all(proto._pick_resource_round(rng) for _ in range(100))
+
+
+class TestBehaviour:
+    def test_balances(self):
+        proto = mk_protocol()
+        st = mk_state()
+        res = simulate(proto, st, np.random.default_rng(2), max_rounds=10_000)
+        assert res.balanced
+
+    def test_alternate_balances(self):
+        proto = mk_protocol(mode="alternate")
+        st = mk_state()
+        res = simulate(proto, st, np.random.default_rng(3), max_rounds=10_000)
+        assert res.balanced
+
+    def test_step_counts_rounds(self, rng):
+        proto = mk_protocol(mode="alternate")
+        st = mk_state()
+        proto.step(st, rng)
+        proto.step(st, rng)
+        assert proto._round == 2
+
+    def test_weight_conserved(self, rng):
+        proto = mk_protocol()
+        st = mk_state()
+        for _ in range(10):
+            proto.step(st, rng)
+        assert st.loads().sum() == pytest.approx(40.0)

@@ -1,0 +1,162 @@
+"""Unit tests for Algorithm 5.1 (resource-controlled protocol)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    AboveAverageThreshold,
+    ResourceControlledProtocol,
+    SystemState,
+    TightResourceThreshold,
+    complete_graph,
+    cycle_graph,
+    max_degree_walk,
+    simulate,
+    single_source_placement,
+    total_potential,
+)
+
+
+def mk(weights, placement, n, threshold) -> SystemState:
+    return SystemState.from_workload(
+        np.asarray(weights, dtype=np.float64),
+        np.asarray(placement, dtype=np.int64),
+        n,
+        threshold,
+    )
+
+
+class TestConstruction:
+    def test_from_graph(self, k5):
+        proto = ResourceControlledProtocol(k5)
+        assert proto.graph is k5
+        assert "complete" in proto.name
+
+    def test_from_walk(self, c8):
+        walk = max_degree_walk(c8)
+        proto = ResourceControlledProtocol(walk)
+        assert proto.walk is walk
+
+    def test_type_error(self):
+        with pytest.raises(TypeError):
+            ResourceControlledProtocol("not a graph")  # type: ignore[arg-type]
+
+    def test_validate_state_size_mismatch(self, k5):
+        proto = ResourceControlledProtocol(k5)
+        st = mk([1.0], [0], 3, 10.0)
+        with pytest.raises(ValueError, match="vertices"):
+            proto.validate_state(st)
+
+
+class TestStep:
+    def test_moves_exactly_active_tasks(self, k5, rng):
+        st = mk([6, 6, 3], [0, 0, 0], 5, 10.0)
+        proto = ResourceControlledProtocol(k5)
+        stats = proto.step(st, rng)
+        assert stats.movers == 2
+        assert stats.moved_weight == pytest.approx(9.0)
+        # the below-prefix task never moved
+        assert st.resource[0] == 0
+
+    def test_below_prefix_untouched(self, k5, rng):
+        st = mk([6, 6, 3], [0, 0, 0], 5, 10.0)
+        seq_before = st.seq[0]
+        ResourceControlledProtocol(k5).step(st, rng)
+        assert st.seq[0] == seq_before
+
+    def test_destinations_are_neighbours_or_self(self, c8, rng):
+        st = mk(np.ones(30), np.zeros(30, dtype=np.int64), 8, 5.0)
+        ResourceControlledProtocol(c8).step(st, rng)
+        for r in np.unique(st.resource):
+            assert r == 0 or c8.has_edge(0, int(r))
+
+    def test_no_movement_when_balanced(self, k5, rng):
+        st = mk([1, 1], [0, 1], 5, 2.0)
+        stats = ResourceControlledProtocol(k5).step(st, rng)
+        assert stats.movers == 0
+        assert stats.overloaded_before == 0
+
+    def test_stats_snapshot_before_step(self, k5, rng):
+        st = mk([6, 6, 3], [0, 0, 0], 5, 10.0)
+        pot = total_potential(st)
+        stats = ResourceControlledProtocol(k5).step(st, rng)
+        assert stats.potential_before == pytest.approx(pot)
+        assert stats.overloaded_before == 1
+        assert stats.max_load_before == pytest.approx(15.0)
+
+    def test_weight_conserved(self, c8, rng):
+        st = mk(np.ones(40), np.zeros(40, dtype=np.int64), 8, 6.0)
+        proto = ResourceControlledProtocol(c8)
+        for _ in range(10):
+            proto.step(st, rng)
+            assert st.loads().sum() == pytest.approx(40.0)
+
+
+class TestObservation4:
+    def test_potential_never_increases(self, c8):
+        rng = np.random.default_rng(0)
+        st = mk(
+            np.concatenate([np.full(5, 4.0), np.ones(40)]),
+            np.zeros(45, dtype=np.int64),
+            8,
+            AboveAverageThreshold(0.2),
+        )
+        proto = ResourceControlledProtocol(c8)
+        prev = total_potential(st)
+        for _ in range(50):
+            proto.step(st, rng)
+            cur = total_potential(st)
+            assert cur <= prev + 1e-9
+            prev = cur
+
+    def test_accepted_tasks_never_move_again(self, c8):
+        rng = np.random.default_rng(1)
+        st = mk(np.ones(32), np.zeros(32, dtype=np.int64), 8, 6.0)
+        proto = ResourceControlledProtocol(c8)
+        accepted_snapshot: dict[int, int] = {}
+        for _ in range(30):
+            part = st.partition()
+            for t in part.accepted_tasks():
+                t = int(t)
+                if t in accepted_snapshot:
+                    assert st.resource[t] == accepted_snapshot[t]
+                else:
+                    accepted_snapshot[t] = int(st.resource[t])
+            proto.step(st, rng)
+
+
+class TestConvergence:
+    def test_balances_complete_above_average(self):
+        g = complete_graph(16)
+        st = mk(np.ones(64), np.zeros(64, dtype=np.int64), 16,
+                AboveAverageThreshold(0.2))
+        res = simulate(ResourceControlledProtocol(g), st,
+                       np.random.default_rng(2), max_rounds=10_000)
+        assert res.balanced
+        assert st.is_balanced()
+
+    def test_balances_cycle_tight(self):
+        g = cycle_graph(8)
+        st = mk(np.ones(40), np.zeros(40, dtype=np.int64), 8,
+                TightResourceThreshold())
+        res = simulate(ResourceControlledProtocol(g), st,
+                       np.random.default_rng(3), max_rounds=100_000)
+        assert res.balanced
+
+    def test_balances_with_vector_threshold(self, k5):
+        thresholds = np.array([2.0, 2.0, 3.0, 3.0, 4.0])
+        st = mk(np.ones(10), np.zeros(10, dtype=np.int64), 5, thresholds)
+        res = simulate(ResourceControlledProtocol(k5), st,
+                       np.random.default_rng(4), max_rounds=10_000)
+        assert res.balanced
+        assert np.all(st.loads() <= thresholds + 1e-9)
+
+    def test_balances_weighted_tasks(self, k5):
+        rng = np.random.default_rng(5)
+        w = rng.uniform(1, 6, size=30)
+        st = mk(w, np.zeros(30, dtype=np.int64), 5, AboveAverageThreshold(0.3))
+        res = simulate(ResourceControlledProtocol(k5), st,
+                       np.random.default_rng(6), max_rounds=10_000)
+        assert res.balanced

@@ -1,0 +1,219 @@
+"""Unit tests for Algorithm 6.1 (user-controlled protocol)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    AboveAverageThreshold,
+    SystemState,
+    TightUserThreshold,
+    UserControlledProtocol,
+    cycle_graph,
+    max_degree_walk,
+    simulate,
+    theorem11_alpha,
+    theorem12_alpha,
+)
+
+
+def mk(weights, placement, n, threshold) -> SystemState:
+    return SystemState.from_workload(
+        np.asarray(weights, dtype=np.float64),
+        np.asarray(placement, dtype=np.int64),
+        n,
+        threshold,
+    )
+
+
+class TestAlphaConstants:
+    def test_theorem11_alpha(self):
+        assert theorem11_alpha(0.2) == pytest.approx(0.2 / (120 * 1.2))
+
+    def test_theorem11_alpha_invalid(self):
+        with pytest.raises(ValueError):
+            theorem11_alpha(0.0)
+
+    def test_theorem12_alpha(self):
+        assert theorem12_alpha(100) == pytest.approx(1 / 12_000)
+
+    def test_theorem12_alpha_invalid(self):
+        with pytest.raises(ValueError):
+            theorem12_alpha(0)
+
+
+class TestConstruction:
+    def test_alpha_bounds(self):
+        with pytest.raises(ValueError):
+            UserControlledProtocol(alpha=0.0)
+        with pytest.raises(ValueError):
+            UserControlledProtocol(alpha=1.5)
+
+    def test_wmax_estimate_positive(self):
+        with pytest.raises(ValueError):
+            UserControlledProtocol(wmax_estimate=0.0)
+
+    def test_validate_state_with_walk(self):
+        walk = max_degree_walk(cycle_graph(8))
+        proto = UserControlledProtocol(walk=walk)
+        st = mk([1.0], [0], 5, 10.0)
+        with pytest.raises(ValueError, match="vertices"):
+            proto.validate_state(st)
+
+    def test_name_mentions_alpha(self):
+        assert "0.25" in UserControlledProtocol(alpha=0.25).name
+
+
+class TestLeaveProbabilities:
+    def test_zero_when_balanced(self):
+        st = mk([1, 1], [0, 1], 2, 2.0)
+        p = UserControlledProtocol().leave_probabilities(st)
+        assert np.all(p == 0.0)
+
+    def test_zero_on_non_overloaded(self):
+        st = mk([6, 6, 3, 1], [0, 0, 0, 1], 2, 10.0)
+        p = UserControlledProtocol().leave_probabilities(st)
+        assert p[1] == 0.0
+        assert p[0] > 0.0
+
+    def test_paper_formula(self):
+        # resource 0: load 15, T 10, below weight 6 -> phi = 9, b = 3,
+        # wmax = 6 -> ceil(9/6) = 2 -> p = alpha * 2/3
+        st = mk([6, 6, 3], [0, 0, 0], 2, 10.0)
+        p = UserControlledProtocol(alpha=0.3).leave_probabilities(st)
+        assert p[0] == pytest.approx(0.3 * 2 / 3)
+
+    def test_scales_with_alpha(self):
+        st = mk([6, 6, 3], [0, 0, 0], 2, 10.0)
+        p1 = UserControlledProtocol(alpha=0.2).leave_probabilities(st)[0]
+        p2 = UserControlledProtocol(alpha=0.4).leave_probabilities(st)[0]
+        assert p2 == pytest.approx(2 * p1)
+
+    def test_clipped_at_one(self):
+        # tiny wmax estimate makes ceil(phi/wmax) huge -> p clips to 1
+        st = mk([6, 6, 3], [0, 0, 0], 2, 10.0)
+        p = UserControlledProtocol(
+            alpha=1.0, wmax_estimate=0.001
+        ).leave_probabilities(st)
+        assert p[0] == 1.0
+
+    def test_wmax_estimate_changes_rate(self):
+        st = mk([6, 6, 3], [0, 0, 0], 2, 10.0)
+        exact = UserControlledProtocol().leave_probabilities(st)[0]
+        coarse = UserControlledProtocol(
+            wmax_estimate=9.0
+        ).leave_probabilities(st)[0]
+        # ceil(9/9) = 1 < ceil(9/6) = 2
+        assert coarse < exact
+
+
+class TestStep:
+    def test_only_overloaded_resources_lose_tasks(self):
+        rng = np.random.default_rng(0)
+        st = mk([6, 6, 3, 1], [0, 0, 0, 1], 2, 10.0)
+        UserControlledProtocol(alpha=1.0).step(st, rng)
+        # task 3 sits on a non-overloaded resource: must not have moved
+        assert st.resource[3] == 1
+
+    def test_all_tasks_on_overloaded_resource_can_move(self):
+        # even below-threshold tasks may leave (they all share p_r)
+        moved_below = False
+        for seed in range(30):
+            st = mk([6, 6, 3], [0, 0, 0], 2, 10.0)
+            UserControlledProtocol(alpha=1.0).step(
+                st, np.random.default_rng(seed)
+            )
+            if st.resource[0] != 0:
+                moved_below = True
+                break
+        assert moved_below
+
+    def test_stats_count_movers(self):
+        rng = np.random.default_rng(1)
+        st = mk(np.ones(50), np.zeros(50, dtype=np.int64), 5, 11.0)
+        stats = UserControlledProtocol(alpha=1.0).step(st, rng)
+        # movers received fresh seq keys (>= 50); some may have landed
+        # back on resource 0, so counting relocations would undercount
+        assert stats.movers == int((st.seq >= 50).sum())
+        assert stats.movers >= int((st.resource != 0).sum())
+        assert stats.overloaded_before == 1
+
+    def test_no_movement_when_balanced(self, rng):
+        st = mk([1, 1], [0, 1], 2, 2.0)
+        stats = UserControlledProtocol().step(st, rng)
+        assert stats.movers == 0
+
+    def test_destinations_uniform_over_all_resources(self):
+        rng = np.random.default_rng(2)
+        n = 10
+        st = mk(np.ones(5000), np.zeros(5000, dtype=np.int64), n, 501.0)
+        UserControlledProtocol(alpha=1.0).step(st, rng)
+        moved = st.resource[st.resource != 0]
+        counts = np.bincount(moved, minlength=n)[1:]
+        # uniform destinations include resource 0 too, so the others get
+        # roughly equal shares
+        assert counts.std() / counts.mean() < 0.2
+
+    def test_walk_destinations_respect_graph(self):
+        rng = np.random.default_rng(3)
+        g = cycle_graph(8)
+        proto = UserControlledProtocol(alpha=1.0, walk=max_degree_walk(g))
+        st = mk(np.ones(40), np.zeros(40, dtype=np.int64), 8, 6.0)
+        proto.step(st, rng)
+        for r in np.unique(st.resource):
+            assert r == 0 or g.has_edge(0, int(r))
+
+    def test_reproducible(self):
+        a = mk(np.ones(30), np.zeros(30, dtype=np.int64), 5, 7.0)
+        b = mk(np.ones(30), np.zeros(30, dtype=np.int64), 5, 7.0)
+        UserControlledProtocol().step(a, np.random.default_rng(7))
+        UserControlledProtocol().step(b, np.random.default_rng(7))
+        assert np.array_equal(a.resource, b.resource)
+
+    def test_weight_conserved(self, rng):
+        st = mk(np.ones(60), np.zeros(60, dtype=np.int64), 6, 11.0)
+        proto = UserControlledProtocol()
+        for _ in range(10):
+            proto.step(st, rng)
+        assert st.loads().sum() == pytest.approx(60.0)
+        st.check_invariants()
+
+
+class TestConvergence:
+    def test_balances_above_average(self):
+        st = mk(np.ones(200), np.zeros(200, dtype=np.int64), 20,
+                AboveAverageThreshold(0.2))
+        res = simulate(UserControlledProtocol(alpha=1.0), st,
+                       np.random.default_rng(4), max_rounds=50_000)
+        assert res.balanced
+
+    def test_balances_tight_threshold(self):
+        st = mk(np.ones(60), np.zeros(60, dtype=np.int64), 6,
+                TightUserThreshold())
+        res = simulate(UserControlledProtocol(alpha=1.0), st,
+                       np.random.default_rng(5), max_rounds=200_000)
+        assert res.balanced
+
+    def test_balances_weighted(self):
+        rng = np.random.default_rng(6)
+        w = np.concatenate([np.full(4, 16.0), np.ones(100)])
+        st = mk(w, np.zeros(104, dtype=np.int64), 10,
+                AboveAverageThreshold(0.2))
+        res = simulate(UserControlledProtocol(alpha=1.0), st,
+                       np.random.default_rng(7), max_rounds=100_000)
+        assert res.balanced
+
+    def test_smaller_alpha_is_slower(self):
+        def run(alpha: float) -> float:
+            times = []
+            for seed in range(5):
+                st = mk(np.ones(120), np.zeros(120, dtype=np.int64), 12,
+                        AboveAverageThreshold(0.2))
+                res = simulate(UserControlledProtocol(alpha=alpha), st,
+                               np.random.default_rng(seed),
+                               max_rounds=100_000)
+                times.append(res.rounds)
+            return float(np.mean(times))
+
+        assert run(0.1) > run(1.0)

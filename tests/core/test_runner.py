@@ -1,0 +1,75 @@
+"""Unit tests for the multi-trial runner (serial and parallel)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import run_single_trial, run_trial_summary, run_trials
+from repro.experiments import UserControlledSetup
+from repro.workloads import UniformWeights
+
+SETUP = UserControlledSetup(
+    n=8, m=40, distribution=UniformWeights(1.0), alpha=1.0, eps=0.2
+)
+
+
+class TestSingleTrial:
+    def test_reproducible(self):
+        a = run_single_trial(SETUP, np.random.SeedSequence(1))
+        b = run_single_trial(SETUP, np.random.SeedSequence(1))
+        assert a.rounds == b.rounds
+        assert np.array_equal(a.final_loads, b.final_loads)
+
+    def test_different_seeds_differ(self):
+        rounds = {
+            run_single_trial(SETUP, np.random.SeedSequence(s)).rounds
+            for s in range(8)
+        }
+        assert len(rounds) > 1
+
+    def test_traces_flag(self):
+        r = run_single_trial(
+            SETUP, np.random.SeedSequence(2), record_traces=True
+        )
+        assert r.potential_trace is not None
+
+
+class TestRunTrials:
+    def test_count(self):
+        results = run_trials(SETUP, trials=5, seed=0)
+        assert len(results) == 5
+        assert all(r.balanced for r in results)
+
+    def test_deterministic_from_root_seed(self):
+        a = [r.rounds for r in run_trials(SETUP, trials=4, seed=42)]
+        b = [r.rounds for r in run_trials(SETUP, trials=4, seed=42)]
+        assert a == b
+
+    def test_different_root_seeds_differ(self):
+        a = [r.rounds for r in run_trials(SETUP, trials=6, seed=1)]
+        b = [r.rounds for r in run_trials(SETUP, trials=6, seed=2)]
+        assert a != b
+
+    def test_seed_sequence_accepted(self):
+        results = run_trials(SETUP, trials=3, seed=np.random.SeedSequence(9))
+        assert len(results) == 3
+
+    def test_invalid_trials(self):
+        with pytest.raises(ValueError):
+            run_trials(SETUP, trials=0)
+
+    def test_parallel_matches_serial(self):
+        serial = [r.rounds for r in run_trials(SETUP, trials=6, seed=7)]
+        parallel = [
+            r.rounds for r in run_trials(SETUP, trials=6, seed=7, workers=2)
+        ]
+        assert serial == parallel
+
+
+class TestSummary:
+    def test_summary(self):
+        s = run_trial_summary(SETUP, trials=5, seed=3)
+        assert s.trials == 5
+        assert s.all_balanced
+        assert s.mean_rounds > 0

@@ -1,0 +1,216 @@
+"""Unit tests for stacks and the below/cutting/above partition."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ResourceStack, partition_stacks
+
+
+class TestResourceStack:
+    def test_push_and_load(self):
+        s = ResourceStack(threshold=10.0)
+        s.push(0, 3.0)
+        s.push(1, 4.0)
+        assert len(s) == 2
+        assert s.load == 7.0
+        assert s.task_ids == [0, 1]
+
+    def test_heights(self):
+        s = ResourceStack(threshold=10.0)
+        for tid, w in enumerate([3.0, 4.0, 2.0]):
+            s.push(tid, w)
+        assert list(s.heights()) == [0.0, 3.0, 7.0]
+
+    def test_partition_all_below(self):
+        s = ResourceStack(threshold=10.0)
+        s.push(0, 4.0)
+        s.push(1, 5.0)
+        below, cutting, above = s.partition()
+        assert below == [0, 1] and cutting is None and above == []
+        assert not s.overloaded
+        assert s.potential() == 0.0
+
+    def test_partition_with_cutting(self):
+        s = ResourceStack(threshold=10.0)
+        s.push(0, 6.0)   # [0, 6] below
+        s.push(1, 6.0)   # [6, 12] cuts T=10
+        s.push(2, 3.0)   # [12, 15] above
+        below, cutting, above = s.partition()
+        assert below == [0]
+        assert cutting == 1
+        assert above == [2]
+        assert s.potential() == pytest.approx(9.0)
+        assert s.accepted_weight() == pytest.approx(6.0)
+
+    def test_boundary_exactly_at_threshold_is_below(self):
+        # "accepted if height + weight <= threshold"
+        s = ResourceStack(threshold=10.0)
+        s.push(0, 10.0)
+        below, cutting, above = s.partition()
+        assert below == [0] and cutting is None and above == []
+
+    def test_boundary_height_at_threshold_is_above(self):
+        s = ResourceStack(threshold=10.0)
+        s.push(0, 10.0)
+        s.push(1, 1.0)  # height exactly 10 -> completely above
+        below, cutting, above = s.partition()
+        assert below == [0] and cutting is None and above == [1]
+
+    def test_cutting_task_spans_threshold(self):
+        s = ResourceStack(threshold=10.0)
+        s.push(0, 9.0)
+        s.push(1, 2.0)  # [9, 11]: cuts
+        _, cutting, above = s.partition()
+        assert cutting == 1 and above == []
+
+    def test_pop_active_removes_cutting_and_above(self):
+        s = ResourceStack(threshold=10.0)
+        for tid, w in enumerate([6.0, 6.0, 3.0]):
+            s.push(tid, w)
+        popped = s.pop_active()
+        assert popped == [1, 2]
+        assert s.task_ids == [0]
+        assert s.load == 6.0
+        assert not s.overloaded
+
+    def test_pop_active_when_balanced_is_noop(self):
+        s = ResourceStack(threshold=10.0)
+        s.push(0, 5.0)
+        assert s.pop_active() == []
+        assert len(s) == 1
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            ResourceStack(threshold=0.0)
+
+    def test_invalid_push(self):
+        s = ResourceStack(threshold=5.0)
+        with pytest.raises(ValueError):
+            s.push(0, 0.0)
+
+    def test_empty_stack(self):
+        s = ResourceStack(threshold=5.0)
+        assert s.load == 0.0 and not s.overloaded
+        assert s.partition() == ([], None, [])
+        assert s.heights().shape == (0,)
+
+
+class TestPartitionStacks:
+    def _mk(self, resource, weights, threshold, n, seq=None):
+        resource = np.asarray(resource, dtype=np.int64)
+        weights = np.asarray(weights, dtype=np.float64)
+        if seq is None:
+            seq = np.arange(resource.shape[0], dtype=np.int64)
+        return partition_stacks(resource, seq, weights, n, threshold)
+
+    def test_exact_partition(self):
+        part = self._mk([0, 0, 0, 1], [6.0, 6.0, 3.0, 1.0], 10.0, 2)
+        assert np.array_equal(part.below | part.cutting | part.above,
+                              np.ones(4, dtype=bool))
+        assert not np.any(part.below & part.cutting)
+        assert not np.any(part.below & part.above)
+        assert not np.any(part.cutting & part.above)
+
+    def test_matches_reference_single_resource(self):
+        weights = [6.0, 6.0, 3.0]
+        part = self._mk([0, 0, 0], weights, 10.0, 1)
+        ref = ResourceStack(threshold=10.0)
+        for tid, w in enumerate(weights):
+            ref.push(tid, w)
+        below_ids = sorted(part.order[part.below].tolist())
+        b, c, a = ref.partition()
+        assert below_ids == sorted(b)
+        cut_ids = part.order[part.cutting].tolist()
+        assert cut_ids == ([c] if c is not None else [])
+        assert sorted(part.order[part.above].tolist()) == sorted(a)
+
+    def test_seq_defines_stack_order(self):
+        # same tasks, reversed stack order -> different cutting task
+        weights = [6.0, 6.0]
+        p1 = self._mk([0, 0], weights, 10.0, 1, seq=[0, 1])
+        p2 = self._mk([0, 0], weights, 10.0, 1, seq=[1, 0])
+        assert p1.order[p1.cutting][0] == 1
+        assert p2.order[p2.cutting][0] == 0
+
+    def test_loads_counts(self):
+        part = self._mk([0, 1, 1], [2.0, 3.0, 4.0], 100.0, 3)
+        assert list(part.loads) == [2.0, 7.0, 0.0]
+        assert list(part.counts) == [1, 2, 0]
+
+    def test_phi_zero_when_not_overloaded(self):
+        part = self._mk([0, 1], [5.0, 5.0], 10.0, 2)
+        assert np.all(part.phi == 0.0)
+        assert part.total_potential() == 0.0
+
+    def test_phi_equals_load_minus_below(self):
+        part = self._mk([0, 0, 0], [6.0, 6.0, 3.0], 10.0, 1)
+        assert part.phi[0] == pytest.approx(15.0 - 6.0)
+        assert part.below_weight[0] == pytest.approx(6.0)
+
+    def test_at_most_one_cutting_per_resource(self, rng):
+        m, n = 200, 5
+        resource = rng.integers(0, n, size=m)
+        weights = rng.uniform(1, 5, size=m)
+        part = partition_stacks(
+            resource, np.arange(m), weights, n, threshold=20.0
+        )
+        cutting_res = part.sorted_resource[part.cutting]
+        assert np.unique(cutting_res).shape[0] == cutting_res.shape[0]
+
+    def test_below_is_prefix_of_each_stack(self, rng):
+        m, n = 300, 4
+        resource = rng.integers(0, n, size=m)
+        weights = rng.uniform(1, 5, size=m)
+        part = partition_stacks(
+            resource, np.arange(m), weights, n, threshold=50.0
+        )
+        # within the sorted layout, once a position is not-below, no later
+        # position of the same resource may be below again
+        for r in range(n):
+            seg = part.below[part.sorted_resource == r]
+            if seg.size:
+                k = int(seg.sum())
+                assert np.all(seg[:k]) and not np.any(seg[k:])
+
+    def test_vector_threshold(self):
+        part = self._mk([0, 1], [5.0, 5.0], np.array([3.0, 100.0]), 2)
+        assert part.overloaded[0] and not part.overloaded[1]
+        assert part.phi[0] == pytest.approx(5.0)
+        assert part.phi[1] == 0.0
+
+    def test_bad_threshold_shape(self):
+        with pytest.raises(ValueError, match="threshold"):
+            self._mk([0, 1], [1.0, 1.0], np.array([1.0, 2.0, 3.0]), 2)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="length"):
+            partition_stacks(
+                np.array([0, 1]), np.array([0]), np.ones(2), 2, 5.0
+            )
+
+    def test_active_and_accepted_partition_tasks(self):
+        part = self._mk([0, 0, 0, 1], [6.0, 6.0, 3.0, 1.0], 10.0, 2)
+        active = set(part.active_tasks().tolist())
+        accepted = set(part.accepted_tasks().tolist())
+        assert active | accepted == {0, 1, 2, 3}
+        assert active & accepted == set()
+        assert active == {1, 2}
+
+    def test_empty_system(self):
+        part = partition_stacks(
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            np.empty(0),
+            3,
+            5.0,
+        )
+        assert part.total_potential() == 0.0
+        assert list(part.loads) == [0.0, 0.0, 0.0]
+
+    def test_float_tolerance_on_boundary(self):
+        # load exactly at threshold up to float dust stays below
+        part = self._mk([0, 0], [5.0, 5.0 + 1e-12], 10.0, 1)
+        assert not part.overloaded[0]
+        assert np.all(part.below)

@@ -1,0 +1,194 @@
+"""Unit tests for SystemState."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    AboveAverageThreshold,
+    SystemState,
+    TightUserThreshold,
+    single_source_placement,
+)
+
+
+def mk_state(weights, placement, n, threshold) -> SystemState:
+    return SystemState.from_workload(
+        np.asarray(weights, dtype=np.float64),
+        np.asarray(placement, dtype=np.int64),
+        n,
+        threshold,
+    )
+
+
+class TestConstruction:
+    def test_from_workload_policy(self):
+        st = mk_state([1, 1, 1, 1], [0, 0, 0, 0], 2, AboveAverageThreshold(0.5))
+        assert st.threshold == pytest.approx(1.5 * 2 + 1)
+        assert st.m == 4 and st.n == 2
+
+    def test_from_workload_scalar(self):
+        st = mk_state([1, 1], [0, 1], 2, 5.0)
+        assert st.threshold == 5.0
+
+    def test_from_workload_vector(self):
+        st = mk_state([1, 1], [0, 1], 2, np.array([1.5, 2.5]))
+        assert list(st.threshold_vector()) == [1.5, 2.5]
+
+    def test_initial_seq_is_task_order(self):
+        st = mk_state([1, 2, 3], [0, 0, 0], 1, 100.0)
+        assert list(st.seq) == [0, 1, 2]
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            mk_state([1.0, -1.0], [0, 0], 2, 5.0)
+
+    def test_resource_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            mk_state([1.0], [5], 2, 5.0)
+
+    def test_duplicate_seq_rejected(self):
+        with pytest.raises(ValueError, match="unique"):
+            SystemState(
+                n=2,
+                weights=np.ones(2),
+                resource=np.zeros(2, dtype=np.int64),
+                seq=np.zeros(2, dtype=np.int64),
+                threshold=5.0,
+            )
+
+    def test_infeasible_threshold_rejected(self):
+        with pytest.raises(ValueError, match="infeasible"):
+            mk_state([10.0, 10.0], [0, 0], 2, 5.0)
+
+    def test_non_positive_threshold_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            mk_state([1.0], [0], 1, 0.0)
+
+    def test_wrong_threshold_shape_rejected(self):
+        with pytest.raises(ValueError, match="shape"):
+            mk_state([1.0], [0], 2, np.array([1.0, 2.0, 3.0]))
+
+    def test_empty_workload(self):
+        st = mk_state([], [], 3, 1.0)
+        assert st.m == 0
+        assert st.is_balanced()
+        assert list(st.loads()) == [0.0, 0.0, 0.0]
+
+
+class TestDerived:
+    def test_loads_and_counts(self):
+        st = mk_state([1, 2, 3], [0, 0, 2], 3, 100.0)
+        assert list(st.loads()) == [3.0, 0.0, 3.0]
+        assert list(st.counts()) == [2, 0, 1]
+
+    def test_scalar_summaries(self):
+        st = mk_state([1, 2, 5], [0, 1, 2], 4, 100.0)
+        assert st.total_weight == 8.0
+        assert st.wmax == 5.0 and st.wmin == 1.0
+        assert st.average_load == 2.0
+
+    def test_threshold_vector_broadcast(self):
+        st = mk_state([1.0], [0], 3, 4.0)
+        assert list(st.threshold_vector()) == [4.0, 4.0, 4.0]
+
+    def test_overloaded_resources(self):
+        st = mk_state([3, 3, 1], [0, 0, 1], 3, 4.0)
+        assert list(st.overloaded_resources()) == [0]
+
+    def test_is_balanced(self):
+        st = mk_state([1, 1], [0, 1], 2, 1.0)
+        assert st.is_balanced()
+        st2 = mk_state([1, 1], [0, 0], 2, 1.5)
+        assert not st2.is_balanced()
+
+    def test_partition_reflects_state(self):
+        st = mk_state([6, 6, 3], [0, 0, 0], 2, 10.0)
+        part = st.partition()
+        assert part.phi[0] == pytest.approx(9.0)
+        assert set(part.active_tasks().tolist()) == {1, 2}
+
+
+class TestMoveTasks:
+    def test_relocation(self):
+        st = mk_state([1, 1, 1], [0, 0, 0], 3, 100.0)
+        st.move_tasks(np.array([1, 2]), np.array([1, 2]))
+        assert list(st.resource) == [0, 1, 2]
+
+    def test_movers_land_on_top(self):
+        st = mk_state([4.0, 4.0], [0, 1], 2, 100.0)
+        st.move_tasks(np.array([0]), np.array([1]))
+        # task 0 arrived later at resource 1, so it stacks above task 1
+        part = st.partition()
+        pos0 = np.flatnonzero(part.order == 0)[0]
+        pos1 = np.flatnonzero(part.order == 1)[0]
+        assert part.heights[pos0] == pytest.approx(4.0)
+        assert part.heights[pos1] == pytest.approx(0.0)
+
+    def test_seq_strictly_fresh(self):
+        st = mk_state([1, 1, 1], [0, 0, 0], 2, 100.0)
+        old_max = st.seq.max()
+        st.move_tasks(np.array([0]), np.array([1]))
+        assert st.seq[0] > old_max
+
+    def test_arrival_order_randomised(self):
+        found_orders = set()
+        for seed in range(10):
+            st = mk_state([1, 1, 1], [0, 0, 0], 2, 100.0)
+            st.move_tasks(
+                np.array([0, 1, 2]),
+                np.array([1, 1, 1]),
+                rng=np.random.default_rng(seed),
+            )
+            found_orders.add(tuple(np.argsort(st.seq)))
+        assert len(found_orders) > 1  # not always the same arrival order
+
+    def test_empty_move_is_noop(self):
+        st = mk_state([1, 1], [0, 1], 2, 100.0)
+        before = st.seq.copy()
+        st.move_tasks(np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+        assert np.array_equal(st.seq, before)
+
+    def test_duplicate_task_rejected(self):
+        st = mk_state([1, 1], [0, 1], 2, 100.0)
+        with pytest.raises(ValueError, match="twice"):
+            st.move_tasks(np.array([0, 0]), np.array([1, 1]))
+
+    def test_shape_mismatch_rejected(self):
+        st = mk_state([1, 1], [0, 1], 2, 100.0)
+        with pytest.raises(ValueError, match="shape"):
+            st.move_tasks(np.array([0]), np.array([1, 1]))
+
+    def test_bad_destination_rejected(self):
+        st = mk_state([1, 1], [0, 1], 2, 100.0)
+        with pytest.raises(ValueError, match="destination"):
+            st.move_tasks(np.array([0]), np.array([2]))
+
+    def test_weight_conserved(self, rng):
+        st = mk_state([1, 2, 3, 4], [0, 0, 1, 1], 3, 100.0)
+        st.move_tasks(np.array([0, 3]), np.array([2, 0]), rng=rng)
+        assert st.loads().sum() == pytest.approx(10.0)
+        st.check_invariants()
+
+
+class TestCopy:
+    def test_copy_independent(self):
+        st = mk_state([1, 1], [0, 0], 2, 100.0)
+        dup = st.copy()
+        dup.move_tasks(np.array([0]), np.array([1]))
+        assert st.resource[0] == 0
+        assert dup.resource[0] == 1
+
+    def test_copy_preserves_next_seq(self):
+        st = mk_state([1, 1], [0, 0], 2, 100.0)
+        st.move_tasks(np.array([0]), np.array([1]))
+        dup = st.copy()
+        dup.move_tasks(np.array([1]), np.array([1]))
+        assert dup.seq[1] > dup.seq[0]
+
+    def test_copy_vector_threshold(self):
+        st = mk_state([1.0], [0], 2, np.array([3.0, 4.0]))
+        dup = st.copy()
+        assert np.array_equal(dup.threshold_vector(), st.threshold_vector())
+        assert dup.threshold is not st.threshold

@@ -1,0 +1,91 @@
+"""Unit tests for threshold policies (Section 4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    AboveAverageThreshold,
+    FixedThreshold,
+    TightResourceThreshold,
+    TightUserThreshold,
+    feasible_threshold,
+)
+
+
+class TestAboveAverage:
+    def test_formula(self):
+        t = AboveAverageThreshold(eps=0.2).compute(1000.0, 10, 5.0)
+        assert t == pytest.approx(1.2 * 100 + 5)
+
+    def test_eps_zero_is_tight_user(self):
+        a = AboveAverageThreshold(eps=0.0).compute(300.0, 3, 2.0)
+        b = TightUserThreshold().compute(300.0, 3, 2.0)
+        assert a == b
+
+    def test_negative_eps_rejected(self):
+        with pytest.raises(ValueError):
+            AboveAverageThreshold(eps=-0.1)
+
+    def test_compute_for(self):
+        w = np.array([1.0, 1.0, 4.0])
+        t = AboveAverageThreshold(eps=0.5).compute_for(w, 2)
+        assert t == pytest.approx(1.5 * 3 + 4)
+
+    def test_compute_for_empty(self):
+        with pytest.raises(ValueError):
+            AboveAverageThreshold().compute_for(np.empty(0), 2)
+
+    def test_invalid_stats(self):
+        with pytest.raises(ValueError):
+            AboveAverageThreshold().compute(-1.0, 2, 1.0)
+        with pytest.raises(ValueError):
+            AboveAverageThreshold().compute(1.0, 0, 1.0)
+
+
+class TestTightThresholds:
+    def test_user_formula(self):
+        assert TightUserThreshold().compute(100.0, 4, 3.0) == pytest.approx(28.0)
+
+    def test_resource_formula(self):
+        assert TightResourceThreshold().compute(100.0, 4, 3.0) == pytest.approx(
+            31.0
+        )
+
+    def test_resource_has_extra_wmax_slack(self):
+        u = TightUserThreshold().compute(60.0, 3, 2.0)
+        r = TightResourceThreshold().compute(60.0, 3, 2.0)
+        assert r - u == pytest.approx(2.0)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            TightUserThreshold().compute(10.0, -1, 1.0)
+
+
+class TestFixedThreshold:
+    def test_value(self):
+        assert FixedThreshold(7.5).compute(999.0, 3, 100.0) == 7.5
+
+    def test_non_positive_rejected(self):
+        with pytest.raises(ValueError):
+            FixedThreshold(0.0)
+
+
+class TestFeasibility:
+    def test_scalar_feasible(self):
+        assert feasible_threshold(10.0, 30.0, 3)
+        assert feasible_threshold(10.0, 30.0000000001, 3)  # within atol
+
+    def test_scalar_infeasible(self):
+        assert not feasible_threshold(9.0, 30.0, 3)
+
+    def test_vector_feasible(self):
+        assert feasible_threshold(np.array([5.0, 10.0, 15.0]), 30.0, 3)
+
+    def test_vector_infeasible(self):
+        assert not feasible_threshold(np.array([5.0, 5.0, 5.0]), 30.0, 3)
+
+    def test_vector_shape_error(self):
+        with pytest.raises(ValueError):
+            feasible_threshold(np.array([5.0, 5.0]), 10.0, 3)

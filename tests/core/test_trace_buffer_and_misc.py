@@ -1,0 +1,82 @@
+"""Unit tests for small internals: trace buffers, describe strings,
+summary objects and misc repr/edge behaviour."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    ExplicitWeights,
+    ExponentialWeights,
+    MeanCI,
+    ParetoWeights,
+    RunResult,
+    TwoPointWeights,
+    UniformRangeWeights,
+    UniformWeights,
+)
+from repro.core.simulator import _TraceBuffer
+
+
+class TestTraceBuffer:
+    def test_grows_past_initial_capacity(self):
+        buf = _TraceBuffer()
+        for i in range(1000):
+            buf.append(float(i))
+        arr = buf.array()
+        assert arr.shape == (1000,)
+        assert arr[0] == 0.0 and arr[-1] == 999.0
+
+    def test_empty(self):
+        assert _TraceBuffer().array().shape == (0,)
+
+    def test_array_is_a_copy(self):
+        buf = _TraceBuffer()
+        buf.append(1.0)
+        arr = buf.array()
+        buf.append(2.0)
+        assert arr.shape == (1,)
+
+
+class TestDescribeStrings:
+    @pytest.mark.parametrize(
+        "dist,fragment",
+        [
+            (UniformWeights(2.0), "uniform(w=2)"),
+            (TwoPointWeights(heavy_count=3), "k=3"),
+            (UniformRangeWeights(1.0, 5.0), "[1, 5]"),
+            (ExponentialWeights(2.0), "scale=2"),
+            (ParetoWeights(2.5), "alpha=2.5"),
+            (ParetoWeights(2.5, cap=10.0), "cap=10"),
+            (ExplicitWeights((1.0, 2.0)), "m=2"),
+        ],
+    )
+    def test_describe(self, dist, fragment):
+        assert fragment in dist.describe()
+
+
+class TestMeanCIRepr:
+    def test_str(self):
+        ci = MeanCI(mean=10.0, halfwidth=1.5, confidence=0.95, n=20)
+        assert "10.00" in str(ci) and "1.50" in str(ci)
+
+    def test_bounds(self):
+        ci = MeanCI(mean=10.0, halfwidth=1.5, confidence=0.95, n=20)
+        assert ci.low == 8.5 and ci.high == 11.5
+
+
+class TestRunResultEdges:
+    def test_censored_summary(self):
+        res = RunResult(
+            balanced=False,
+            rounds=100,
+            final_loads=np.array([5.0]),
+            threshold=1.0,
+            total_migrations=7,
+            total_migrated_weight=7.0,
+            protocol_name="p",
+        )
+        assert res.balancing_time == float("inf")
+        assert res.summary()["balanced"] is False
+        assert res.final_max_load == 5.0

@@ -1,0 +1,251 @@
+"""Unit tests for every graph family builder."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    barbell_graph,
+    binary_tree_graph,
+    clique_with_pendant,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_graph,
+    grid_graph,
+    hypercube_graph,
+    lollipop_graph,
+    path_graph,
+    random_regular_graph,
+    star_graph,
+    torus_graph,
+)
+
+
+class TestComplete:
+    def test_edge_count(self):
+        g = complete_graph(6)
+        assert g.num_edges == 15
+        assert g.is_regular() and g.max_degree == 5
+
+    def test_all_pairs_adjacent(self):
+        g = complete_graph(4)
+        for u in range(4):
+            for v in range(4):
+                if u != v:
+                    assert g.has_edge(u, v)
+
+    def test_k1(self):
+        g = complete_graph(1)
+        assert g.n == 1 and g.num_edges == 0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            complete_graph(0)
+
+
+class TestCyclePathStar:
+    def test_cycle(self):
+        g = cycle_graph(5)
+        assert g.num_edges == 5
+        assert g.is_regular() and g.max_degree == 2
+        assert g.is_connected()
+
+    def test_cycle_too_small(self):
+        with pytest.raises(ValueError):
+            cycle_graph(2)
+
+    def test_path(self):
+        g = path_graph(5)
+        assert g.num_edges == 4
+        assert g.degrees[0] == 1 and g.degrees[4] == 1
+        assert all(g.degrees[1:4] == 2)
+
+    def test_path_too_small(self):
+        with pytest.raises(ValueError):
+            path_graph(1)
+
+    def test_star(self):
+        g = star_graph(6)
+        assert g.degrees[0] == 5
+        assert all(g.degrees[1:] == 1)
+        assert g.is_bipartite()
+
+    def test_star_too_small(self):
+        with pytest.raises(ValueError):
+            star_graph(1)
+
+
+class TestGridTorus:
+    def test_grid_structure(self):
+        g = grid_graph(3, 4)
+        assert g.n == 12
+        assert g.num_edges == 3 * 3 + 2 * 4  # horizontal + vertical
+        assert g.degrees[0] == 2  # corner
+        assert g.degrees[1] == 3  # edge
+        assert g.degrees[5] == 4  # interior
+
+    def test_grid_1d_is_path(self):
+        g = grid_graph(1, 5)
+        assert g.num_edges == 4
+        assert g.degrees[0] == 1
+
+    def test_grid_invalid(self):
+        with pytest.raises(ValueError):
+            grid_graph(0, 3)
+
+    def test_torus_regular(self):
+        g = torus_graph(4, 5)
+        assert g.n == 20
+        assert g.is_regular() and g.max_degree == 4
+        assert g.num_edges == 2 * 20
+
+    def test_torus_wraparound(self):
+        g = torus_graph(3, 3)
+        assert g.has_edge(0, 2)  # row wrap
+        assert g.has_edge(0, 6)  # column wrap
+
+    def test_torus_invalid(self):
+        with pytest.raises(ValueError):
+            torus_graph(2, 5)
+
+
+class TestHypercube:
+    def test_structure(self):
+        g = hypercube_graph(4)
+        assert g.n == 16
+        assert g.is_regular() and g.max_degree == 4
+        assert g.num_edges == 16 * 4 // 2
+        assert g.is_bipartite()
+        assert g.is_connected()
+
+    def test_neighbours_differ_by_one_bit(self):
+        g = hypercube_graph(3)
+        for u in range(8):
+            for v in g.neighbors(u):
+                assert bin(u ^ int(v)).count("1") == 1
+
+    def test_dim1(self):
+        g = hypercube_graph(1)
+        assert g.n == 2 and g.num_edges == 1
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            hypercube_graph(0)
+
+
+class TestRandomRegular:
+    def test_regular_connected_simple(self, rng):
+        g = random_regular_graph(20, 3, rng)
+        assert g.is_regular() and g.max_degree == 3
+        assert g.is_connected()
+        assert g.num_edges == 30
+
+    def test_reproducible(self):
+        g1 = random_regular_graph(16, 3, np.random.default_rng(9))
+        g2 = random_regular_graph(16, 3, np.random.default_rng(9))
+        assert np.array_equal(g1.indices, g2.indices)
+
+    def test_odd_product_rejected(self, rng):
+        with pytest.raises(ValueError, match="even"):
+            random_regular_graph(5, 3, rng)
+
+    def test_degree_bounds(self, rng):
+        with pytest.raises(ValueError):
+            random_regular_graph(5, 5, rng)
+        with pytest.raises(ValueError):
+            random_regular_graph(5, 0, rng)
+
+
+class TestErdosRenyi:
+    def test_connected_above_threshold(self, rng):
+        n = 40
+        g = erdos_renyi_graph(n, 3 * np.log(n) / n, rng)
+        assert g.is_connected()
+        assert g.n == n
+
+    def test_p_one_is_complete(self, rng):
+        g = erdos_renyi_graph(6, 1.0, rng)
+        assert g.num_edges == 15
+
+    def test_p_zero_fails_connectivity(self, rng):
+        with pytest.raises(RuntimeError, match="not connected"):
+            erdos_renyi_graph(5, 0.0, rng, max_tries=3)
+
+    def test_p_zero_allowed_when_not_required(self, rng):
+        g = erdos_renyi_graph(5, 0.0, rng, require_connected=False)
+        assert g.num_edges == 0
+
+    def test_invalid_p(self, rng):
+        with pytest.raises(ValueError):
+            erdos_renyi_graph(5, 1.5, rng)
+
+
+class TestCliqueWithPendant:
+    def test_structure(self):
+        n, k = 10, 3
+        g = clique_with_pendant(n, k)
+        assert g.n == n
+        pendant = n - 1
+        assert g.degrees[pendant] == k
+        # attached clique vertices have degree (n-2) + 1
+        for v in range(k):
+            assert g.degrees[v] == n - 1
+        for v in range(k, n - 1):
+            assert g.degrees[v] == n - 2
+        assert g.is_connected()
+
+    def test_k_equals_full_attachment(self):
+        g = clique_with_pendant(6, 5)
+        assert g.degrees[5] == 5
+        # now it's the complete graph K6
+        assert g.num_edges == 15
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            clique_with_pendant(2, 1)
+        with pytest.raises(ValueError):
+            clique_with_pendant(10, 0)
+        with pytest.raises(ValueError):
+            clique_with_pendant(10, 10)
+
+
+class TestLollipopBarbellTree:
+    def test_lollipop(self):
+        g = lollipop_graph(5, 3)
+        assert g.n == 8
+        assert g.num_edges == 10 + 3
+        assert g.degrees[7] == 1  # end of the path
+        assert g.is_connected()
+
+    def test_lollipop_invalid(self):
+        with pytest.raises(ValueError):
+            lollipop_graph(2, 3)
+
+    def test_barbell_no_bridge(self):
+        g = barbell_graph(4)
+        assert g.n == 8
+        assert g.num_edges == 6 + 6 + 1
+        assert g.is_connected()
+
+    def test_barbell_with_bridge(self):
+        g = barbell_graph(3, bridge_length=2)
+        assert g.n == 8
+        assert g.num_edges == 3 + 3 + 3
+        assert g.is_connected()
+
+    def test_barbell_invalid(self):
+        with pytest.raises(ValueError):
+            barbell_graph(2)
+
+    def test_binary_tree(self):
+        g = binary_tree_graph(3)
+        assert g.n == 15
+        assert g.num_edges == 14
+        assert g.degrees[0] == 2  # root
+        assert g.degrees[14] == 1  # leaf
+        assert g.is_connected() and g.is_bipartite()
+
+    def test_binary_tree_invalid(self):
+        with pytest.raises(ValueError):
+            binary_tree_graph(0)

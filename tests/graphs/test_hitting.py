@@ -1,0 +1,122 @@
+"""Unit tests for hitting-time computations (Theorem 7's H(G))."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    clique_with_pendant,
+    complete_graph,
+    cycle_graph,
+    hitting_time_matrix,
+    hitting_times_to_target,
+    max_degree_walk,
+    max_hitting_time,
+    monte_carlo_hitting_time,
+    path_graph,
+    star_graph,
+)
+
+
+class TestExactHittingTimes:
+    def test_complete_graph_closed_form(self):
+        # each step hits a fixed other vertex w.p. 1/(n-1): H = n-1
+        n = 9
+        h = hitting_time_matrix(max_degree_walk(complete_graph(n)))
+        off = h[~np.eye(n, dtype=bool)]
+        assert np.allclose(off, n - 1, atol=1e-6)
+
+    def test_diagonal_zero(self, c8):
+        h = hitting_time_matrix(max_degree_walk(c8))
+        assert np.allclose(np.diag(h), 0.0)
+
+    def test_cycle_closed_form(self):
+        # simple random walk on C_n: H(u, v) = k (n - k), k = distance
+        n = 10
+        h = hitting_time_matrix(max_degree_walk(cycle_graph(n)))
+        for u in range(n):
+            for v in range(n):
+                k = min(abs(u - v), n - abs(u - v))
+                assert h[u, v] == pytest.approx(k * (n - k), rel=1e-9)
+
+    def test_cycle_max_is_quarter_n_squared(self):
+        n = 12
+        h = max_hitting_time(max_degree_walk(cycle_graph(n)))
+        assert h == pytest.approx(n * n / 4, rel=1e-9)
+
+    def test_star_leaf_to_centre(self):
+        # leaf moves to the centre w.p. 1/(n-1), else self-loops
+        n = 7
+        h = hitting_time_matrix(max_degree_walk(star_graph(n)))
+        assert h[1, 0] == pytest.approx(n - 1, rel=1e-9)
+        # centre to a specific leaf: w.p. 1/(n-1) arrive directly, else
+        # park on a wrong leaf (mean n-1 steps to return) — solving the
+        # recurrence gives (n-1)^2
+        assert h[0, 1] == pytest.approx((n - 1) ** 2, rel=1e-9)
+
+    def test_target_solver_matches_matrix(self, p6):
+        walk = max_degree_walk(p6)
+        h_mat = hitting_time_matrix(walk)
+        for target in range(6):
+            h_col = hitting_times_to_target(walk, target)
+            assert np.allclose(h_col, h_mat[:, target], rtol=1e-8)
+
+    def test_target_out_of_range(self, k5):
+        with pytest.raises(IndexError):
+            hitting_times_to_target(max_degree_walk(k5), 5)
+
+    def test_non_negative(self, grid4x4):
+        h = hitting_time_matrix(max_degree_walk(grid4x4))
+        assert h.min() >= 0
+
+    def test_path_monotone_from_far_end(self):
+        # hitting times to vertex 0 increase along the path
+        walk = max_degree_walk(path_graph(7))
+        h = hitting_times_to_target(walk, 0)
+        assert np.all(np.diff(h) > 0)
+
+
+class TestObservation8Scaling:
+    def test_pendant_hitting_scales_inverse_k(self):
+        n = 20
+        hs = {}
+        for k in (1, 2, 4):
+            g = clique_with_pendant(n, k)
+            walk = max_degree_walk(g)
+            hs[k] = float(hitting_times_to_target(walk, n - 1).max())
+        # H = Theta(n^2/k): doubling k should roughly halve H
+        assert hs[1] / hs[2] == pytest.approx(2.0, rel=0.35)
+        assert hs[2] / hs[4] == pytest.approx(2.0, rel=0.35)
+
+    def test_pendant_is_worst_target(self):
+        g = clique_with_pendant(12, 1)
+        walk = max_degree_walk(g)
+        h = hitting_time_matrix(walk)
+        worst = np.unravel_index(np.argmax(h), h.shape)
+        assert worst[1] == g.n - 1  # hardest vertex to hit is the pendant
+
+
+class TestMonteCarlo:
+    def test_matches_exact_complete(self):
+        g = complete_graph(8)
+        walk = max_degree_walk(g)
+        rng = np.random.default_rng(3)
+        est = monte_carlo_hitting_time(walk, 0, 5, rng, trials=3000)
+        assert est == pytest.approx(7.0, rel=0.1)
+
+    def test_matches_exact_cycle(self):
+        g = cycle_graph(8)
+        walk = max_degree_walk(g)
+        rng = np.random.default_rng(4)
+        est = monte_carlo_hitting_time(walk, 0, 4, rng, trials=3000)
+        assert est == pytest.approx(16.0, rel=0.1)  # k(n-k) = 4*4
+
+    def test_same_start_target(self, k5, rng):
+        walk = max_degree_walk(k5)
+        assert monte_carlo_hitting_time(walk, 2, 2, rng, trials=10) == 0.0
+
+    def test_budget_exhaustion_raises(self, c8, rng):
+        walk = max_degree_walk(c8)
+        with pytest.raises(RuntimeError, match="did not hit"):
+            monte_carlo_hitting_time(walk, 0, 4, rng, trials=50, max_steps=1)

@@ -1,0 +1,127 @@
+"""Cross-validation of the graph substrate against networkx.
+
+networkx is an independent implementation of the same structural
+algorithms; agreeing with it on random graphs pins down our
+connectivity, bipartiteness and construction code.  (The protocols never
+use networkx — these tests are oracles only.)
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro import (
+    Graph,
+    barbell_graph,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_graph,
+    grid_graph,
+    hypercube_graph,
+    lollipop_graph,
+    max_degree_walk,
+    path_graph,
+    random_regular_graph,
+    star_graph,
+)
+
+
+def random_gnp(n: int, p: float, seed: int) -> Graph:
+    rng = np.random.default_rng(seed)
+    iu = np.triu_indices(n, k=1)
+    mask = rng.random(iu[0].shape[0]) < p
+    return Graph.from_edges(n, list(zip(iu[0][mask], iu[1][mask])))
+
+
+class TestStructuralAgreement:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_connectivity_matches(self, seed):
+        g = random_gnp(20, 0.12, seed)
+        nxg = g.to_networkx()
+        assert g.is_connected() == nx.is_connected(nxg)
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_bipartiteness_matches(self, seed):
+        g = random_gnp(16, 0.15, seed)
+        assert g.is_bipartite() == nx.is_bipartite(g.to_networkx())
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_component_counts_match(self, seed):
+        g = random_gnp(24, 0.06, seed)
+        ours = int(g.connected_components().max()) + 1
+        theirs = nx.number_connected_components(g.to_networkx())
+        assert ours == theirs
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_degrees_match(self, seed):
+        g = random_gnp(18, 0.2, seed)
+        nxg = g.to_networkx()
+        for v in range(g.n):
+            assert g.degrees[v] == nxg.degree[v]
+
+
+class TestBuildersAgainstNetworkx:
+    def test_complete(self):
+        assert nx.is_isomorphic(
+            complete_graph(7).to_networkx(), nx.complete_graph(7)
+        )
+
+    def test_cycle(self):
+        assert nx.is_isomorphic(cycle_graph(9).to_networkx(), nx.cycle_graph(9))
+
+    def test_path(self):
+        assert nx.is_isomorphic(path_graph(8).to_networkx(), nx.path_graph(8))
+
+    def test_star(self):
+        assert nx.is_isomorphic(star_graph(8).to_networkx(), nx.star_graph(7))
+
+    def test_grid(self):
+        assert nx.is_isomorphic(
+            grid_graph(3, 5).to_networkx(), nx.grid_2d_graph(3, 5)
+        )
+
+    def test_hypercube(self):
+        assert nx.is_isomorphic(
+            hypercube_graph(4).to_networkx(), nx.hypercube_graph(4)
+        )
+
+    def test_lollipop(self):
+        assert nx.is_isomorphic(
+            lollipop_graph(5, 3).to_networkx(), nx.lollipop_graph(5, 3)
+        )
+
+    def test_barbell(self):
+        assert nx.is_isomorphic(
+            barbell_graph(4, 2).to_networkx(), nx.barbell_graph(4, 2)
+        )
+
+    def test_random_regular_degree_sequence(self, rng):
+        g = random_regular_graph(24, 3, rng)
+        degs = sorted(d for _, d in g.to_networkx().degree)
+        assert degs == [3] * 24
+
+    def test_erdos_renyi_edge_count_plausible(self, rng):
+        n, p = 40, 0.3
+        g = erdos_renyi_graph(n, p, rng, require_connected=False)
+        expected = p * n * (n - 1) / 2
+        assert abs(g.num_edges - expected) < 4 * np.sqrt(expected)
+
+
+class TestSpectralAgainstNetworkx:
+    def test_adjacency_spectrum_matches(self):
+        g = complete_graph(8)
+        ours = np.sort(np.linalg.eigvalsh(g.to_adjacency()))
+        theirs = np.sort(nx.adjacency_spectrum(g.to_networkx()).real)
+        assert np.allclose(ours, theirs, atol=1e-8)
+
+    def test_walk_matrix_from_networkx_adjacency(self):
+        """The max-degree walk equals A/d + diag((d - deg)/d) with A
+        taken from networkx — two routes to the same matrix."""
+        g = lollipop_graph(4, 3)
+        a = nx.to_numpy_array(g.to_networkx(), nodelist=range(g.n))
+        d = g.max_degree
+        expected = a / d + np.diag((d - a.sum(axis=1)) / d)
+        ours = max_degree_walk(g).transition_matrix()
+        assert np.allclose(ours, expected)

@@ -1,0 +1,155 @@
+"""Unit tests for the max-degree random walk (Section 4.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    Graph,
+    RandomWalk,
+    complete_graph,
+    lazy_walk,
+    max_degree_walk,
+    path_graph,
+    star_graph,
+)
+
+
+class TestTransitionMatrix:
+    def test_rows_sum_to_one(self, star7):
+        p = max_degree_walk(star7).transition_matrix()
+        assert np.allclose(p.sum(axis=1), 1.0)
+
+    def test_symmetric(self, star7, p6, k5):
+        for g in (star7, p6, k5):
+            p = max_degree_walk(g).transition_matrix()
+            assert np.allclose(p, p.T)
+
+    def test_paper_entries(self, p6):
+        # path: d = 2; endpoints have degree 1 -> self-loop 1/2
+        p = max_degree_walk(p6).transition_matrix()
+        assert p[0, 0] == pytest.approx(0.5)
+        assert p[0, 1] == pytest.approx(0.5)
+        assert p[1, 1] == pytest.approx(0.0)
+        assert p[1, 0] == pytest.approx(0.5)
+        assert p[1, 2] == pytest.approx(0.5)
+
+    def test_complete_graph_entries(self, k5):
+        p = max_degree_walk(k5).transition_matrix()
+        off = p[~np.eye(5, dtype=bool)]
+        assert np.allclose(off, 1.0 / 4.0)
+        assert np.allclose(np.diag(p), 0.0)
+
+    def test_doubly_stochastic(self, star7, p6, k5, grid4x4):
+        for g in (star7, p6, k5, grid4x4):
+            assert max_degree_walk(g).is_doubly_stochastic()
+
+    def test_stationary_uniform(self, star7):
+        pi = max_degree_walk(star7).stationary_distribution()
+        assert np.allclose(pi, 1.0 / 7.0, atol=1e-8)
+
+    def test_non_uniform_stationary_detected(self, p6):
+        # the simple (not max-degree) walk on a path is degree-biased
+        walk = RandomWalk(graph=p6, stay=np.zeros(6))
+        pi = walk.stationary_distribution()
+        assert not np.allclose(pi, 1.0 / 6.0, atol=1e-3)
+        # endpoints have half the stationary mass of interior vertices
+        assert pi[0] < pi[1]
+
+
+class TestWalkConstruction:
+    def test_edgeless_rejected(self):
+        g = Graph.from_edges(3, [])
+        with pytest.raises(ValueError, match="no edges"):
+            max_degree_walk(g)
+
+    def test_stay_shape_validated(self, k5):
+        with pytest.raises(ValueError, match="shape"):
+            RandomWalk(graph=k5, stay=np.zeros(3))
+
+    def test_stay_range_validated(self, k5):
+        with pytest.raises(ValueError, match="\\[0, 1\\]"):
+            RandomWalk(graph=k5, stay=np.full(5, 1.5))
+
+    def test_isolated_vertex_needs_full_stay(self):
+        g = Graph.from_edges(3, [(0, 1)])
+        with pytest.raises(ValueError, match="isolated"):
+            RandomWalk(graph=g, stay=np.zeros(3))
+
+    def test_lazy_walk_stay(self, k5):
+        w = lazy_walk(k5, laziness=0.5)
+        assert np.allclose(w.stay, 0.5)  # K5 base walk never stays
+
+    def test_lazy_invalid_laziness(self, k5):
+        with pytest.raises(ValueError):
+            lazy_walk(k5, laziness=1.0)
+        with pytest.raises(ValueError):
+            lazy_walk(k5, laziness=-0.1)
+
+    def test_lazy_matrix_identity_mix(self, c8):
+        base = max_degree_walk(c8).transition_matrix()
+        lzy = lazy_walk(c8, 0.25).transition_matrix()
+        assert np.allclose(lzy, 0.25 * np.eye(8) + 0.75 * base)
+
+
+class TestStep:
+    def test_step_targets_are_neighbours_or_self(self, p6, rng):
+        walk = max_degree_walk(p6)
+        pos = rng.integers(0, 6, size=200)
+        nxt = walk.step(pos, rng)
+        for a, b in zip(pos, nxt):
+            assert a == b or p6.has_edge(int(a), int(b))
+
+    def test_step_empty(self, k5, rng):
+        walk = max_degree_walk(k5)
+        out = walk.step(np.empty(0, dtype=np.int64), rng)
+        assert out.shape == (0,)
+
+    def test_step_does_not_mutate_input(self, k5, rng):
+        walk = max_degree_walk(k5)
+        pos = np.zeros(10, dtype=np.int64)
+        walk.step(pos, rng)
+        assert np.all(pos == 0)
+
+    def test_complete_graph_never_stays(self, k5, rng):
+        walk = max_degree_walk(k5)
+        pos = np.zeros(500, dtype=np.int64)
+        nxt = walk.step(pos, rng)
+        assert np.all(nxt != 0)
+
+    def test_step_distribution_matches_matrix(self, star7):
+        rng = np.random.default_rng(0)
+        walk = max_degree_walk(star7)
+        p = walk.transition_matrix()
+        start = 1  # a leaf: stays w.p. 5/6, centre w.p. 1/6
+        pos = np.full(30_000, start, dtype=np.int64)
+        nxt = walk.step(pos, rng)
+        freq = np.bincount(nxt, minlength=7) / pos.shape[0]
+        assert np.allclose(freq, p[start], atol=0.01)
+
+    def test_walk_length_trajectory(self, c8, rng):
+        walk = max_degree_walk(c8)
+        traj = walk.walk_length(start=3, steps=50, rng=rng)
+        assert traj.shape == (51,)
+        assert traj[0] == 3
+        for a, b in zip(traj[:-1], traj[1:]):
+            assert a == b or c8.has_edge(int(a), int(b))
+
+    def test_reproducible(self, grid4x4):
+        walk = max_degree_walk(grid4x4)
+        a = walk.step(np.arange(16), np.random.default_rng(7))
+        b = walk.step(np.arange(16), np.random.default_rng(7))
+        assert np.array_equal(a, b)
+
+    def test_uniformises_on_complete_graph(self):
+        # many walkers from one vertex; after one step they are uniform
+        # over the other n-1 vertices
+        g = complete_graph(10)
+        walk = max_degree_walk(g)
+        rng = np.random.default_rng(1)
+        pos = np.zeros(90_000, dtype=np.int64)
+        nxt = walk.step(pos, rng)
+        freq = np.bincount(nxt, minlength=10) / pos.shape[0]
+        assert freq[0] == 0
+        assert np.allclose(freq[1:], 1 / 9, atol=0.01)

@@ -1,0 +1,160 @@
+"""Unit tests for spectral-gap and mixing-time computations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    complete_graph,
+    cycle_graph,
+    empirical_mixing_time,
+    hypercube_graph,
+    lazy_walk,
+    max_degree_walk,
+    mixing_time_bound,
+    path_graph,
+    spectral_gap,
+    spectral_summary,
+    spectrum,
+    total_variation,
+)
+
+
+class TestSpectrum:
+    def test_descending_and_bounded(self, grid4x4):
+        vals = spectrum(max_degree_walk(grid4x4))
+        assert np.all(np.diff(vals) <= 1e-12)
+        assert vals[0] == pytest.approx(1.0)
+        assert np.all(np.abs(vals) <= 1 + 1e-9)
+
+    def test_complete_graph_eigenvalues(self):
+        # P = (J - I)/(n-1): eigenvalues 1 and -1/(n-1) (n-1 times)
+        n = 6
+        vals = spectrum(max_degree_walk(complete_graph(n)))
+        assert vals[0] == pytest.approx(1.0)
+        assert np.allclose(vals[1:], -1.0 / (n - 1))
+
+    def test_single_vertex_no_walk(self):
+        # spectrum requires a walk; a 1-vertex graph has no edges
+        from repro import Graph
+
+        g = Graph.from_edges(1, [])
+        with pytest.raises(ValueError):
+            max_degree_walk(g)
+
+
+class TestSpectralGap:
+    def test_complete(self):
+        n = 8
+        gap = spectral_gap(max_degree_walk(complete_graph(n)))
+        assert gap == pytest.approx(1.0 - 1.0 / (n - 1))
+
+    def test_even_cycle_periodic(self):
+        # bipartite 2-regular: eigenvalue -1 -> gap 0
+        assert spectral_gap(max_degree_walk(cycle_graph(8))) == pytest.approx(
+            0.0, abs=1e-9
+        )
+
+    def test_odd_cycle_positive(self):
+        assert spectral_gap(max_degree_walk(cycle_graph(9))) > 0
+
+    def test_lazy_fixes_periodicity(self):
+        gap = spectral_gap(lazy_walk(cycle_graph(8)))
+        # lazy cycle gap = (1 - cos(2 pi/n)) / 2
+        expected = (1 - np.cos(2 * np.pi / 8)) / 2
+        assert gap == pytest.approx(expected, rel=1e-6)
+
+    def test_gap_shrinks_with_cycle_size(self):
+        g1 = spectral_gap(lazy_walk(cycle_graph(8)))
+        g2 = spectral_gap(lazy_walk(cycle_graph(32)))
+        assert g2 < g1
+
+
+class TestMixingTimeBound:
+    def test_formula(self):
+        n = 10
+        walk = max_degree_walk(complete_graph(n))
+        assert mixing_time_bound(walk) == pytest.approx(
+            4 * np.log(n) / spectral_gap(walk)
+        )
+
+    def test_bipartite_fallback(self):
+        walk = max_degree_walk(cycle_graph(8))
+        bound = mixing_time_bound(walk)  # falls back to lazy walk
+        assert np.isfinite(bound) and bound > 0
+
+    def test_bipartite_no_fallback_inf(self):
+        walk = max_degree_walk(cycle_graph(8))
+        assert mixing_time_bound(walk, fallback_lazy=False) == float("inf")
+
+    def test_single_vertex_zero(self):
+        from repro import Graph, RandomWalk
+
+        g = Graph.from_edges(1, [])
+        walk = RandomWalk(graph=g, stay=np.ones(1))
+        assert mixing_time_bound(walk) == 0.0
+
+
+class TestTotalVariation:
+    def test_identical(self):
+        p = np.array([0.5, 0.5])
+        assert total_variation(p, p) == 0.0
+
+    def test_disjoint(self):
+        assert total_variation([1, 0], [0, 1]) == pytest.approx(1.0)
+
+    def test_symmetric(self, rng):
+        p = rng.dirichlet(np.ones(5))
+        q = rng.dirichlet(np.ones(5))
+        assert total_variation(p, q) == pytest.approx(total_variation(q, p))
+
+
+class TestEmpiricalMixing:
+    def test_complete_mixes_in_one_step(self):
+        # from any vertex, one step lands uniformly on the others:
+        # TV to uniform = 1/n <= 0.25 already
+        t = empirical_mixing_time(max_degree_walk(complete_graph(16)))
+        assert t == 1
+
+    def test_monotone_in_cycle_size(self):
+        t_small = empirical_mixing_time(lazy_walk(cycle_graph(8)))
+        t_large = empirical_mixing_time(lazy_walk(cycle_graph(24)))
+        assert t_large > t_small
+
+    def test_periodic_walk_raises(self):
+        with pytest.raises(RuntimeError, match="did not mix"):
+            empirical_mixing_time(
+                max_degree_walk(cycle_graph(8)), max_steps=500
+            )
+
+    def test_subset_of_starts(self):
+        walk = lazy_walk(cycle_graph(10))
+        t_all = empirical_mixing_time(walk)
+        t_one = empirical_mixing_time(walk, starts=np.array([0]))
+        # the cycle is vertex-transitive: one start suffices
+        assert t_all == t_one
+
+
+class TestSpectralSummary:
+    def test_fields_complete(self):
+        s = spectral_summary(complete_graph(12))
+        assert s.n == 12
+        assert not s.used_lazy
+        assert s.empirical_mixing == 1
+        assert s.mixing_bound == pytest.approx(
+            4 * np.log(12) / s.spectral_gap
+        )
+
+    def test_lazy_flag_for_bipartite(self):
+        s = spectral_summary(hypercube_graph(3))
+        assert s.used_lazy
+        assert np.isfinite(s.mixing_bound)
+
+    def test_no_empirical(self):
+        s = spectral_summary(path_graph(6), empirical=False)
+        assert s.empirical_mixing is None
+
+    def test_row_shape(self):
+        s = spectral_summary(complete_graph(5))
+        assert len(s.row()) == 7

@@ -1,0 +1,177 @@
+"""Unit tests for the CSR graph representation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Graph, complete_graph, cycle_graph, path_graph
+
+
+class TestFromEdges:
+    def test_basic_triangle(self):
+        g = Graph.from_edges(3, [(0, 1), (1, 2), (0, 2)])
+        assert g.n == 3
+        assert g.num_edges == 3
+        assert list(g.degrees) == [2, 2, 2]
+
+    def test_neighbors_sorted(self):
+        g = Graph.from_edges(4, [(0, 3), (0, 1), (0, 2)])
+        assert list(g.neighbors(0)) == [1, 2, 3]
+
+    def test_duplicate_edges_collapse(self):
+        g = Graph.from_edges(3, [(0, 1), (0, 1), (1, 0)])
+        assert g.num_edges == 1
+        assert g.degrees[0] == 1 and g.degrees[1] == 1
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            Graph.from_edges(3, [(1, 1)])
+
+    def test_endpoint_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            Graph.from_edges(3, [(0, 3)])
+        with pytest.raises(ValueError, match="out of range"):
+            Graph.from_edges(3, [(-1, 2)])
+
+    def test_edgeless_graph(self):
+        g = Graph.from_edges(4, [])
+        assert g.num_edges == 0
+        assert g.max_degree == 0
+        assert list(g.degrees) == [0, 0, 0, 0]
+
+    def test_single_vertex(self):
+        g = Graph.from_edges(1, [])
+        assert g.n == 1
+        assert g.is_connected()
+
+    def test_zero_vertices_rejected(self):
+        with pytest.raises(ValueError, match="at least one vertex"):
+            Graph.from_edges(0, [])
+
+    def test_malformed_edges_rejected(self):
+        with pytest.raises(ValueError, match="pairs"):
+            Graph.from_edges(3, [(0, 1, 2)])  # type: ignore[list-item]
+
+
+class TestAdjacency:
+    def test_roundtrip(self, k5):
+        a = k5.to_adjacency()
+        g2 = Graph.from_adjacency(a)
+        assert np.array_equal(g2.to_adjacency(), a)
+
+    def test_adjacency_symmetric_zero_diagonal(self, c8):
+        a = c8.to_adjacency()
+        assert np.array_equal(a, a.T)
+        assert np.all(np.diag(a) == 0)
+        assert a.sum() == 2 * c8.num_edges
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError, match="square"):
+            Graph.from_adjacency(np.zeros((2, 3)))
+
+    def test_asymmetric_rejected(self):
+        a = np.zeros((3, 3))
+        a[0, 1] = 1
+        with pytest.raises(ValueError, match="symmetric"):
+            Graph.from_adjacency(a)
+
+    def test_diagonal_rejected(self):
+        a = np.eye(3)
+        with pytest.raises(ValueError, match="self-loop"):
+            Graph.from_adjacency(a)
+
+
+class TestQueries:
+    def test_has_edge(self, c8):
+        assert c8.has_edge(0, 1)
+        assert c8.has_edge(7, 0)
+        assert not c8.has_edge(0, 4)
+
+    def test_has_edge_symmetric(self, p6):
+        for u in range(6):
+            for v in range(6):
+                assert p6.has_edge(u, v) == p6.has_edge(v, u)
+
+    def test_neighbors_out_of_range(self, k5):
+        with pytest.raises(IndexError):
+            k5.neighbors(5)
+        with pytest.raises(IndexError):
+            k5.neighbors(-1)
+
+    def test_edges_iteration(self, k5):
+        edges = list(k5.edges())
+        assert len(edges) == 10
+        assert all(u < v for u, v in edges)
+        assert len(set(edges)) == 10
+
+    def test_max_min_degree(self, star7):
+        assert star7.max_degree == 6
+        assert star7.min_degree == 1
+
+    def test_is_regular(self, c8, p6, k5):
+        assert c8.is_regular()
+        assert k5.is_regular()
+        assert not p6.is_regular()
+
+
+class TestStructure:
+    def test_connected_path(self, p6):
+        assert p6.is_connected()
+
+    def test_disconnected_components(self):
+        g = Graph.from_edges(5, [(0, 1), (2, 3)])
+        labels = g.connected_components()
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+        assert labels[0] != labels[2]
+        assert labels[4] not in (labels[0], labels[2])
+        assert not g.is_connected()
+
+    def test_bipartite_even_cycle(self, c8):
+        assert c8.is_bipartite()
+
+    def test_not_bipartite_odd_cycle(self):
+        assert not cycle_graph(7).is_bipartite()
+
+    def test_bipartite_path_and_grid(self, p6, grid4x4):
+        assert p6.is_bipartite()
+        assert grid4x4.is_bipartite()
+
+    def test_complete_not_bipartite(self, k5):
+        assert not k5.is_bipartite()
+
+    def test_bipartite_disconnected(self):
+        # two components, both bipartite
+        g = Graph.from_edges(4, [(0, 1), (2, 3)])
+        assert g.is_bipartite()
+
+
+class TestValidation:
+    def test_bad_indptr_shape(self):
+        with pytest.raises(ValueError, match="indptr"):
+            Graph(n=3, indptr=np.array([0, 1]), indices=np.array([1]))
+
+    def test_indptr_endpoint_mismatch(self):
+        with pytest.raises(ValueError, match="endpoints"):
+            Graph(
+                n=2,
+                indptr=np.array([0, 1, 5]),
+                indices=np.array([1, 0]),
+            )
+
+    def test_decreasing_indptr(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            Graph(
+                n=3,
+                indptr=np.array([0, 2, 1, 2]),
+                indices=np.array([1, 0]),
+            )
+
+    def test_neighbour_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            Graph(
+                n=2,
+                indptr=np.array([0, 1, 2]),
+                indices=np.array([1, 5]),
+            )

@@ -1,0 +1,88 @@
+"""Unit tests for graph/walk validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    Graph,
+    RandomWalk,
+    check_uniform_stationary,
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    inspect_graph,
+    max_degree_walk,
+    path_graph,
+    validate_for_protocol,
+)
+
+
+class TestInspectGraph:
+    def test_complete_report(self):
+        r = inspect_graph(complete_graph(6))
+        assert r.connected and r.regular and not r.bipartite
+        assert r.n == 6 and r.num_edges == 15
+        assert r.min_degree == r.max_degree == 5
+        assert r.warnings == ()
+
+    def test_bipartite_regular_warning(self):
+        r = inspect_graph(cycle_graph(8))
+        assert r.bipartite and r.regular
+        assert any("periodic" in w for w in r.warnings)
+
+    def test_odd_cycle_no_periodicity_warning(self):
+        r = inspect_graph(cycle_graph(9))
+        assert not any("periodic" in w for w in r.warnings)
+
+    def test_disconnected_warning(self):
+        g = Graph.from_edges(4, [(0, 1), (2, 3)])
+        r = inspect_graph(g)
+        assert not r.connected
+        assert any("disconnected" in w for w in r.warnings)
+
+    def test_isolated_vertex_warning(self):
+        g = Graph.from_edges(3, [(0, 1)])
+        r = inspect_graph(g)
+        assert any("isolated" in w for w in r.warnings)
+
+    def test_irregular_bipartite_no_periodic_warning(self):
+        # the grid is bipartite but NOT regular: the max-degree walk has
+        # self-loops at the boundary, so it is aperiodic
+        r = inspect_graph(grid_graph(3, 3))
+        assert r.bipartite and not r.regular
+        assert not any("periodic" in w for w in r.warnings)
+
+
+class TestValidateForProtocol:
+    def test_valid_graph_passes(self):
+        report = validate_for_protocol(complete_graph(8))
+        assert report.connected
+
+    def test_disconnected_rejected(self):
+        g = Graph.from_edges(4, [(0, 1), (2, 3)])
+        with pytest.raises(ValueError, match="disconnected"):
+            validate_for_protocol(g)
+
+    def test_edgeless_rejected(self):
+        with pytest.raises(ValueError, match="no edges"):
+            validate_for_protocol(Graph.from_edges(3, []))
+
+    def test_non_strict_skips_walk_check(self):
+        report = validate_for_protocol(path_graph(4), strict=False)
+        assert report.connected
+
+
+class TestUniformStationary:
+    def test_max_degree_walk_uniform(self):
+        assert check_uniform_stationary(max_degree_walk(path_graph(5)))
+
+    def test_simple_walk_on_irregular_not_uniform(self):
+        # no self-loops on a path = the degree-biased simple walk
+        walk = RandomWalk(graph=path_graph(5), stay=np.zeros(5))
+        assert not check_uniform_stationary(walk)
+
+    def test_simple_walk_on_regular_uniform(self):
+        walk = RandomWalk(graph=cycle_graph(7), stay=np.zeros(7))
+        assert check_uniform_stationary(walk)

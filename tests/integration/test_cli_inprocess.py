@@ -1,0 +1,36 @@
+"""In-process CLI tests (fast: no subprocess, tiny experiment)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestRunCommand:
+    def test_run_tight_scaling_quick(self, capsys, tmp_path):
+        out = tmp_path / "rows.csv"
+        rc = main([
+            "run", "tight_scaling", "--quick", "--trials", "3",
+            "--seed", "5", "--out", str(out),
+        ])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "open question" in text
+        assert "power-law fit" in text
+        assert "completed in" in text
+        assert out.exists()
+        assert "mean_rounds" in out.read_text().splitlines()[0]
+
+    def test_run_prints_chart_for_figures(self, capsys):
+        # a micro figure2 via overridden trials; quick preset keeps the
+        # sweep small enough for a test
+        rc = main(["run", "figure2", "--quick", "--trials", "2", "--seed", "3"])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "legend:" in text          # the ASCII chart rendered
+        assert "wmax=" in text
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,86 @@
+"""Integration tests: example scripts import cleanly and the CLI works."""
+
+from __future__ import annotations
+
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def load_module(path: Path):
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)  # runs top level, not main()
+    return mod
+
+
+class TestExamples:
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "quickstart",
+            "datacenter_rebalance",
+            "sensor_grid_diffusion",
+            "topology_comparison",
+            "adversarial_lower_bound",
+            "heterogeneous_cluster",
+        ],
+    )
+    def test_example_imports_and_defines_main(self, name):
+        mod = load_module(EXAMPLES / f"{name}.py")
+        assert callable(mod.main)
+
+    def test_quickstart_runs(self, capsys):
+        mod = load_module(EXAMPLES / "quickstart.py")
+        mod.main()
+        out = capsys.readouterr().out
+        assert "user-controlled" in out
+        assert "resource-controlled" in out
+        assert "balanced=True" in out
+
+
+class TestCLI:
+    def test_list_command(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "list"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert proc.returncode == 0
+        for key in ("figure1", "figure2", "table1", "lower_bound"):
+            assert key in proc.stdout
+
+    def test_run_with_overrides(self, tmp_path):
+        out = tmp_path / "rows.csv"
+        proc = subprocess.run(
+            [
+                sys.executable, "-m", "repro.cli", "run", "table1",
+                "--quick", "--seed", "1", "--out", str(out),
+            ],
+            capture_output=True,
+            text=True,
+            timeout=600,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "Table 1" in proc.stdout
+        assert out.exists()
+        header = out.read_text().splitlines()[0]
+        assert "family" in header
+
+    def test_parser_rejects_unknown_experiment(self):
+        from repro.cli import build_parser
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "nonsense"])
+
+    def test_main_list_returns_zero(self, capsys):
+        from repro.cli import main
+
+        assert main(["list"]) == 0
+        assert "figure1" in capsys.readouterr().out

@@ -1,0 +1,193 @@
+"""Shape checks of the paper's quantitative claims at reduced scale.
+
+These are the fast cousins of the benchmark suite: each test verifies
+one qualitative claim of the paper (growth law, independence, ordering)
+at a scale that runs in seconds so regressions in the protocols are
+caught by ``pytest tests/``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    AboveAverageThreshold,
+    ResourceControlledProtocol,
+    SystemState,
+    TightResourceThreshold,
+    UserControlledProtocol,
+    complete_graph,
+    cycle_graph,
+    max_degree_walk,
+    max_hitting_time,
+    simulate,
+    single_heavy_weights,
+    single_source_placement,
+    summarize_runs,
+    theorem7_rounds,
+    theorem11_rounds,
+)
+from repro.core.runner import run_trials
+from repro.experiments import UserControlledSetup
+from repro.workloads import TwoPointWeights, UniformWeights
+
+
+def user_mean_time(n, m, dist, trials=6, seed=0, eps=0.2) -> float:
+    results = run_trials(
+        UserControlledSetup(n=n, m=m, distribution=dist, eps=eps),
+        trials=trials,
+        seed=seed,
+        max_rounds=500_000,
+    )
+    assert all(r.balanced for r in results)
+    return summarize_runs(results).mean_rounds
+
+
+class TestFigure2Claims:
+    def test_time_roughly_linear_in_wmax(self):
+        """Theorem 11 / Figure 2: balancing time scales ~linearly with
+        wmax/wmin.  A 8x increase in wmax should grow time by a factor
+        clearly above 3 and below 20."""
+        t_small = user_mean_time(
+            100, 500, TwoPointWeights(heavy=4.0, heavy_count=1)
+        )
+        t_large = user_mean_time(
+            100, 500, TwoPointWeights(heavy=32.0, heavy_count=1)
+        )
+        ratio = t_large / t_small
+        assert 3.0 < ratio < 20.0
+
+    def test_time_logarithmic_in_m(self):
+        """Quadrupling m adds ~log(4) growth, nowhere near linear."""
+        t1 = user_mean_time(100, 400, UniformWeights(1.0))
+        t2 = user_mean_time(100, 1600, UniformWeights(1.0))
+        assert t2 / t1 < 2.5  # linear would be 4x
+
+    def test_mean_time_positive_and_finite(self):
+        t = user_mean_time(50, 200, UniformWeights(1.0))
+        assert 0 < t < 10_000
+
+
+class TestFigure1Claims:
+    def test_time_grows_with_total_weight(self):
+        t_small = user_mean_time(
+            100, 400, TwoPointWeights(heavy=20.0, heavy_count=2)
+        )
+        t_large = user_mean_time(
+            100, 1600, TwoPointWeights(heavy=20.0, heavy_count=2)
+        )
+        assert t_large > t_small
+
+    def test_insensitive_to_heavy_count_at_fixed_m(self):
+        """Figure 1's k-independence: at the same task count, changing
+        the number of heavy tasks changes time by far less than the
+        wmax effect in Figure 2."""
+        t_k1 = user_mean_time(
+            100, 600, TwoPointWeights(heavy=20.0, heavy_count=1), trials=8
+        )
+        t_k10 = user_mean_time(
+            100, 600, TwoPointWeights(heavy=20.0, heavy_count=10), trials=8
+        )
+        assert max(t_k1, t_k10) / min(t_k1, t_k10) < 2.0
+
+
+class TestTheoremBoundsRespected:
+    def test_theorem11_upper_bound_holds(self):
+        """Measured time stays below the Theorem 11 bound (with alpha=1
+        the bound is not proven but empirically still holds by a large
+        margin, which is the paper's open-question observation)."""
+        m, eps, wmax = 400, 0.2, 8.0
+        t = user_mean_time(
+            50, m, TwoPointWeights(heavy=wmax, heavy_count=1), eps=eps
+        )
+        assert t < theorem11_rounds(m, eps, 1.0, wmax)
+
+    def test_theorem7_upper_bound_holds_on_cycle(self):
+        g = cycle_graph(12)
+        h = max_hitting_time(max_degree_walk(g))
+        times = []
+        for seed in range(4):
+            state = SystemState.from_workload(
+                np.ones(60), single_source_placement(60, 12), 12,
+                TightResourceThreshold(),
+            )
+            res = simulate(
+                ResourceControlledProtocol(g), state,
+                np.random.default_rng(seed), max_rounds=500_000,
+            )
+            assert res.balanced
+            times.append(res.rounds)
+        assert np.mean(times) < theorem7_rounds(h, 60.0)
+
+
+class TestGraphOrdering:
+    def test_cycle_slower_than_complete_tight(self):
+        """Theorem 7: balancing time tracks H(G); the cycle's H is
+        ~n/4 times the complete graph's."""
+        def mean_time(graph) -> float:
+            times = []
+            for seed in range(4):
+                state = SystemState.from_workload(
+                    np.ones(80), single_source_placement(80, 16), 16,
+                    TightResourceThreshold(),
+                )
+                res = simulate(
+                    ResourceControlledProtocol(graph), state,
+                    np.random.default_rng(seed), max_rounds=500_000,
+                )
+                assert res.balanced
+                times.append(res.rounds)
+            return float(np.mean(times))
+
+        t_complete = mean_time(complete_graph(16))
+        t_cycle = mean_time(cycle_graph(16))
+        assert t_cycle > 3 * t_complete
+
+    def test_above_average_faster_than_tight_resource(self):
+        g = cycle_graph(12)
+
+        def mean_time(policy) -> float:
+            times = []
+            for seed in range(4):
+                state = SystemState.from_workload(
+                    np.ones(60), single_source_placement(60, 12), 12, policy
+                )
+                res = simulate(
+                    ResourceControlledProtocol(g), state,
+                    np.random.default_rng(seed), max_rounds=500_000,
+                )
+                times.append(res.rounds)
+            return float(np.mean(times))
+
+        assert mean_time(AboveAverageThreshold(0.5)) < mean_time(
+            TightResourceThreshold()
+        )
+
+    def test_weight_independence_of_resource_protocol(self):
+        """Theorem 3's headline: the bound does not depend on weights.
+        Unit tasks vs mixed weights balance in comparable time on the
+        same graph."""
+        g = complete_graph(20)
+
+        def mean_time(weights) -> float:
+            times = []
+            for seed in range(6):
+                state = SystemState.from_workload(
+                    weights, single_source_placement(len(weights), 20), 20,
+                    AboveAverageThreshold(0.2),
+                )
+                res = simulate(
+                    ResourceControlledProtocol(g), state,
+                    np.random.default_rng(seed), max_rounds=100_000,
+                )
+                assert res.balanced
+                times.append(res.rounds)
+            return float(np.mean(times))
+
+        w_unit = np.ones(200)
+        rng = np.random.default_rng(9)
+        w_mixed = rng.uniform(1, 10, size=200)
+        t_unit = mean_time(w_unit)
+        t_mixed = mean_time(w_mixed)
+        assert max(t_unit, t_mixed) / min(t_unit, t_mixed) < 3.0

@@ -1,0 +1,173 @@
+"""Unit tests for experiment result helper methods (synthetic rows)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    AlphaAblationConfig,
+    Figure1Config,
+    Figure2Config,
+    LowerBoundConfig,
+    ResourceAboveConfig,
+    ResourceTightConfig,
+)
+from repro.experiments.alpha_ablation import AlphaAblationResult
+from repro.experiments.figure1 import Figure1Result
+from repro.experiments.figure2 import Figure2Result
+from repro.experiments.lower_bound import LowerBoundResult
+from repro.experiments.resource_above import ResourceAboveResult
+from repro.experiments.resource_tight import ResourceTightResult
+
+
+class TestFigure1Result:
+    def make(self) -> Figure1Result:
+        cfg = Figure1Config(total_weights=(2000, 4000), k_values=(1, 5))
+        rows = [
+            {"W": 2000, "k": 1, "m": 1951, "mean_rounds": 100.0},
+            {"W": 4000, "k": 1, "m": 3951, "mean_rounds": 120.0},
+            {"W": 2000, "k": 5, "m": 1755, "mean_rounds": 90.0},
+            {"W": 4000, "k": 5, "m": 3755, "mean_rounds": 130.0},
+        ]
+        return Figure1Result(config=cfg, rows=rows)
+
+    def test_curve_sorted_by_w(self):
+        ws, times = self.make().curve(1)
+        assert list(ws) == [2000, 4000]
+        assert list(times) == [100.0, 120.0]
+
+    def test_cross_k_spread(self):
+        # W=2000: (100-90)/95; W=4000: (130-120)/125 -> max is first
+        assert self.make().cross_k_spread() == pytest.approx(10 / 95)
+
+    def test_spread_zero_for_single_k(self):
+        cfg = Figure1Config(total_weights=(2000,), k_values=(1,))
+        res = Figure1Result(
+            config=cfg,
+            rows=[{"W": 2000, "k": 1, "m": 10, "mean_rounds": 5.0}],
+        )
+        assert res.cross_k_spread() == 0.0
+
+
+class TestFigure2Result:
+    def make(self) -> Figure2Result:
+        cfg = Figure2Config(m_values=(500, 1000), wmax_values=(1, 4))
+        rows = [
+            {"m": 500, "wmax": 1, "mean_rounds": 12.0, "normalized": 1.9},
+            {"m": 1000, "wmax": 1, "mean_rounds": 14.0, "normalized": 2.0},
+            {"m": 500, "wmax": 4, "mean_rounds": 40.0, "normalized": 6.4},
+            {"m": 1000, "wmax": 4, "mean_rounds": 48.0, "normalized": 6.9},
+        ]
+        return Figure2Result(config=cfg, rows=rows)
+
+    def test_curve(self):
+        ms, norm = self.make().curve(4)
+        assert list(ms) == [500, 1000]
+        assert list(norm) == [6.4, 6.9]
+
+    def test_mean_normalized_by_wmax(self):
+        wmaxes, means = self.make().mean_normalized_by_wmax()
+        assert list(wmaxes) == [1.0, 4.0]
+        assert means[0] == pytest.approx(1.95)
+        assert means[1] == pytest.approx(6.65)
+
+
+class TestResourceResultHelpers:
+    def test_max_normalized(self):
+        cfg = ResourceAboveConfig()
+        res = ResourceAboveResult(
+            config=cfg,
+            rows=[
+                {"per_tau_log_m": 0.05},
+                {"per_tau_log_m": 0.11},
+                {"per_tau_log_m": 0.02},
+            ],
+        )
+        assert res.max_normalized() == pytest.approx(0.11)
+
+    def test_normalized_by_graph(self):
+        cfg = ResourceTightConfig()
+        res = ResourceTightResult(
+            config=cfg,
+            rows=[
+                {"graph": "a", "per_H_log_W": 0.2},
+                {"graph": "a", "per_H_log_W": 0.4},
+                {"graph": "b", "per_H_log_W": 1.0},
+            ],
+        )
+        by_graph = res.normalized_by_graph()
+        assert by_graph["a"] == pytest.approx(0.3)
+        assert by_graph["b"] == pytest.approx(1.0)
+
+
+class TestLowerBoundResult:
+    def test_scaling_vs_k(self):
+        cfg = LowerBoundConfig()
+        res = LowerBoundResult(
+            config=cfg,
+            rows=[
+                {"k": 4, "mean_rounds": 100.0},
+                {"k": 1, "mean_rounds": 400.0},
+            ],
+        )
+        # sorted by k: rounds at k=1 over rounds at k=4
+        assert res.scaling_vs_k() == pytest.approx(4.0)
+
+
+class TestAlphaAblationResult:
+    def test_inverse_alpha_spread(self):
+        cfg = AlphaAblationConfig(alphas=(0.1, 1.0))
+        res = AlphaAblationResult(
+            config=cfg,
+            rows=[
+                {"protocol": "user", "alpha": 0.1, "rounds_x_alpha": 80.0},
+                {"protocol": "user", "alpha": 1.0, "rounds_x_alpha": 100.0},
+                {"protocol": "hybrid(q=0.5)", "alpha": 1.0,
+                 "rounds_x_alpha": 5.0},  # must be ignored
+            ],
+        )
+        assert res.inverse_alpha_spread() == pytest.approx(100 / 80)
+
+
+class TestCLIConfigure:
+    def test_overrides_applied(self):
+        import argparse
+
+        from repro.cli import _configure
+        from repro.experiments.registry import EXPERIMENTS
+
+        args = argparse.Namespace(
+            quick=True, trials=7, seed=99, workers=None
+        )
+        cfg = _configure(EXPERIMENTS["figure1"], args)
+        assert cfg.trials == 7
+        assert cfg.seed == 99
+        # quick preset shrank the sweep
+        assert len(cfg.total_weights) < len(
+            EXPERIMENTS["figure1"].config_factory().total_weights
+        )
+
+    def test_no_overrides(self):
+        import argparse
+
+        from repro.cli import _configure
+        from repro.experiments.registry import EXPERIMENTS
+
+        args = argparse.Namespace(
+            quick=False, trials=None, seed=None, workers=None
+        )
+        cfg = _configure(EXPERIMENTS["figure2"], args)
+        assert cfg == EXPERIMENTS["figure2"].config_factory()
+
+    def test_table1_ignores_trials_override(self):
+        import argparse
+
+        from repro.cli import _configure
+        from repro.experiments.registry import EXPERIMENTS
+
+        args = argparse.Namespace(
+            quick=False, trials=50, seed=None, workers=None
+        )
+        cfg = _configure(EXPERIMENTS["table1"], args)  # no trials attr
+        assert not hasattr(cfg, "trials")

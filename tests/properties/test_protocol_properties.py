@@ -1,0 +1,133 @@
+"""Property-based tests of the protocol invariants.
+
+* conservation: no protocol creates or destroys tasks or weight;
+* Observation 4: the resource-controlled potential never increases;
+* Lemma 1: under an above-average threshold, at least an
+  ``eps/(1+eps)`` fraction of resources can accept any task;
+* termination: every protocol eventually balances every feasible
+  instance (checked with a generous round budget on small instances).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    AboveAverageThreshold,
+    ResourceControlledProtocol,
+    SystemState,
+    UserControlledProtocol,
+    complete_graph,
+    cycle_graph,
+    lemma1_acceptor_fraction,
+    simulate,
+    total_potential,
+)
+
+
+@st.composite
+def workload(draw):
+    n = draw(st.integers(min_value=2, max_value=8))
+    m = draw(st.integers(min_value=n, max_value=60))
+    weights = np.array(
+        draw(
+            st.lists(
+                st.floats(min_value=1.0, max_value=8.0, allow_nan=False),
+                min_size=m,
+                max_size=m,
+            )
+        )
+    )
+    placement = np.array(
+        draw(
+            st.lists(
+                st.integers(min_value=0, max_value=n - 1),
+                min_size=m,
+                max_size=m,
+            )
+        ),
+        dtype=np.int64,
+    )
+    eps = draw(st.sampled_from([0.1, 0.2, 0.5, 1.0]))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    return n, weights, placement, eps, seed
+
+
+def build_state(n, weights, placement, eps) -> SystemState:
+    return SystemState.from_workload(
+        weights, placement, n, AboveAverageThreshold(eps)
+    )
+
+
+@given(workload())
+@settings(max_examples=60, deadline=None)
+def test_resource_protocol_conserves_and_decreases_potential(wl):
+    n, weights, placement, eps, seed = wl
+    state = build_state(n, weights, placement, eps)
+    proto = ResourceControlledProtocol(complete_graph(n))
+    rng = np.random.default_rng(seed)
+    total = state.total_weight
+    prev_pot = total_potential(state)
+    for _ in range(10):
+        proto.step(state, rng)
+        assert np.isclose(state.loads().sum(), total)
+        assert state.m == weights.shape[0]
+        pot = total_potential(state)
+        assert pot <= prev_pot + 1e-9  # Observation 4
+        prev_pot = pot
+    state.check_invariants()
+
+
+@given(workload())
+@settings(max_examples=60, deadline=None)
+def test_user_protocol_conserves(wl):
+    n, weights, placement, eps, seed = wl
+    state = build_state(n, weights, placement, eps)
+    proto = UserControlledProtocol(alpha=1.0)
+    rng = np.random.default_rng(seed)
+    total = state.total_weight
+    for _ in range(10):
+        proto.step(state, rng)
+        assert np.isclose(state.loads().sum(), total)
+    state.check_invariants()
+
+
+@given(workload())
+@settings(max_examples=40, deadline=None)
+def test_lemma1_acceptor_fraction_holds(wl):
+    """At any reachable state, the fraction of resources with load at
+    most ``T - wmax`` is at least ``eps/(1+eps)`` (Lemma 1)."""
+    n, weights, placement, eps, seed = wl
+    state = build_state(n, weights, placement, eps)
+    proto = UserControlledProtocol(alpha=1.0)
+    rng = np.random.default_rng(seed)
+    threshold = float(np.asarray(state.threshold))
+    wmax = state.wmax
+    needed = lemma1_acceptor_fraction(eps)
+    for _ in range(8):
+        loads = state.loads()
+        fraction = float((loads <= threshold - wmax + 1e-9).sum()) / n
+        assert fraction >= needed - 1e-12
+        proto.step(state, rng)
+
+
+@given(workload())
+@settings(max_examples=25, deadline=None)
+def test_protocols_terminate(wl):
+    n, weights, placement, eps, seed = wl
+    for proto in (
+        ResourceControlledProtocol(complete_graph(n)),
+        ResourceControlledProtocol(cycle_graph(max(n, 3))),
+        UserControlledProtocol(alpha=1.0),
+    ):
+        if proto.__class__ is ResourceControlledProtocol and \
+                proto.graph.n != n:
+            continue  # cycle only matches when n >= 3
+        state = build_state(n, weights, placement, eps)
+        result = simulate(
+            proto, state, np.random.default_rng(seed), max_rounds=200_000
+        )
+        assert result.balanced, f"{proto.name} failed to balance"
+        assert state.is_balanced()

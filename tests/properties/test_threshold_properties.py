@@ -1,0 +1,129 @@
+"""Property-based tests for threshold policies and leave probabilities."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    AboveAverageThreshold,
+    ProportionalThresholds,
+    SystemState,
+    TightResourceThreshold,
+    TightUserThreshold,
+    UserControlledProtocol,
+    feasible_threshold,
+)
+
+stats_strategy = st.tuples(
+    st.floats(min_value=1.0, max_value=1e6, allow_nan=False),  # W
+    st.integers(min_value=1, max_value=1000),                  # n
+    st.floats(min_value=1.0, max_value=1e3, allow_nan=False),  # wmax
+)
+
+
+@given(stats_strategy, st.floats(min_value=0.0, max_value=10.0))
+@settings(max_examples=200, deadline=None)
+def test_scalar_policies_always_feasible(stats, eps):
+    w_total, n, wmax = stats
+    for policy in (
+        AboveAverageThreshold(eps),
+        TightUserThreshold(),
+        TightResourceThreshold(),
+    ):
+        t = policy.compute(w_total, n, wmax)
+        assert feasible_threshold(t, w_total, n)
+        assert t >= w_total / n
+
+
+@given(stats_strategy, st.floats(min_value=0.0, max_value=10.0))
+@settings(max_examples=200, deadline=None)
+def test_threshold_ordering(stats, eps):
+    """tight-user <= above-average and tight-user <= tight-resource."""
+    w_total, n, wmax = stats
+    user = TightUserThreshold().compute(w_total, n, wmax)
+    resource = TightResourceThreshold().compute(w_total, n, wmax)
+    above = AboveAverageThreshold(eps).compute(w_total, n, wmax)
+    assert user <= above + 1e-12
+    assert user <= resource
+    assert resource - user == wmax or np.isclose(resource - user, wmax)
+
+
+@given(
+    st.lists(
+        st.floats(min_value=0.1, max_value=50.0, allow_nan=False),
+        min_size=1,
+        max_size=20,
+    ),
+    st.floats(min_value=1.0, max_value=1e5, allow_nan=False),
+    st.floats(min_value=1.0, max_value=100.0, allow_nan=False),
+    st.floats(min_value=0.0, max_value=2.0),
+)
+@settings(max_examples=150, deadline=None)
+def test_proportional_thresholds_always_feasible(speeds, w_total, wmax, eps):
+    pol = ProportionalThresholds(speeds=tuple(speeds), eps=eps)
+    t = pol.compute(w_total, len(speeds), wmax)
+    assert feasible_threshold(t, w_total, len(speeds))
+    # ordering follows speeds
+    order = np.argsort(speeds)
+    assert np.all(np.diff(t[order]) >= -1e-9)
+
+
+@st.composite
+def loaded_state(draw):
+    n = draw(st.integers(min_value=2, max_value=6))
+    m = draw(st.integers(min_value=n, max_value=40))
+    weights = np.array(
+        draw(
+            st.lists(
+                st.floats(min_value=1.0, max_value=7.0, allow_nan=False),
+                min_size=m,
+                max_size=m,
+            )
+        )
+    )
+    placement = np.array(
+        draw(
+            st.lists(
+                st.integers(min_value=0, max_value=n - 1),
+                min_size=m,
+                max_size=m,
+            )
+        ),
+        dtype=np.int64,
+    )
+    eps = draw(st.sampled_from([0.1, 0.5, 1.0]))
+    return SystemState.from_workload(
+        weights, placement, n, AboveAverageThreshold(eps)
+    )
+
+
+@given(loaded_state(), st.floats(min_value=0.01, max_value=1.0))
+@settings(max_examples=150, deadline=None)
+def test_leave_probabilities_well_formed(state, alpha):
+    p = UserControlledProtocol(alpha=alpha).leave_probabilities(state)
+    assert p.shape == (state.n,)
+    assert np.all(p >= 0.0) and np.all(p <= 1.0)
+    overloaded = state.loads() > state.threshold_vector() + state.atol
+    # positive exactly on overloaded resources
+    assert np.array_equal(p > 0, overloaded)
+
+
+@given(loaded_state())
+@settings(max_examples=80, deadline=None)
+def test_leave_probabilities_monotone_in_alpha(state):
+    lo = UserControlledProtocol(alpha=0.2).leave_probabilities(state)
+    hi = UserControlledProtocol(alpha=0.8).leave_probabilities(state)
+    assert np.all(hi >= lo - 1e-12)
+
+
+@given(loaded_state())
+@settings(max_examples=80, deadline=None)
+def test_coarser_wmax_estimate_never_raises_rate(state):
+    """Overestimating wmax lowers ceil(phi/wmax) and hence the rate."""
+    exact = UserControlledProtocol(alpha=1.0).leave_probabilities(state)
+    coarse = UserControlledProtocol(
+        alpha=1.0, wmax_estimate=state.wmax * 4.0
+    ).leave_probabilities(state)
+    assert np.all(coarse <= exact + 1e-12)

@@ -1,0 +1,116 @@
+"""Property-based tests of the random-walk substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    Graph,
+    hitting_time_matrix,
+    hitting_times_to_target,
+    lazy_walk,
+    max_degree_walk,
+)
+
+
+@st.composite
+def connected_graph(draw):
+    """A random connected simple graph on 2..8 vertices."""
+    n = draw(st.integers(min_value=2, max_value=8))
+    # spanning tree guarantees connectivity
+    edges = set()
+    for v in range(1, n):
+        u = draw(st.integers(min_value=0, max_value=v - 1))
+        edges.add((u, v))
+    extra = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+            ),
+            max_size=10,
+        )
+    )
+    for u, v in extra:
+        if u != v:
+            edges.add((min(u, v), max(u, v)))
+    return Graph.from_edges(n, sorted(edges))
+
+
+@given(connected_graph())
+@settings(max_examples=100, deadline=None)
+def test_transition_matrix_doubly_stochastic(g):
+    walk = max_degree_walk(g)
+    p = walk.transition_matrix()
+    assert np.allclose(p.sum(axis=1), 1.0)
+    assert np.allclose(p.sum(axis=0), 1.0)
+    assert np.allclose(p, p.T)
+    assert np.all(p >= 0)
+
+
+@given(connected_graph(), st.integers(min_value=0, max_value=2**31))
+@settings(max_examples=60, deadline=None)
+def test_step_stays_in_closed_neighbourhood(g, seed):
+    walk = max_degree_walk(g)
+    rng = np.random.default_rng(seed)
+    pos = rng.integers(0, g.n, size=50)
+    nxt = walk.step(pos, rng)
+    for a, b in zip(pos, nxt):
+        assert a == b or g.has_edge(int(a), int(b))
+
+
+@given(connected_graph())
+@settings(max_examples=40, deadline=None)
+def test_lazy_walk_interpolates(g):
+    base = max_degree_walk(g).transition_matrix()
+    lzy = lazy_walk(g, 0.5).transition_matrix()
+    assert np.allclose(lzy, 0.5 * np.eye(g.n) + 0.5 * base)
+
+
+@given(connected_graph())
+@settings(max_examples=40, deadline=None)
+def test_hitting_matrix_consistent_with_target_solver(g):
+    walk = max_degree_walk(g)
+    h = hitting_time_matrix(walk)
+    for target in range(g.n):
+        col = hitting_times_to_target(walk, target)
+        assert np.allclose(col, h[:, target], rtol=1e-6, atol=1e-6)
+
+
+@given(connected_graph())
+@settings(max_examples=40, deadline=None)
+def test_hitting_times_satisfy_one_step_recurrence(g):
+    """H(u, v) = 1 + sum_w P[u, w] H(w, v) for u != v."""
+    walk = max_degree_walk(g)
+    p = walk.transition_matrix()
+    h = hitting_time_matrix(walk)
+    lhs = h
+    rhs = 1.0 + p @ h
+    for u in range(g.n):
+        for v in range(g.n):
+            if u != v:
+                assert np.isclose(lhs[u, v], rhs[u, v], rtol=1e-6, atol=1e-6)
+
+
+@given(connected_graph())
+@settings(max_examples=40, deadline=None)
+def test_hitting_time_lower_bound_distance(g):
+    """Expected hitting time is at least the graph distance."""
+    walk = max_degree_walk(g)
+    h = hitting_time_matrix(walk)
+    # BFS distances
+    for src in range(g.n):
+        dist = np.full(g.n, -1)
+        dist[src] = 0
+        frontier = [src]
+        while frontier:
+            nxt = []
+            for u in frontier:
+                for v in g.neighbors(u):
+                    if dist[v] == -1:
+                        dist[v] = dist[u] + 1
+                        nxt.append(int(v))
+            frontier = nxt
+        assert np.all(h[src] >= dist - 1e-9)

@@ -1,0 +1,84 @@
+"""Property-based tests for workloads: distributions and assignments."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    ExponentialWeights,
+    ParetoWeights,
+    TwoPointWeights,
+    UniformRangeWeights,
+    first_fit_assignment,
+    is_proper_assignment,
+    lpt_assignment,
+    normalize_min_weight,
+    proper_capacity,
+)
+
+weights_arrays = st.lists(
+    st.floats(min_value=1.0, max_value=50.0, allow_nan=False),
+    min_size=1,
+    max_size=60,
+).map(lambda xs: np.array(xs))
+
+
+@given(weights_arrays, st.integers(min_value=1, max_value=10))
+@settings(max_examples=150, deadline=None)
+def test_first_fit_always_proper(weights, n):
+    a = first_fit_assignment(weights, n)
+    assert is_proper_assignment(a, weights, n)
+    # every task got assigned somewhere valid
+    assert a.min() >= 0 and a.max() < n
+
+
+@given(weights_arrays, st.integers(min_value=1, max_value=10))
+@settings(max_examples=150, deadline=None)
+def test_lpt_always_proper(weights, n):
+    a = lpt_assignment(weights, n)
+    assert is_proper_assignment(a, weights, n)
+
+
+@given(weights_arrays, st.integers(min_value=1, max_value=10))
+@settings(max_examples=100, deadline=None)
+def test_lpt_makespan_never_worse_than_capacity(weights, n):
+    a = lpt_assignment(weights, n)
+    loads = np.bincount(a, weights=weights, minlength=n)
+    assert loads.max() <= proper_capacity(weights, n) + 1e-9
+
+
+@given(
+    st.lists(
+        st.floats(min_value=0.01, max_value=100.0, allow_nan=False),
+        min_size=1,
+        max_size=50,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_normalize_min_weight_properties(raw):
+    w = np.array(raw)
+    norm = normalize_min_weight(w)
+    assert np.isclose(norm.min(), 1.0)
+    # order preserved
+    assert np.array_equal(np.argsort(w, kind="stable"),
+                          np.argsort(norm, kind="stable"))
+
+
+@given(
+    st.integers(min_value=1, max_value=200),
+    st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=60, deadline=None)
+def test_distributions_respect_wmin(m, seed):
+    rng = np.random.default_rng(seed)
+    for dist in (
+        UniformRangeWeights(1.0, 9.0),
+        ExponentialWeights(2.0),
+        ParetoWeights(2.0, cap=100.0),
+        TwoPointWeights(heavy_count=min(m, 3)),
+    ):
+        w = dist.sample(m, np.random.default_rng(seed))
+        assert w.shape == (m,)
+        assert w.min() >= 1.0 - 1e-12

@@ -1,0 +1,113 @@
+"""Unit tests for proper assignments (Lemma 5's prerequisite)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    first_fit_assignment,
+    is_proper_assignment,
+    lpt_assignment,
+    proper_capacity,
+)
+
+
+class TestProperCapacity:
+    def test_formula(self):
+        w = np.array([1.0, 2.0, 3.0])
+        assert proper_capacity(w, 2) == pytest.approx(6 / 2 + 3)
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            proper_capacity(np.empty(0), 2)
+        with pytest.raises(ValueError):
+            proper_capacity(np.ones(3), 0)
+
+
+class TestFirstFit:
+    def test_always_proper_uniform(self):
+        w = np.ones(17)
+        a = first_fit_assignment(w, 4)
+        assert is_proper_assignment(a, w, 4)
+
+    def test_always_proper_weighted(self, rng):
+        w = rng.uniform(1, 10, size=50)
+        a = first_fit_assignment(w, 7)
+        assert is_proper_assignment(a, w, 7)
+
+    def test_prefers_low_indices(self):
+        w = np.ones(3)
+        a = first_fit_assignment(w, 5)  # capacity 3/5 + 1 = 1.6 each
+        assert list(a) == [0, 1, 2]
+
+    def test_single_resource(self):
+        w = np.array([2.0, 3.0])
+        a = first_fit_assignment(w, 1)
+        assert np.all(a == 0)
+
+    def test_explicit_capacity_respected(self):
+        w = np.array([2.0, 2.0, 2.0])
+        a = first_fit_assignment(w, 3, capacity=2.0)
+        assert list(a) == [0, 1, 2]
+
+    def test_too_small_capacity_raises(self):
+        with pytest.raises(ValueError, match="does not fit"):
+            first_fit_assignment(np.array([3.0]), 2, capacity=2.0)
+
+    def test_deterministic(self, rng):
+        w = rng.uniform(1, 5, size=30)
+        assert np.array_equal(
+            first_fit_assignment(w, 4), first_fit_assignment(w, 4)
+        )
+
+    def test_non_positive_weight_rejected(self):
+        with pytest.raises(ValueError):
+            first_fit_assignment(np.array([1.0, 0.0]), 2)
+
+    def test_exactly_at_capacity(self):
+        # two tasks of weight 2 with capacity exactly 4 share a resource
+        a = first_fit_assignment(np.array([2.0, 2.0]), 2, capacity=4.0)
+        assert list(a) == [0, 0]
+
+
+class TestLPT:
+    def test_proper(self, rng):
+        w = rng.uniform(1, 10, size=60)
+        a = lpt_assignment(w, 8)
+        assert is_proper_assignment(a, w, 8)
+
+    def test_no_worse_makespan_than_first_fit_on_skewed(self):
+        # one big + many small: first-fit piles smalls onto resource 0
+        w = np.array([8.0] + [1.0] * 16)
+        n = 4
+        ff = first_fit_assignment(w, n)
+        lpt = lpt_assignment(w, n)
+        ms_ff = np.bincount(ff, weights=w, minlength=n).max()
+        ms_lpt = np.bincount(lpt, weights=w, minlength=n).max()
+        assert ms_lpt <= ms_ff
+
+    def test_balanced_for_equal_weights(self):
+        a = lpt_assignment(np.ones(12), 4)
+        counts = np.bincount(a, minlength=4)
+        assert np.all(counts == 3)
+
+    def test_non_positive_rejected(self):
+        with pytest.raises(ValueError):
+            lpt_assignment(np.array([-1.0]), 2)
+
+
+class TestIsProper:
+    def test_detects_violation(self):
+        w = np.array([5.0, 5.0, 1.0])
+        bad = np.array([0, 0, 0])  # load 11 > 11/2 + 5 = 10.5
+        assert not is_proper_assignment(bad, w, 2)
+
+    def test_accepts_valid(self):
+        w = np.array([5.0, 5.0, 1.0])
+        good = np.array([0, 1, 0])
+        assert is_proper_assignment(good, w, 2)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            is_proper_assignment(np.array([0]), np.ones(2), 2)

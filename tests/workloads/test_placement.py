@@ -1,0 +1,156 @@
+"""Unit tests for initial placements."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    adversarial_clique_placement,
+    balanced_plus_spike_placement,
+    loads_from_placement,
+    round_robin_placement,
+    single_source_placement,
+    uniform_random_placement,
+)
+
+
+class TestSingleSource:
+    def test_all_on_source(self):
+        p = single_source_placement(10, 4, source=2)
+        assert np.all(p == 2) and p.shape == (10,)
+
+    def test_default_source_zero(self):
+        assert np.all(single_source_placement(5, 3) == 0)
+
+    def test_source_out_of_range(self):
+        with pytest.raises(ValueError):
+            single_source_placement(5, 3, source=3)
+
+    def test_negative_m(self):
+        with pytest.raises(ValueError):
+            single_source_placement(-1, 3)
+
+    def test_zero_tasks(self):
+        assert single_source_placement(0, 3).shape == (0,)
+
+
+class TestUniformRandom:
+    def test_range(self, rng):
+        p = uniform_random_placement(100, 7, rng)
+        assert p.min() >= 0 and p.max() < 7
+
+    def test_roughly_uniform(self):
+        rng = np.random.default_rng(0)
+        p = uniform_random_placement(70_000, 7, rng)
+        counts = np.bincount(p, minlength=7)
+        assert np.allclose(counts / 70_000, 1 / 7, atol=0.01)
+
+    def test_reproducible(self):
+        a = uniform_random_placement(20, 5, np.random.default_rng(1))
+        b = uniform_random_placement(20, 5, np.random.default_rng(1))
+        assert np.array_equal(a, b)
+
+    def test_invalid(self, rng):
+        with pytest.raises(ValueError):
+            uniform_random_placement(5, 0, rng)
+
+
+class TestRoundRobin:
+    def test_pattern(self):
+        p = round_robin_placement(7, 3)
+        assert list(p) == [0, 1, 2, 0, 1, 2, 0]
+
+    def test_balanced_counts(self):
+        counts = np.bincount(round_robin_placement(12, 4), minlength=4)
+        assert np.all(counts == 3)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            round_robin_placement(5, 0)
+
+
+class TestBalancedPlusSpike:
+    def test_loads_near_average(self):
+        w = np.ones(40)
+        p = balanced_plus_spike_placement(w, 4, spike=0)
+        loads = loads_from_placement(p, w, 4)
+        assert loads.sum() == 40
+        # non-spike resources end up close to the average of 10
+        assert np.all(loads[1:] <= 10 + w.max())
+
+    def test_surplus_lands_on_spike(self):
+        w = np.ones(17)
+        p = balanced_plus_spike_placement(w, 4, spike=2)
+        loads = loads_from_placement(p, w, 4)
+        assert loads[2] == loads.max()
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            balanced_plus_spike_placement(np.array([0.0, 1.0]), 3)
+        with pytest.raises(ValueError):
+            balanced_plus_spike_placement(np.ones(5), 3, spike=3)
+
+
+class TestAdversarialClique:
+    def test_pendant_empty(self):
+        n = 8
+        w = np.ones(64)
+        p = adversarial_clique_placement(w, n)
+        assert np.all(p != n - 1)  # nothing starts on the pendant
+
+    def test_clique_filled_to_average(self):
+        n = 8
+        w = np.ones(64)  # W/n = 8 exactly
+        p = adversarial_clique_placement(w, n)
+        loads = loads_from_placement(p, w, n)
+        # clique vertices 1..n-2 hold exactly the average
+        assert np.all(loads[1 : n - 1] == 8)
+        # vertex 0 (overloaded) holds its own fill of 8 plus the surplus
+        assert loads[0] == 8 + (64 - 7 * 8)
+        assert loads.sum() == 64
+
+    def test_surplus_on_chosen_vertex(self):
+        n = 6
+        w = np.ones(60)
+        p = adversarial_clique_placement(w, n, overloaded=3)
+        loads = loads_from_placement(p, w, n)
+        assert loads[3] == loads.max()
+
+    def test_weighted_respects_cap(self):
+        n = 6
+        rng = np.random.default_rng(2)
+        w = rng.uniform(1, 4, size=50)
+        p = adversarial_clique_placement(w, n)
+        loads = loads_from_placement(p, w, n)
+        cap = w.sum() / n
+        # all *non-overloaded* clique vertices stay at or below W/n
+        assert np.all(loads[1 : n - 1] <= cap + 1e-9)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            adversarial_clique_placement(np.ones(5), 2)
+        with pytest.raises(ValueError):
+            adversarial_clique_placement(np.ones(5), 6, overloaded=5)
+
+
+class TestLoadsFromPlacement:
+    def test_basic(self):
+        loads = loads_from_placement(
+            np.array([0, 0, 2]), np.array([1.0, 2.0, 4.0]), 3
+        )
+        assert list(loads) == [3.0, 0.0, 4.0]
+
+    def test_weighted_sum_conserved(self, rng):
+        w = rng.uniform(1, 5, size=30)
+        p = rng.integers(0, 6, size=30)
+        loads = loads_from_placement(p, w, 6)
+        assert loads.sum() == pytest.approx(w.sum())
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="same length"):
+            loads_from_placement(np.array([0, 1]), np.array([1.0]), 2)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            loads_from_placement(np.array([0, 5]), np.ones(2), 3)

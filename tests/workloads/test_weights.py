@@ -1,0 +1,208 @@
+"""Unit tests for weight distributions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    ExplicitWeights,
+    ExponentialWeights,
+    ParetoWeights,
+    TwoPointWeights,
+    UniformRangeWeights,
+    UniformWeights,
+    figure1_weights,
+    normalize_min_weight,
+    single_heavy_weights,
+    weight_stats,
+)
+
+
+class TestUniformWeights:
+    def test_values(self, rng):
+        w = UniformWeights(3.0).sample(5, rng)
+        assert np.all(w == 3.0) and w.shape == (5,)
+
+    def test_default_unit(self, rng):
+        assert np.all(UniformWeights().sample(4, rng) == 1.0)
+
+    def test_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            UniformWeights(0.5)
+
+    def test_negative_m_rejected(self, rng):
+        with pytest.raises(ValueError):
+            UniformWeights().sample(-1, rng)
+
+    def test_zero_m(self, rng):
+        assert UniformWeights().sample(0, rng).shape == (0,)
+
+    def test_describe(self):
+        assert "3" in UniformWeights(3.0).describe()
+
+
+class TestTwoPointWeights:
+    def test_counts(self, rng):
+        w = TwoPointWeights(light=1.0, heavy=50.0, heavy_count=3).sample(10, rng)
+        assert (w == 50.0).sum() == 3
+        assert (w == 1.0).sum() == 7
+
+    def test_heavy_first(self, rng):
+        w = TwoPointWeights(heavy_count=2).sample(5, rng)
+        assert np.all(w[:2] == 50.0)
+
+    def test_m_smaller_than_k_rejected(self, rng):
+        with pytest.raises(ValueError, match="heavy_count"):
+            TwoPointWeights(heavy_count=5).sample(3, rng)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            TwoPointWeights(light=0.5)
+        with pytest.raises(ValueError):
+            TwoPointWeights(light=2.0, heavy=1.0)
+        with pytest.raises(ValueError):
+            TwoPointWeights(heavy_count=-1)
+
+    def test_zero_heavy_is_uniform(self, rng):
+        w = TwoPointWeights(heavy_count=0).sample(6, rng)
+        assert np.all(w == 1.0)
+
+
+class TestUniformRangeWeights:
+    def test_bounds(self, rng):
+        w = UniformRangeWeights(2.0, 5.0).sample(1000, rng)
+        assert w.min() >= 2.0 and w.max() <= 5.0
+
+    def test_spread(self, rng):
+        w = UniformRangeWeights(1.0, 10.0).sample(2000, rng)
+        assert w.std() > 1.0  # actually random, not constant
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            UniformRangeWeights(0.5, 2.0)
+        with pytest.raises(ValueError):
+            UniformRangeWeights(3.0, 2.0)
+
+    def test_reproducible(self):
+        a = UniformRangeWeights(1, 4).sample(10, np.random.default_rng(5))
+        b = UniformRangeWeights(1, 4).sample(10, np.random.default_rng(5))
+        assert np.array_equal(a, b)
+
+
+class TestExponentialWeights:
+    def test_minimum_one(self, rng):
+        w = ExponentialWeights(2.0).sample(1000, rng)
+        assert w.min() >= 1.0
+
+    def test_mean(self, rng):
+        w = ExponentialWeights(3.0).sample(50_000, rng)
+        assert w.mean() == pytest.approx(4.0, rel=0.05)
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            ExponentialWeights(0.0)
+
+
+class TestParetoWeights:
+    def test_minimum_one(self, rng):
+        w = ParetoWeights(2.5).sample(1000, rng)
+        assert w.min() >= 1.0
+
+    def test_cap(self, rng):
+        w = ParetoWeights(1.5, cap=10.0).sample(5000, rng)
+        assert w.max() <= 10.0
+
+    def test_heavier_tail_for_smaller_alpha(self, rng):
+        light = ParetoWeights(5.0).sample(20_000, rng).mean()
+        heavy = ParetoWeights(1.5).sample(20_000, rng).mean()
+        assert heavy > light
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            ParetoWeights(0.0)
+        with pytest.raises(ValueError):
+            ParetoWeights(2.0, cap=0.5)
+
+
+class TestExplicitWeights:
+    def test_exact(self, rng):
+        w = ExplicitWeights((1.0, 2.0, 3.0)).sample(3, rng)
+        assert list(w) == [1.0, 2.0, 3.0]
+
+    def test_length_mismatch(self, rng):
+        with pytest.raises(ValueError, match="weights were given"):
+            ExplicitWeights((1.0, 2.0)).sample(3, rng)
+
+    def test_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            ExplicitWeights((0.5, 2.0))
+
+
+class TestPaperWorkloads:
+    def test_figure1_composition(self):
+        w = figure1_weights(2000, heavy_count=5)
+        assert w.sum() == pytest.approx(2000)
+        assert (w == 50.0).sum() == 5
+        assert (w == 1.0).sum() == 2000 - 250
+        assert w.shape[0] == 1755
+
+    def test_figure1_all_heavy(self):
+        w = figure1_weights(250, heavy_count=5)
+        assert w.shape[0] == 5 and np.all(w == 50.0)
+
+    def test_figure1_infeasible(self):
+        with pytest.raises(ValueError, match="less than"):
+            figure1_weights(100, heavy_count=5)
+
+    def test_figure1_non_integer(self):
+        with pytest.raises(ValueError, match="integer"):
+            figure1_weights(2000.5, heavy_count=1)
+
+    def test_single_heavy(self):
+        w = single_heavy_weights(100, 64.0)
+        assert w[0] == 64.0
+        assert np.all(w[1:] == 1.0)
+
+    def test_single_heavy_m_one(self):
+        w = single_heavy_weights(1, 8.0)
+        assert w.shape == (1,) and w[0] == 8.0
+
+    def test_single_heavy_invalid(self):
+        with pytest.raises(ValueError):
+            single_heavy_weights(0, 8.0)
+        with pytest.raises(ValueError):
+            single_heavy_weights(5, 0.5)
+
+
+class TestNormalizeAndStats:
+    def test_normalize(self):
+        w = normalize_min_weight(np.array([2.0, 4.0, 8.0]))
+        assert w.min() == 1.0
+        assert list(w) == [1.0, 2.0, 4.0]
+
+    def test_normalize_preserves_ratios(self, rng):
+        w = rng.uniform(0.1, 5.0, size=20)
+        nw = normalize_min_weight(w)
+        assert np.allclose(nw / nw[0], w / w[0])
+
+    def test_normalize_empty(self):
+        assert normalize_min_weight(np.empty(0)).shape == (0,)
+
+    def test_normalize_non_positive_rejected(self):
+        with pytest.raises(ValueError):
+            normalize_min_weight(np.array([0.0, 1.0]))
+
+    def test_weight_stats(self):
+        stats = weight_stats(np.array([1.0, 2.0, 3.0]))
+        assert stats["W"] == 6.0
+        assert stats["wmin"] == 1.0
+        assert stats["wmax"] == 3.0
+        assert stats["wavg"] == 2.0
+        assert stats["skew"] == 3.0
+
+    def test_weight_stats_errors(self):
+        with pytest.raises(ValueError):
+            weight_stats(np.empty(0))
+        with pytest.raises(ValueError):
+            weight_stats(np.array([1.0, -1.0]))
