@@ -1,0 +1,153 @@
+"""Machine-readable engine performance harness.
+
+Times full trial sweeps through each simulation backend at several
+``(n, m)`` sizes and writes ``BENCH_engine.json`` (rounds/sec per
+backend), so future PRs have a trajectory to regress against::
+
+    PYTHONPATH=src python benchmarks/engine_perf.py            # full (~15-20 min)
+    PYTHONPATH=src python benchmarks/engine_perf.py --quick    # ~1 min
+    PYTHONPATH=src python benchmarks/engine_perf.py --out my.json
+
+Two groups of measurements:
+
+* ``size_grid`` — small sweeps across ``(n, m)`` sizes for every
+  backend (``process`` only where more than one CPU is available; on a
+  single core it is the serial path plus pickling overhead).
+* ``e1_quick`` — the acceptance workload: the paper's Figure 1 (E1)
+  complete-graph setup at quick-sweep scale (``k = 1``,
+  ``W ∈ {2000, 6000, 10000}``, ``n = 1000``) with 1000 trials per
+  point, serial vs batched.  The summary block reports the aggregate
+  ``batched_speedup`` (total rounds / wall time, batched over serial).
+
+All sweeps are seeded, and every backend replays identical trials
+(bit-for-bit — see ``tests/properties/test_backend_equivalence.py``),
+so the timed work is the same per backend by construction.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import run_trials
+from repro.experiments import UserControlledSetup
+from repro.workloads import TwoPointWeights, UniformRangeWeights
+
+
+def _e1_setup(total_weight: int, n: int = 1000) -> UserControlledSetup:
+    """Figure 1's workload: one heavy task of weight 50, unit rest."""
+    m = total_weight - 50 + 1
+    return UserControlledSetup(
+        n=n,
+        m=m,
+        distribution=TwoPointWeights(light=1.0, heavy=50.0, heavy_count=1),
+    )
+
+
+def time_backend(setup, trials: int, seed: int, backend: str) -> dict:
+    """Run one sweep through one backend and report rounds/sec."""
+    start = time.perf_counter()
+    results = run_trials(setup, trials, seed=seed, backend=backend)
+    seconds = time.perf_counter() - start
+    total_rounds = int(sum(r.rounds for r in results))
+    return {
+        "backend": backend,
+        "n": setup.n,
+        "m": setup.m,
+        "trials": trials,
+        "total_rounds": total_rounds,
+        "seconds": round(seconds, 3),
+        "rounds_per_sec": round(total_rounds / seconds, 1),
+    }
+
+
+def run_harness(quick: bool = False, seed: int = 2015) -> dict:
+    report: dict = {
+        "schema": 1,
+        "scale": "quick" if quick else "full",
+        "cpu_count": os.cpu_count(),
+        "numpy": np.__version__,
+        "size_grid": [],
+        "e1_quick": [],
+    }
+
+    # ---- backend comparison across (n, m) sizes -----------------------
+    grid_trials = 20 if quick else 50
+    sizes = [(100, 400), (300, 1200), (1000, 4000)]
+    backends = ["serial", "batched"]
+    if (os.cpu_count() or 1) > 1:
+        backends.append("process")
+    for n, m in sizes:
+        setup = UserControlledSetup(
+            n=n, m=m, distribution=UniformRangeWeights(1.0, 10.0)
+        )
+        for backend in backends:
+            entry = time_backend(setup, grid_trials, seed, backend)
+            entry["label"] = f"uniform(n={n},m={m})"
+            report["size_grid"].append(entry)
+            print(
+                f"[size_grid] {entry['label']:>24} {backend:>8}: "
+                f"{entry['rounds_per_sec']:>9.1f} rounds/s"
+            )
+
+    # ---- the acceptance workload: E1 quick sweep, 1000 trials ---------
+    e1_trials = 100 if quick else 1000
+    totals = {"serial": [0, 0.0], "batched": [0, 0.0]}
+    for total_weight in (2000, 6000, 10000):
+        setup = _e1_setup(total_weight)
+        for backend in ("serial", "batched"):
+            entry = time_backend(setup, e1_trials, seed, backend)
+            entry["label"] = f"E1(W={total_weight},k=1)"
+            report["e1_quick"].append(entry)
+            totals[backend][0] += entry["total_rounds"]
+            totals[backend][1] += entry["seconds"]
+            print(
+                f"[e1_quick ] {entry['label']:>24} {backend:>8}: "
+                f"{entry['rounds_per_sec']:>9.1f} rounds/s"
+            )
+
+    serial_rps = totals["serial"][0] / totals["serial"][1]
+    batched_rps = totals["batched"][0] / totals["batched"][1]
+    report["summary"] = {
+        "e1_trials": e1_trials,
+        "serial_rounds_per_sec": round(serial_rps, 1),
+        "batched_rounds_per_sec": round(batched_rps, 1),
+        "batched_speedup": round(batched_rps / serial_rps, 2),
+    }
+    print(
+        f"[summary  ] E1 quick sweep x{e1_trials} trials: "
+        f"serial {serial_rps:.0f} r/s, batched {batched_rps:.0f} r/s "
+        f"-> {batched_rps / serial_rps:.2f}x"
+    )
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced trial counts (~1 min); full scale takes ~15-20 min",
+    )
+    parser.add_argument(
+        "--out",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_engine.json"),
+        help="output JSON path (default: repo root BENCH_engine.json)",
+    )
+    parser.add_argument("--seed", type=int, default=2015)
+    args = parser.parse_args(argv)
+
+    report = run_harness(quick=args.quick, seed=args.seed)
+    out = Path(args.out)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

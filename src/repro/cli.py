@@ -4,6 +4,7 @@ Usage::
 
     python -m repro.cli list
     python -m repro.cli run figure1 --quick --trials 20 --out fig1.csv
+    python -m repro.cli run figure2 --backend batched
     python -m repro.cli run table1
     python -m repro.cli run all --quick
 
@@ -20,6 +21,7 @@ import dataclasses
 import sys
 import time
 
+from .core.backends import BACKEND_NAMES
 from .experiments.io import write_csv
 from .experiments.registry import EXPERIMENTS
 
@@ -60,6 +62,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="process-pool size for trials (-1 = all cores)",
     )
     run.add_argument(
+        "--backend",
+        choices=list(BACKEND_NAMES),
+        default=None,
+        help=(
+            "trial execution backend: 'serial' (reference), 'process' "
+            "(pool of --workers), or 'batched' (vectorised across "
+            "trials; fastest on one machine)"
+        ),
+    )
+    run.add_argument(
         "--out", type=str, default=None, help="write result rows to this CSV"
     )
     return parser
@@ -70,8 +82,8 @@ def _configure(exp, args) -> object:
     if args.quick and hasattr(config, "quick"):
         config = config.quick()
     overrides = {}
-    for name in ("trials", "seed", "workers"):
-        value = getattr(args, name)
+    for name in ("trials", "seed", "workers", "backend"):
+        value = getattr(args, name, None)
         if value is not None and hasattr(config, name):
             overrides[name] = value
     if overrides:

@@ -1,5 +1,23 @@
-"""Core: states, stacks, thresholds, potentials, protocols, simulation."""
+"""Core: states, stacks, thresholds, potentials, protocols, simulation.
 
+The engine is layered: :class:`SystemState` holds who-is-where,
+:func:`partition_stacks` derives the below/cutting/above decomposition,
+the protocols implement one synchronous round, :func:`simulate` drives a
+single trial, and the *backends* (:mod:`repro.core.backends`) execute
+multi-trial sweeps — serially, over a process pool, or vectorised
+across trials in one process (:class:`~repro.core.batch.BatchedBackend`).
+All backends reproduce the same per-trial results from a shared root
+seed; pick one via ``run_trials(..., backend="serial"|"process"|"batched")``.
+"""
+
+from .backends import (
+    BACKEND_NAMES,
+    DenseBackend,
+    ProcessBackend,
+    SimulationBackend,
+    get_backend,
+)
+from .batch import BatchedBackend, BatchState, BatchStepStats
 from .metrics import TrialSummary, normalized_balancing_time, summarize_runs
 from .potential import (
     active_count,
@@ -39,13 +57,20 @@ from .thresholds import (
 
 __all__ = [
     "AboveAverageThreshold",
+    "BACKEND_NAMES",
+    "BatchState",
+    "BatchStepStats",
+    "BatchedBackend",
+    "DenseBackend",
     "FixedThreshold",
     "HybridProtocol",
+    "ProcessBackend",
     "ProportionalThresholds",
     "Protocol",
     "ResourceControlledProtocol",
     "ResourceStack",
     "RunResult",
+    "SimulationBackend",
     "StackPartition",
     "StepStats",
     "SystemState",
@@ -58,6 +83,7 @@ __all__ = [
     "active_weight",
     "build_stacks",
     "feasible_threshold",
+    "get_backend",
     "normalized_balancing_time",
     "partition_stacks",
     "per_resource_potential",

@@ -1,0 +1,726 @@
+"""Vectorised batched-trials engine (the ``batched`` backend).
+
+Section 7 of the paper averages every data point over 1000 independent
+trials.  The dense path replays them one at a time, paying a full
+``lexsort`` partition plus dozens of small-array NumPy calls per round
+per trial.  This module runs ``B`` homogeneous trials in one process on
+stacked arrays of shape ``(B, m)`` so each round's work is a handful of
+large-array operations shared by every live trial.
+
+Two ideas make this fast *and* bit-for-bit identical to the dense path:
+
+1. **Incremental stack order.**  Re-sorting ``B * m`` keys every round
+   would cost more than the dense path's per-trial sorts.  Instead the
+   engine sorts once at construction and afterwards *merges*: movers are
+   deleted from the maintained ``(trial, resource, height)`` order and
+   re-inserted after the last survivor of their destination stack (new
+   arrivals always receive higher stack keys than everything present),
+   ordered among themselves by their arrival permutation.  Because stack
+   keys are unique, the merged permutation equals what a fresh
+   ``lexsort`` would produce, so per-trial heights — computed as the
+   same row-wise ``cumsum``/``base`` subtraction as
+   :func:`~repro.core.stack.partition_stacks` — match the dense engine
+   exactly.
+
+2. **Per-trial generators, dense call order.**  Each trial keeps its own
+   ``Generator`` spawned from the same ``SeedSequence`` child the dense
+   backends use, and the kernels issue the *same sequence of calls* per
+   trial (the per-task uniforms, then destinations, then the arrival
+   permutation — skipped in the exact cases the dense protocol skips
+   them).  Trial streams are independent, so interleaving across trials
+   cannot change any trial's draws.
+
+The per-round float reductions mirror the dense operations bit for bit
+(`bincount` segments accumulate in the same element order; row-wise
+``cumsum``/``sum``/``max`` reduce each row exactly like the dense 1-D
+calls), so ``rounds``, ``final_loads`` and migration totals are
+reproduced exactly — property-tested in
+``tests/properties/test_backend_equivalence.py``.
+
+Protocols opt into vectorisation by overriding
+:meth:`~repro.core.protocols.base.Protocol.step_batch` to accept a
+:class:`BatchState` (``UserControlledProtocol`` and
+``ResourceControlledProtocol`` do); everything else — including the
+stateful ``HybridProtocol`` and third-party subclasses — falls back to
+the base implementation, which loops over ``step()`` per trial.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .backends import SimulationBackend, TrialSetup
+from .protocols.base import Protocol
+from .protocols.user_controlled import _ceil_lots
+from .simulator import RunResult, _TraceBuffer, simulate
+from .state import SystemState
+
+__all__ = ["BatchState", "BatchStepStats", "BatchedBackend"]
+
+#: Target number of stacked task slots (``trials * m``) per chunk.  The
+#: per-round work streams over a handful of flat arrays of this size, so
+#: the sweet spot keeps them cache-resident rather than maximising the
+#: batch: ~0.75 MB per float64 array on typical L2/L3 sizes beats
+#: stacking everything at once by ~2x (measured on the E1 workload).
+DEFAULT_CHUNK_ELEMENTS = 96_000
+
+
+@dataclass
+class BatchStepStats:
+    """Per-trial round statistics, stacked across the live trials.
+
+    The arrays align with the rows of the :class:`BatchState` the round
+    operated on; each column ``i`` holds exactly what the dense
+    :class:`~repro.core.protocols.base.StepStats` would report for that
+    trial.  The trace-only fields (``overloaded_before``,
+    ``potential_before``, ``max_load_before``) are ``None`` unless the
+    batch was stepped with ``record_stats`` set — the engine only needs
+    them when recording traces.
+    """
+
+    movers: np.ndarray
+    moved_weight: np.ndarray
+    overloaded_before: np.ndarray | None
+    potential_before: np.ndarray | None
+    max_load_before: np.ndarray | None
+    loads_after: np.ndarray
+
+
+def _segmented_arange(lengths: np.ndarray) -> np.ndarray:
+    """``concatenate([arange(k) for k in lengths])`` without the loop."""
+    total = int(lengths.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    starts = np.concatenate(([0], np.cumsum(lengths)[:-1]))
+    return np.arange(total, dtype=np.int64) - np.repeat(starts, lengths)
+
+
+class BatchState:
+    """Stacked mutable state of ``A`` homogeneous live trials.
+
+    All trials share ``n`` resources and ``m`` tasks; per-task arrays
+    are ``(A, m)``, per-resource arrays ``(A, n)``.  Task placement is
+    stored as *keys* ``trial * n + resource`` so one flat ``bincount``
+    aggregates every trial at once, and the stack order is one flat
+    permutation ``order`` of absolute task slots (``trial * m + task``)
+    whose ``A`` contiguous segments each sort one trial by
+    ``(resource, stack height)``.
+    """
+
+    def __init__(self, states: list[SystemState]) -> None:
+        first = states[0]
+        n, m = first.n, first.m
+        if any(s.n != n or s.m != m for s in states):
+            raise ValueError(
+                "BatchState requires homogeneous trials (same n and m); "
+                "use the serial or process backend for ragged sweeps"
+            )
+        A = len(states)
+        self.n, self.m, self.A = n, m, A
+        self.w_task = np.stack([s.weights for s in states])
+        resource = np.stack([s.resource for s in states])
+        seq = np.stack([s.seq for s in states])
+        self.key_task = resource + (np.arange(A, dtype=np.int64) * n)[:, None]
+        self.counts = np.bincount(
+            self.key_task.ravel(), minlength=A * n
+        ).reshape(A, n)
+        # One full sort at construction; every later round merges instead.
+        self.order = np.lexsort((seq.ravel(), self.key_task.ravel()))
+        self.t_res = np.stack([s.threshold_vector() for s in states])
+        self.atol = np.array([s.atol for s in states])
+        self.bound = self.t_res + self.atol[:, None]
+        self.wmax = (
+            self.w_task.max(axis=1) if m else np.zeros(A)
+        )
+        self.thresholds = [s.threshold for s in states]
+        #: When False, kernels may skip the stats reductions that only
+        #: feed traces (potential / overload count / max load).
+        self.record_stats = False
+        self._scratch_arange = np.arange(A * m, dtype=np.int64)
+        self._scratch_keep = np.ones(A * m, dtype=bool)
+        self._scratch_u = np.empty((A, m))
+        self._scratch_indptr = np.zeros((A, n + 1), dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    def fresh_loads(self) -> np.ndarray:
+        """Load matrix ``(A, n)`` recomputed exactly like the dense
+        partition (one weighted ``bincount`` in task-index order)."""
+        return np.bincount(
+            self.key_task.ravel(),
+            weights=self.w_task.ravel(),
+            minlength=self.A * self.n,
+        ).reshape(self.A, self.n)
+
+    def balanced_mask(self, loads: np.ndarray) -> np.ndarray:
+        """Per-trial termination predicate on a load matrix."""
+        return (loads <= self.bound).all(axis=1)
+
+    def sorted_heights(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(w_s, cum)``: weights in stack order and their row-wise
+        running sums — the same quantities the dense partition derives
+        per trial."""
+        w_s = self.w_task.ravel()[self.order]
+        cum = w_s.reshape(self.A, self.m).cumsum(axis=1)
+        return w_s, cum
+
+    def indptr(self) -> np.ndarray:
+        """Per-trial CSR pointers into the stack order, ``(A, n + 1)``."""
+        out = self._scratch_indptr
+        np.cumsum(self.counts, axis=1, out=out[:, 1:])
+        return out
+
+    # ------------------------------------------------------------------
+    def apply_moves(
+        self,
+        mov_abs: np.ndarray,
+        mov_pos: np.ndarray,
+        dest: np.ndarray,
+        arrival: np.ndarray,
+        loads: np.ndarray,
+    ) -> np.ndarray:
+        """Relocate movers and merge them back into the stack order.
+
+        Parameters
+        ----------
+        mov_abs:
+            Absolute task slots (``trial * m + task``) of the movers,
+            grouped by trial.  The order must match the order the dense
+            protocol passes to ``move_tasks`` (it fixes the float
+            accumulation order of the load delta below).
+        mov_pos:
+            Current positions of those movers in :attr:`order` (same
+            ordering as ``mov_abs``).
+        dest:
+            Destination resource (local index) per mover.
+        arrival:
+            Arrival rank per mover — the protocol's permutation (or
+            FIFO ``arange``) deciding how simultaneous arrivals stack.
+        loads:
+            Pre-move load matrix; returns the post-move matrix via the
+            same two-``bincount`` delta as the dense protocols.
+        """
+        A, n, m = self.A, self.n, self.m
+        key_flat = self.key_task.ravel()
+        w_flat = self.w_task.ravel()
+        key_old = key_flat[mov_abs]
+        trial = mov_abs // m
+        key_new = trial * n + dest
+        w_mov = w_flat[mov_abs]
+
+        key_flat[mov_abs] = key_new
+        self.counts += (
+            np.bincount(key_new, minlength=A * n)
+            - np.bincount(key_old, minlength=A * n)
+        ).reshape(A, n)
+
+        loads_after = (
+            loads
+            - np.bincount(key_old, weights=w_mov, minlength=A * n).reshape(A, n)
+            + np.bincount(key_new, weights=w_mov, minlength=A * n).reshape(A, n)
+        )
+
+        # --- merge the movers back into the maintained stack order ---
+        keep = self._scratch_keep
+        keep[mov_pos] = False
+        stay = self.order[keep]
+        keep[mov_pos] = True  # restore the scratch buffer
+        stay_keys = key_flat[stay]  # stayers' keys are unchanged by the move
+
+        # Movers stack on top of their destination in arrival order:
+        # sort them by (destination key, arrival rank) and insert each
+        # after every surviving task with the same key.  Arrival ranks
+        # are < m, so one fused integer key replaces a two-key lexsort.
+        mov_sort = np.argsort(key_new * np.int64(m + 1) + arrival)
+        n_mov = mov_sort.shape[0]
+        n_stay = stay.shape[0]
+        ins = np.searchsorted(stay_keys, key_new[mov_sort], side="right")
+        # Stayer i shifts right by the number of movers inserted at or
+        # before it; ``ins`` is sorted, so the shift is a step function.
+        spans = np.diff(np.concatenate(([0], ins, [n_stay])))
+        shift = np.repeat(np.arange(n_mov + 1, dtype=np.int64), spans)
+        merged = np.empty(A * m, dtype=np.int64)
+        merged[self._scratch_arange[:n_stay] + shift] = stay
+        merged[ins + self._scratch_arange[:n_mov]] = mov_abs[mov_sort]
+        self.order = merged
+        return loads_after
+
+    # ------------------------------------------------------------------
+    def compact(self, keep: np.ndarray) -> None:
+        """Drop finished trials (rows where ``keep`` is False).
+
+        Keys and order slots embed the trial index, so surviving rows
+        are re-based onto their new row numbers.
+        """
+        rows = np.flatnonzero(keep)
+        if rows.shape[0] == self.A:
+            return
+        shift = rows - np.arange(rows.shape[0], dtype=np.int64)
+        self.w_task = np.ascontiguousarray(self.w_task[rows])
+        self.key_task = np.ascontiguousarray(
+            self.key_task[rows] - (shift * self.n)[:, None]
+        )
+        self.counts = np.ascontiguousarray(self.counts[rows])
+        self.order = (
+            self.order.reshape(self.A, self.m)[rows]
+            - (shift * self.m)[:, None]
+        ).ravel()
+        self.t_res = np.ascontiguousarray(self.t_res[rows])
+        self.atol = self.atol[rows]
+        self.bound = np.ascontiguousarray(self.bound[rows])
+        self.wmax = self.wmax[rows]
+        self.thresholds = [self.thresholds[r] for r in rows]
+        self.A = rows.shape[0]
+        size = self.A * self.m
+        self._scratch_keep = self._scratch_keep[:size]
+        self._scratch_u = self._scratch_u[: self.A]
+        self._scratch_indptr = np.ascontiguousarray(
+            self._scratch_indptr[: self.A]
+        )
+
+
+# ----------------------------------------------------------------------
+# The backend
+# ----------------------------------------------------------------------
+class BatchedBackend(SimulationBackend):
+    """Run many trials per process on stacked arrays.
+
+    Parameters
+    ----------
+    max_batch:
+        Trials stacked per chunk; ``None`` sizes chunks so the flat
+        arrays hold about :data:`DEFAULT_CHUNK_ELEMENTS` task slots.
+        Chunking only bounds memory — results are independent of it.
+
+    Notes
+    -----
+    Vectorised stepping requires every trial in a chunk to share the
+    protocol type and
+    :meth:`~repro.core.protocols.base.Protocol.batch_signature`, plus
+    identical ``(n, m)``.  Anything else (hybrid protocols, ragged
+    sweeps, third-party protocols) transparently degrades to the
+    base-class ``step_batch``, which loops the dense ``step()`` per
+    trial — same results, no cross-trial vectorisation.
+    """
+
+    name = "batched"
+
+    def __init__(self, max_batch: int | None = None) -> None:
+        if max_batch is not None and max_batch <= 0:
+            raise ValueError("max_batch must be positive")
+        self.max_batch = max_batch
+
+    # ------------------------------------------------------------------
+    def run_trials(
+        self,
+        setup: TrialSetup,
+        seed_seqs: list[np.random.SeedSequence],
+        max_rounds: int = 100_000,
+        record_traces: bool = False,
+    ) -> list[RunResult]:
+        results: list[RunResult | None] = [None] * len(seed_seqs)
+        protocols: list[Protocol] = []
+        states: list[SystemState] = []
+        rngs: list[np.random.Generator] = []
+        positions: list[int] = []
+        chunk_size: int | None = self.max_batch
+
+        def flush() -> None:
+            if not positions:
+                return
+            for result, pos in zip(
+                self._run_chunk(
+                    protocols, states, rngs, max_rounds, record_traces
+                ),
+                positions,
+            ):
+                results[pos] = result
+            protocols.clear()
+            states.clear()
+            rngs.clear()
+            positions.clear()
+
+        for pos, seed_seq in enumerate(seed_seqs):
+            setup_seed, sim_seed = seed_seq.spawn(2)
+            protocol, state = setup(np.random.default_rng(setup_seed))
+            protocols.append(protocol)
+            states.append(state)
+            rngs.append(np.random.default_rng(sim_seed))
+            positions.append(pos)
+            if chunk_size is None:
+                chunk_size = max(1, DEFAULT_CHUNK_ELEMENTS // max(state.m, 1))
+            if len(positions) >= chunk_size:
+                flush()
+        flush()
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    def _run_chunk(
+        self,
+        protocols: list[Protocol],
+        states: list[SystemState],
+        rngs: list[np.random.Generator],
+        max_rounds: int,
+        record_traces: bool,
+    ) -> list[RunResult]:
+        for protocol, state in zip(protocols, states):
+            protocol.validate_state(state)
+        if self._vectorizable(protocols, states):
+            return self._run_vectorized(
+                protocols, states, rngs, max_rounds, record_traces
+            )
+        return self._run_fallback(
+            protocols, states, rngs, max_rounds, record_traces
+        )
+
+    @staticmethod
+    def _vectorizable(
+        protocols: list[Protocol], states: list[SystemState]
+    ) -> bool:
+        lead = protocols[0]
+        if type(lead).step_batch is Protocol.step_batch:
+            return False
+        signature = lead.batch_signature()
+        if signature is None:
+            return False
+        if any(
+            type(p) is not type(lead) or p.batch_signature() != signature
+            for p in protocols[1:]
+        ):
+            return False
+        n, m = states[0].n, states[0].m
+        return m > 0 and all(s.n == n and s.m == m for s in states)
+
+    # ------------------------------------------------------------------
+    def _run_vectorized(
+        self,
+        protocols: list[Protocol],
+        states: list[SystemState],
+        rngs: list[np.random.Generator],
+        max_rounds: int,
+        record_traces: bool,
+    ) -> list[RunResult]:
+        B = len(states)
+        protocol = protocols[0]  # signature-checked interchangeable for stepping
+        # ... but names may differ cosmetically (e.g. per-trial graph
+        # names), so report each trial under its own.
+        names = [p.name for p in protocols]
+        batch = BatchState(states)
+        batch.record_stats = record_traces
+        del states  # the stacked arrays are authoritative from here on
+
+        total_movers = np.zeros(B, dtype=np.int64)
+        total_weight = np.zeros(B)
+        rounds = np.zeros(B, dtype=np.int64)
+        traces = (
+            [
+                [_TraceBuffer(), _TraceBuffer(), _TraceBuffer(), _TraceBuffer()]
+                for _ in range(B)
+            ]
+            if record_traces
+            else None
+        )
+        results: list[RunResult | None] = [None] * B
+
+        loads = batch.fresh_loads()
+        live = np.arange(B)
+
+        def finish(chunk_rows: np.ndarray, loads_now: np.ndarray, balanced: bool):
+            for row in chunk_rows:
+                trial = int(live[row])
+                bufs = traces[trial] if record_traces else None
+                results[trial] = RunResult(
+                    balanced=balanced,
+                    rounds=int(rounds[trial]),
+                    final_loads=loads_now[row].copy(),
+                    threshold=batch.thresholds[row],
+                    total_migrations=int(total_movers[trial]),
+                    total_migrated_weight=float(total_weight[trial]),
+                    potential_trace=bufs[0].array() if bufs else None,
+                    overloaded_trace=bufs[1].array() if bufs else None,
+                    movers_trace=bufs[2].array() if bufs else None,
+                    max_load_trace=bufs[3].array() if bufs else None,
+                    protocol_name=names[trial],
+                )
+
+        done = batch.balanced_mask(loads)
+        if done.any():
+            finish(np.flatnonzero(done), loads, balanced=True)
+            keep = ~done
+            batch.compact(keep)
+            live = live[keep]
+            loads = loads[keep]
+
+        live_rngs = [rngs[t] for t in live]
+        executed = 0
+        while live.size and executed < max_rounds:
+            stats = protocol.step_batch(batch, live_rngs)
+            executed += 1
+            rounds[live] = executed
+            total_movers[live] += stats.movers
+            total_weight[live] += stats.moved_weight
+            if record_traces:
+                for row, trial in enumerate(live):
+                    bufs = traces[trial]
+                    bufs[0].append(stats.potential_before[row])
+                    bufs[1].append(stats.overloaded_before[row])
+                    bufs[2].append(stats.movers[row])
+                    bufs[3].append(stats.max_load_before[row])
+            loads = stats.loads_after
+            done = batch.balanced_mask(loads)
+            if done.any():
+                finish(np.flatnonzero(done), loads, balanced=True)
+                keep = ~done
+                batch.compact(keep)
+                live = live[keep]
+                loads = loads[keep]
+                live_rngs = [r for r, k in zip(live_rngs, keep) if k]
+
+        if live.size:  # round budget exhausted: censored, like the dense path
+            finish(np.arange(live.size), loads, balanced=False)
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _run_fallback(
+        protocols: list[Protocol],
+        states: list[SystemState],
+        rngs: list[np.random.Generator],
+        max_rounds: int,
+        record_traces: bool,
+    ) -> list[RunResult]:
+        """Per-trial stepping through the dense simulator.
+
+        Trials are independent (own protocol instance, state and
+        generator), so driving each through :func:`simulate` is exactly
+        the serial semantics — stateful protocols keep their per-trial
+        counters and any future simulator change applies here for free.
+        """
+        return [
+            simulate(
+                protocol,
+                state,
+                rng,
+                max_rounds=max_rounds,
+                record_traces=record_traces,
+            )
+            for protocol, state, rng in zip(protocols, states, rngs)
+        ]
+
+
+# ----------------------------------------------------------------------
+# Vectorised kernels (called from the protocol step_batch overrides)
+# ----------------------------------------------------------------------
+def user_step_batch(
+    proto, batch: BatchState, rngs: list[np.random.Generator]
+) -> BatchStepStats:
+    """One vectorised user-controlled round for every trial in ``batch``.
+
+    Mirrors ``UserControlledProtocol.step`` per trial: only tasks on
+    overloaded resources can move, so the stack partition is evaluated
+    on those resources' segments alone; the per-task uniforms, the
+    destination draw and the arrival permutation come from each trial's
+    own generator in the dense order.
+    """
+    A, n, m = batch.A, batch.n, batch.m
+    w_s, cum = batch.sorted_heights()
+    loads = batch.fresh_loads()
+    overloaded = loads > batch.bound
+
+    ov_t, ov_r = np.nonzero(overloaded)
+    seg_len = batch.counts[ov_t, ov_r]
+    seg_start = batch.indptr()[ov_t, ov_r]
+    start_abs = ov_t * m + seg_start
+
+    # Heights of the overloaded segments, exactly as the dense partition
+    # computes them: running row sum minus the weight below the segment.
+    pos = np.repeat(start_abs, seg_len) + _segmented_arange(seg_len)
+    cum_flat = cum.ravel()
+    base_seg = np.where(seg_start > 0, cum_flat[start_abs - 1], 0.0)
+    inclusive = cum_flat[pos] - np.repeat(base_seg, seg_len)
+    below = inclusive <= np.repeat(batch.bound[ov_t, ov_r], seg_len)
+
+    seg_id = np.repeat(np.arange(ov_t.shape[0], dtype=np.int64), seg_len)
+    w_sub = w_s[pos]
+    below_weight = np.bincount(
+        seg_id[below], weights=w_sub[below], minlength=ov_t.shape[0]
+    )
+    phi_seg = np.maximum(loads[ov_t, ov_r] - below_weight, 0.0)
+    if batch.record_stats:
+        max_load_before = loads.max(axis=1)
+        overloaded_before = overloaded.sum(axis=1)
+        # Rebuild the dense per-resource phi row so the potential
+        # reduces in the same order (zeros included) as the dense
+        # ``phi.sum()``.
+        phi = np.zeros((A, n))
+        phi[ov_t, ov_r] = phi_seg
+        potential_before = phi.sum(axis=1)
+    else:
+        max_load_before = overloaded_before = potential_before = None
+
+    # Per-resource migration probability, on overloaded segments only
+    # (it is zero everywhere else).
+    wmax = (
+        np.full(A, proto.wmax_estimate)
+        if proto.wmax_estimate is not None
+        else batch.wmax
+    )
+    lots = _ceil_lots(phi_seg, wmax[ov_t])
+    p_seg = np.clip(
+        proto.alpha * lots / np.maximum(seg_len, 1), 0.0, 1.0
+    )
+
+    # Per-trial draws in the dense order.  A trial with no overloaded
+    # resource draws nothing (the dense step returns before sampling).
+    has_ov = overloaded.any(axis=1)
+    u = batch._scratch_u
+    for row in np.flatnonzero(has_ov):
+        rngs[row].random(out=u[row])
+
+    sub_task = batch.order[pos]  # absolute slots of candidate tasks
+    mover_mask = u.ravel()[sub_task] < np.repeat(p_seg, seg_len)
+    cand_abs = sub_task[mover_mask]
+    # The dense step lists movers in ascending task order per trial
+    # (``flatnonzero``); absolute slots sort to exactly that.
+    mov_sorter = np.argsort(cand_abs)
+    mov_abs = cand_abs[mov_sorter]
+    mov_pos = pos[mover_mask][mov_sorter]
+    mov_trial = mov_abs // m
+    k = np.bincount(mov_trial, minlength=A)
+
+    movers_stats = k.astype(np.int64)
+    moved_weight = np.zeros(A)
+    if mov_abs.shape[0] == 0:
+        return BatchStepStats(
+            movers=movers_stats,
+            moved_weight=moved_weight,
+            overloaded_before=overloaded_before,
+            potential_before=potential_before,
+            max_load_before=max_load_before,
+            loads_after=loads,
+        )
+
+    total = mov_abs.shape[0]
+    dest = np.empty(total, dtype=np.int64)
+    arrival = np.empty(total, dtype=np.int64)
+    offsets = np.concatenate(([0], np.cumsum(k)))
+    w_mov = batch.w_task.ravel()[mov_abs]
+    src = (
+        batch.key_task.ravel()[mov_abs] - mov_trial * n
+        if proto.walk is not None
+        else None
+    )
+    fifo = proto.arrival_order != "random"
+    for row in range(A):
+        lo, hi = offsets[row], offsets[row + 1]
+        if lo == hi:
+            continue
+        rng = rngs[row]
+        if proto.walk is None:
+            dest[lo:hi] = rng.integers(0, n, size=hi - lo)
+        else:
+            dest[lo:hi] = proto.walk.step(src[lo:hi], rng)
+        moved_weight[row] = float(w_mov[lo:hi].sum())
+        if fifo:
+            arrival[lo:hi] = np.arange(hi - lo)
+        else:
+            arrival[lo:hi] = rng.permutation(hi - lo)
+
+    loads_after = batch.apply_moves(mov_abs, mov_pos, dest, arrival, loads)
+    return BatchStepStats(
+        movers=movers_stats,
+        moved_weight=moved_weight,
+        overloaded_before=overloaded_before,
+        potential_before=potential_before,
+        max_load_before=max_load_before,
+        loads_after=loads_after,
+    )
+
+
+def resource_step_batch(
+    proto, batch: BatchState, rngs: list[np.random.Generator]
+) -> BatchStepStats:
+    """One vectorised resource-controlled round for every trial.
+
+    Algorithm 5.1 ejects *every* cutting/above task, so this kernel
+    evaluates the full below mask (heights across all resources) and
+    walks each trial's movers with that trial's generator, in the dense
+    order (stack order, one walk step, one arrival permutation).
+    """
+    A, n, m = batch.A, batch.n, batch.m
+    w_s, cum = batch.sorted_heights()
+    loads = batch.fresh_loads()
+    overloaded = loads > batch.bound
+
+    key_flat = batch.key_task.ravel()
+    key_s = key_flat[batch.order]
+    trial_s = key_s // n
+    start_local = batch.indptr().ravel()[key_s + trial_s]
+    cum_flat = cum.ravel()
+    base = np.where(
+        start_local > 0, cum_flat[trial_s * m + start_local - 1], 0.0
+    )
+    inclusive = cum_flat - base
+    below = inclusive <= batch.bound.ravel()[key_s]
+
+    if batch.record_stats:
+        max_load_before = loads.max(axis=1)
+        overloaded_before = overloaded.sum(axis=1)
+        below_weight = np.bincount(
+            key_s[below], weights=w_s[below], minlength=A * n
+        ).reshape(A, n)
+        phi = np.where(overloaded, loads - below_weight, 0.0)
+        np.maximum(phi, 0.0, out=phi)
+        potential_before = phi.sum(axis=1)
+    else:
+        max_load_before = overloaded_before = potential_before = None
+
+    active = ~below
+    mov_pos = np.flatnonzero(active)  # stack order, grouped by trial
+    mov_abs = batch.order[mov_pos]
+    mov_trial = trial_s[mov_pos]
+    k = np.bincount(mov_trial, minlength=A)
+
+    # moved weight: the dense step sums the compressed sorted weights
+    w_act = w_s[active]
+    moved_weight = np.zeros(A)
+    offsets = np.concatenate(([0], np.cumsum(k)))
+    for row in range(A):
+        lo, hi = offsets[row], offsets[row + 1]
+        if lo != hi:
+            moved_weight[row] = float(w_act[lo:hi].sum())
+
+    if mov_abs.shape[0] == 0:
+        return BatchStepStats(
+            movers=k.astype(np.int64),
+            moved_weight=moved_weight,
+            overloaded_before=overloaded_before,
+            potential_before=potential_before,
+            max_load_before=max_load_before,
+            loads_after=loads,
+        )
+
+    dest = np.empty(mov_abs.shape[0], dtype=np.int64)
+    arrival = np.empty(mov_abs.shape[0], dtype=np.int64)
+    src = key_flat[mov_abs] - mov_trial * n
+    for row in range(A):
+        lo, hi = offsets[row], offsets[row + 1]
+        if lo == hi:
+            continue
+        rng = rngs[row]
+        dest[lo:hi] = proto.walk.step(src[lo:hi], rng)
+        if proto.arrival_order == "random":
+            arrival[lo:hi] = rng.permutation(hi - lo)
+        else:
+            arrival[lo:hi] = np.arange(hi - lo)
+
+    loads_after = batch.apply_moves(mov_abs, mov_pos, dest, arrival, loads)
+    return BatchStepStats(
+        movers=k.astype(np.int64),
+        moved_weight=moved_weight,
+        overloaded_before=overloaded_before,
+        potential_before=potential_before,
+        max_load_before=max_load_before,
+        loads_after=loads_after,
+    )

@@ -18,7 +18,30 @@ import numpy as np
 
 from ..state import SystemState
 
-__all__ = ["StepStats", "Protocol"]
+__all__ = ["StepStats", "Protocol", "loads_delta"]
+
+
+def loads_delta(
+    loads: np.ndarray,
+    sources: np.ndarray,
+    destinations: np.ndarray,
+    weights: np.ndarray,
+    n: int,
+) -> np.ndarray:
+    """Post-move load vector from a pre-move one, as a two-``bincount``
+    delta.
+
+    Shared by every protocol (and mirrored by the batched engine in
+    :meth:`repro.core.batch.BatchState.apply_moves`): the float
+    accumulation order of this expression is load-bearing for the
+    cross-backend bit-for-bit guarantee, so it lives in exactly one
+    place per path.
+    """
+    return (
+        loads
+        - np.bincount(sources, weights=weights, minlength=n)
+        + np.bincount(destinations, weights=weights, minlength=n)
+    )
 
 
 @dataclass(frozen=True)
@@ -38,6 +61,12 @@ class StepStats:
         ``Phi`` at the start of the round.
     max_load_before:
         Maximum resource load at the start of the round.
+    loads_after:
+        Post-round load vector, shape ``(n,)``, carried so the simulator
+        can test termination without recomputing ``state.loads()`` from
+        scratch (the step just computed the same partition).  ``None``
+        for protocols that do not provide it; the simulator falls back
+        to a fresh computation.
     """
 
     movers: int
@@ -45,6 +74,7 @@ class StepStats:
     overloaded_before: int
     potential_before: float
     max_load_before: float
+    loads_after: np.ndarray | None = None
 
 
 class Protocol(ABC):
@@ -60,3 +90,39 @@ class Protocol(ABC):
     def validate_state(self, state: SystemState) -> None:
         """Optional pre-run check; protocols override to reject states
         they cannot operate on (e.g. wrong graph size)."""
+
+    # ------------------------------------------------------------------
+    # Batched execution (see repro.core.batch)
+    # ------------------------------------------------------------------
+    def batch_signature(self) -> tuple | None:
+        """Hashable configuration identity for cross-trial batching.
+
+        The batched backend vectorises a sweep across trials only when
+        every trial's protocol has the same type and the same (non-None)
+        signature, so one instance can safely drive all trials.  The
+        base implementation returns ``None`` — per-trial instances are
+        kept and :meth:`step_batch` falls back to looping over
+        :meth:`step`, which keeps stateful protocols (e.g. the hybrid
+        protocol's round counter) and third-party subclasses correct.
+        """
+        return None
+
+    def step_batch(
+        self,
+        trials,
+        rngs: "list[np.random.Generator]",
+    ):
+        """Run one synchronous round for several independent trials.
+
+        ``trials`` is an iterable of per-trial :class:`SystemState`
+        objects (the batched backend's fallback hands protocols views of
+        its stacked arrays).  The base implementation loops over
+        :meth:`step`, so every protocol works under the batched backend;
+        :class:`~repro.core.protocols.user_controlled.UserControlledProtocol`
+        and
+        :class:`~repro.core.protocols.resource_controlled.ResourceControlledProtocol`
+        override it with vectorised kernels that take a
+        :class:`~repro.core.batch.BatchState` instead and return a
+        :class:`~repro.core.batch.BatchStepStats`.
+        """
+        return [self.step(state, rng) for state, rng in zip(trials, rngs)]

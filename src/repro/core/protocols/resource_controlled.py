@@ -29,7 +29,7 @@ import numpy as np
 from ...graphs.random_walk import RandomWalk, max_degree_walk
 from ...graphs.topology import Graph
 from ..state import SystemState
-from .base import Protocol, StepStats
+from .base import Protocol, StepStats, loads_delta
 
 __all__ = ["ResourceControlledProtocol"]
 
@@ -81,16 +81,41 @@ class ResourceControlledProtocol(Protocol):
 
     def step(self, state: SystemState, rng: np.random.Generator) -> StepStats:
         part = state.partition()
-        stats = StepStats(
-            movers=int((~part.below).sum()),
+        movers = part.active_tasks()
+        loads_after = part.loads
+        if movers.size:
+            w_movers = state.weights[movers]
+            sources = state.resource[movers]
+            destinations = self.walk.step(sources, rng)
+            order_rng = rng if self.arrival_order == "random" else None
+            state.move_tasks(movers, destinations, order_rng)
+            loads_after = loads_delta(
+                part.loads, sources, destinations, w_movers, state.n
+            )
+        return StepStats(
+            movers=int(movers.shape[0]),
             moved_weight=float(part.sorted_weight[~part.below].sum()),
             overloaded_before=int(part.overloaded.sum()),
             potential_before=part.total_potential(),
             max_load_before=float(part.loads.max()) if state.n else 0.0,
+            loads_after=loads_after,
         )
-        movers = part.active_tasks()
-        if movers.size:
-            destinations = self.walk.step(state.resource[movers], rng)
-            order_rng = rng if self.arrival_order == "random" else None
-            state.move_tasks(movers, destinations, order_rng)
-        return stats
+
+    # ------------------------------------------------------------------
+    # Batched execution
+    # ------------------------------------------------------------------
+    def batch_signature(self) -> tuple | None:
+        if type(self) is not ResourceControlledProtocol:
+            return None  # a subclass may change the round semantics
+        return (
+            "resource_controlled",
+            self.arrival_order,
+            self.walk.batch_key(),
+        )
+
+    def step_batch(self, trials, rngs):
+        from ..batch import BatchState, resource_step_batch
+
+        if isinstance(trials, BatchState):
+            return resource_step_batch(self, trials, rngs)
+        return super().step_batch(trials, rngs)

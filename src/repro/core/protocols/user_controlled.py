@@ -28,7 +28,7 @@ import numpy as np
 
 from ...graphs.random_walk import RandomWalk
 from ..state import SystemState
-from .base import Protocol, StepStats
+from .base import Protocol, StepStats, loads_delta
 
 __all__ = ["UserControlledProtocol", "theorem11_alpha", "theorem12_alpha"]
 
@@ -140,6 +140,7 @@ class UserControlledProtocol(Protocol):
             overloaded_before=int(part.overloaded.sum()),
             potential_before=part.total_potential(),
             max_load_before=float(part.loads.max()) if state.n else 0.0,
+            loads_after=part.loads,
         )
         if not part.overloaded.any():
             return stats
@@ -155,13 +156,41 @@ class UserControlledProtocol(Protocol):
             destinations = rng.integers(0, state.n, size=movers.shape[0])
         else:
             destinations = self.walk.step(state.resource[movers], rng)
-        moved_weight = float(state.weights[movers].sum())
+        w_movers = state.weights[movers]
+        moved_weight = float(w_movers.sum())
+        sources = state.resource[movers]
         order_rng = rng if self.arrival_order == "random" else None
         state.move_tasks(movers, destinations, order_rng)
+        loads_after = loads_delta(
+            part.loads, sources, destinations, w_movers, state.n
+        )
         return StepStats(
             movers=int(movers.shape[0]),
             moved_weight=moved_weight,
             overloaded_before=stats.overloaded_before,
             potential_before=stats.potential_before,
             max_load_before=stats.max_load_before,
+            loads_after=loads_after,
         )
+
+    # ------------------------------------------------------------------
+    # Batched execution
+    # ------------------------------------------------------------------
+    def batch_signature(self) -> tuple | None:
+        if type(self) is not UserControlledProtocol:
+            return None  # a subclass may change the round semantics
+        walk_id = None if self.walk is None else self.walk.batch_key()
+        return (
+            "user_controlled",
+            self.alpha,
+            self.wmax_estimate,
+            self.arrival_order,
+            walk_id,
+        )
+
+    def step_batch(self, trials, rngs):
+        from ..batch import BatchState, user_step_batch
+
+        if isinstance(trials, BatchState):
+            return user_step_batch(self, trials, rngs)
+        return super().step_batch(trials, rngs)

@@ -2,9 +2,12 @@
 
 Section 7 of the paper averages every data point over 1000 independent
 trials.  This module runs repeated simulations with properly independent
-randomness (``SeedSequence.spawn``) either serially or across a process
-pool — trials are embarrassingly parallel, which is the only parallelism
-a reproduction like this needs.
+randomness (``SeedSequence.spawn``) through a pluggable execution
+backend (:mod:`repro.core.backends`): serially, across a process pool,
+or vectorised across trials in one process (:mod:`repro.core.batch`).
+Trials are embarrassingly parallel, and every backend derives trial
+``i``'s generators from the same spawned child, so results are
+reproducible from the root seed and identical across backends.
 
 For the process pool to work, the ``setup`` callable must be picklable:
 use a module-level function or a dataclass implementing ``__call__``
@@ -13,56 +16,13 @@ use a module-level function or a dataclass implementing ``__call__``
 
 from __future__ import annotations
 
-import os
-from concurrent.futures import ProcessPoolExecutor
-from typing import Protocol as TypingProtocol
-
 import numpy as np
 
+from .backends import SimulationBackend, TrialSetup, get_backend, run_single_trial
 from .metrics import TrialSummary, summarize_runs
-from .protocols.base import Protocol
-from .simulator import RunResult, simulate
-from .state import SystemState
+from .simulator import RunResult
 
 __all__ = ["TrialSetup", "run_single_trial", "run_trials", "run_trial_summary"]
-
-
-class TrialSetup(TypingProtocol):
-    """Builds a fresh ``(protocol, state)`` pair for one trial.
-
-    The generator provided is the *setup* stream; the simulation itself
-    receives an independent stream, so workload sampling and protocol
-    randomness never alias.
-    """
-
-    def __call__(
-        self, rng: np.random.Generator
-    ) -> tuple[Protocol, SystemState]: ...
-
-
-def run_single_trial(
-    setup: TrialSetup,
-    seed_seq: np.random.SeedSequence,
-    max_rounds: int = 100_000,
-    record_traces: bool = False,
-) -> RunResult:
-    """Run one trial with randomness derived from ``seed_seq``."""
-    setup_seed, sim_seed = seed_seq.spawn(2)
-    protocol, state = setup(np.random.default_rng(setup_seed))
-    return simulate(
-        protocol,
-        state,
-        np.random.default_rng(sim_seed),
-        max_rounds=max_rounds,
-        record_traces=record_traces,
-    )
-
-
-def _worker(
-    args: tuple[TrialSetup, np.random.SeedSequence, int, bool],
-) -> RunResult:
-    setup, seed_seq, max_rounds, record_traces = args
-    return run_single_trial(setup, seed_seq, max_rounds, record_traces)
 
 
 def run_trials(
@@ -72,6 +32,7 @@ def run_trials(
     max_rounds: int = 100_000,
     workers: int | None = None,
     record_traces: bool = False,
+    backend: str | SimulationBackend | None = None,
 ) -> list[RunResult]:
     """Run ``trials`` independent simulations.
 
@@ -80,10 +41,16 @@ def run_trials(
     seed:
         Root seed (int) or a pre-built ``SeedSequence``; ``None`` draws
         fresh OS entropy.  Trials receive spawned children, so results
-        are reproducible given the root and independent of ``workers``.
+        are reproducible given the root and independent of the backend
+        or ``workers``.
     workers:
         ``None``/``0``/``1`` = serial.  Otherwise a process pool of that
         many workers (capped at ``os.cpu_count()``); ``-1`` = all cores.
+        Only meaningful for the process backend.
+    backend:
+        ``"serial"``, ``"process"``, ``"batched"``, a
+        :class:`~repro.core.backends.SimulationBackend` instance, or
+        ``None`` to infer from ``workers`` (the historical behaviour).
     """
     if trials <= 0:
         raise ValueError("trials must be positive")
@@ -93,15 +60,10 @@ def run_trials(
         else np.random.SeedSequence(seed)
     )
     children = root.spawn(trials)
-    payloads = [(setup, child, max_rounds, record_traces) for child in children]
-
-    if workers in (None, 0, 1):
-        return [_worker(p) for p in payloads]
-
-    cpu = os.cpu_count() or 1
-    nproc = cpu if workers == -1 else min(workers, cpu)
-    with ProcessPoolExecutor(max_workers=nproc) as pool:
-        return list(pool.map(_worker, payloads, chunksize=max(1, trials // (4 * nproc))))
+    engine = get_backend(backend, workers=workers)
+    return engine.run_trials(
+        setup, children, max_rounds=max_rounds, record_traces=record_traces
+    )
 
 
 def run_trial_summary(
@@ -110,8 +72,25 @@ def run_trial_summary(
     seed: int | np.random.SeedSequence | None = None,
     max_rounds: int = 100_000,
     workers: int | None = None,
+    record_traces: bool = False,
+    backend: str | SimulationBackend | None = None,
 ) -> TrialSummary:
-    """Run trials and summarise the balancing times in one call."""
+    """Run trials and summarise the balancing times in one call.
+
+    Forwards every execution knob of :func:`run_trials` (``workers``,
+    ``record_traces``, ``backend``) unchanged.  Note the summary only
+    aggregates balancing times and migration totals — ``record_traces``
+    adds per-round recording cost without changing the summary, so
+    leave it off unless you are timing/debugging the recording path.
+    """
     return summarize_runs(
-        run_trials(setup, trials, seed=seed, max_rounds=max_rounds, workers=workers)
+        run_trials(
+            setup,
+            trials,
+            seed=seed,
+            max_rounds=max_rounds,
+            workers=workers,
+            record_traces=record_traces,
+            backend=backend,
+        )
     )

@@ -48,6 +48,7 @@ class AlphaAblationConfig:
     seed: int = 2021
     max_rounds: int = 2_000_000
     workers: int | None = None
+    backend: str | None = None
 
     def quick(self) -> "AlphaAblationConfig":
         return replace(
@@ -114,6 +115,7 @@ def run_alpha_ablation(
                 seed=next(children),
                 max_rounds=config.max_rounds,
                 workers=config.workers,
+                backend=config.backend,
             )
         )
         rows.append(
@@ -146,6 +148,7 @@ def run_alpha_ablation(
                 seed=next(children),
                 max_rounds=config.max_rounds,
                 workers=config.workers,
+                backend=config.backend,
             )
         )
         rows.append(

@@ -82,6 +82,7 @@ class ArrivalOrderConfig:
     seed: int = 2023
     max_rounds: int = 200_000
     workers: int | None = None
+    backend: str | None = None
 
     def quick(self) -> "ArrivalOrderConfig":
         return replace(self, trials=15)
@@ -148,6 +149,7 @@ def run_arrival_order(
                     seed=proto_seed,
                     max_rounds=config.max_rounds,
                     workers=config.workers,
+                    backend=config.backend,
                 )
             )
             rows.append(

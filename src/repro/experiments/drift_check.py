@@ -45,6 +45,7 @@ class DriftCheckConfig:
     seed: int = 2022
     max_rounds: int = 500_000
     workers: int | None = None
+    backend: str | None = None
 
     def quick(self) -> "DriftCheckConfig":
         return replace(self, trials=5)
@@ -102,6 +103,7 @@ def run_drift_check(
         seed=s_user,
         max_rounds=config.max_rounds,
         workers=config.workers,
+        backend=config.backend,
         record_traces=True,
     )
     deltas, preds, rounds = [], [], []
@@ -142,6 +144,7 @@ def run_drift_check(
             seed=seed,
             max_rounds=config.max_rounds,
             workers=config.workers,
+            backend=config.backend,
             record_traces=True,
         )
         drops, monotone, rounds, preds = [], [], [], []

@@ -45,6 +45,7 @@ class Figure1Config:
     seed: int = 2015
     max_rounds: int = 100_000
     workers: int | None = None
+    backend: str | None = None
 
     def quick(self) -> "Figure1Config":
         """A minutes-scale variant preserving the sweep's shape."""
@@ -152,6 +153,7 @@ def run_figure1(config: Figure1Config = Figure1Config()) -> Figure1Result:
                     seed=child,
                     max_rounds=config.max_rounds,
                     workers=config.workers,
+                    backend=config.backend,
                 )
             )
             rows.append(

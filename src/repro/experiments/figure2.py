@@ -43,6 +43,7 @@ class Figure2Config:
     seed: int = 2016
     max_rounds: int = 200_000
     workers: int | None = None
+    backend: str | None = None
 
     def quick(self) -> "Figure2Config":
         """A minutes-scale variant preserving the sweep's shape."""
@@ -142,6 +143,7 @@ def run_figure2(config: Figure2Config = Figure2Config()) -> Figure2Result:
                     seed=child,
                     max_rounds=config.max_rounds,
                     workers=config.workers,
+                    backend=config.backend,
                 )
             )
             rows.append(

@@ -40,6 +40,7 @@ class LowerBoundConfig:
     seed: int = 2020
     max_rounds: int = 500_000
     workers: int | None = None
+    backend: str | None = None
 
     @property
     def m(self) -> int:
@@ -103,6 +104,7 @@ def run_lower_bound(
                 seed=child,
                 max_rounds=config.max_rounds,
                 workers=config.workers,
+                backend=config.backend,
             )
         )
         rows.append(

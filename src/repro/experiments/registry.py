@@ -6,6 +6,7 @@ every paper artefact has exactly one entry point.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Any, Callable
 
@@ -33,8 +34,17 @@ class Experiment:
     config_factory: Callable[[], Any]
     runner: Callable[[Any], Any]
 
-    def run(self, config: Any | None = None) -> Any:
-        return self.runner(config if config is not None else self.config_factory())
+    def run(self, config: Any | None = None, backend: str | None = None) -> Any:
+        """Run the experiment, optionally forcing a simulation backend.
+
+        ``backend`` overrides the config's ``backend`` field (every
+        trial-sweep config carries one); see
+        :mod:`repro.core.backends` for the choices.
+        """
+        config = config if config is not None else self.config_factory()
+        if backend is not None and hasattr(config, "backend"):
+            config = dataclasses.replace(config, backend=backend)
+        return self.runner(config)
 
 
 EXPERIMENTS: dict[str, Experiment] = {

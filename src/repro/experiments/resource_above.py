@@ -50,6 +50,7 @@ class ResourceAboveConfig:
     max_rounds: int = 200_000
     heavy_high: float = 10.0
     workers: int | None = None
+    backend: str | None = None
 
     def quick(self) -> "ResourceAboveConfig":
         return replace(self, m_values=(512, 2048), trials=10)
@@ -122,6 +123,7 @@ def run_resource_above(
                         seed=child,
                         max_rounds=config.max_rounds,
                         workers=config.workers,
+                        backend=config.backend,
                     )
                 )
                 rows.append(

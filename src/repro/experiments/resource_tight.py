@@ -41,6 +41,7 @@ class ResourceTightConfig:
     heavy_weight: float = 8.0
     heavy_count: int = 4
     workers: int | None = None
+    backend: str | None = None
 
     def quick(self) -> "ResourceTightConfig":
         return replace(self, m_values=(128, 512), trials=8)
@@ -110,6 +111,7 @@ def run_resource_tight(
                         seed=child,
                         max_rounds=config.max_rounds,
                         workers=config.workers,
+                        backend=config.backend,
                     )
                 )
                 # total weight for the normaliser (deterministic dists)

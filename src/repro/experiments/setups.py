@@ -84,6 +84,7 @@ class UserControlledSetup:
     eps: float = 0.2
     threshold_kind: str = "above_average"
     placement_kind: str = "single_source"
+    arrival_order: str = "random"
     atol: float = 1e-9
 
     def __call__(self, rng: np.random.Generator) -> tuple[Protocol, SystemState]:
@@ -96,7 +97,10 @@ class UserControlledSetup:
             _threshold_policy(self.threshold_kind, self.eps),
             atol=self.atol,
         )
-        return UserControlledProtocol(alpha=self.alpha), state
+        protocol = UserControlledProtocol(
+            alpha=self.alpha, arrival_order=self.arrival_order
+        )
+        return protocol, state
 
 
 @dataclass(frozen=True)
@@ -109,6 +113,7 @@ class ResourceControlledSetup:
     eps: float = 0.2
     threshold_kind: str = "above_average"
     placement_kind: str = "single_source"
+    arrival_order: str = "random"
     atol: float = 1e-9
 
     def __call__(self, rng: np.random.Generator) -> tuple[Protocol, SystemState]:
@@ -123,7 +128,10 @@ class ResourceControlledSetup:
             _threshold_policy(self.threshold_kind, self.eps),
             atol=self.atol,
         )
-        return ResourceControlledProtocol(self.graph), state
+        protocol = ResourceControlledProtocol(
+            self.graph, arrival_order=self.arrival_order
+        )
+        return protocol, state
 
 
 @dataclass(frozen=True)

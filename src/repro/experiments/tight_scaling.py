@@ -46,6 +46,7 @@ class TightScalingConfig:
     seed: int = 2024
     max_rounds: int = 1_000_000
     workers: int | None = None
+    backend: str | None = None
 
     def quick(self) -> "TightScalingConfig":
         return replace(self, n_values=(32, 64, 128, 256), trials=12)
@@ -101,6 +102,7 @@ def run_tight_scaling(
                 seed=child,
                 max_rounds=config.max_rounds,
                 workers=config.workers,
+                backend=config.backend,
             )
         )
         bound = theorem12_rounds(m, n, config.alpha, 1.0)

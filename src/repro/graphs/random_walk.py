@@ -66,6 +66,23 @@ class RandomWalk:
     def n(self) -> int:
         return self.graph.n
 
+    def batch_key(self) -> tuple:
+        """Identity of this walk's step behaviour, for cross-trial
+        batching (see :meth:`repro.core.protocols.base.Protocol.batch_signature`).
+
+        Two walks may share a vectorised kernel only when this key
+        matches: :meth:`step` is fully determined by the graph structure
+        and the stay vector, so both are part of the key (by *content*,
+        so per-trial graph construction still batches).  Any new field
+        that influences ``step`` must be added here.
+        """
+        return (
+            self.graph.n,
+            self.graph.content_key(),
+            type(self).__name__,
+            self.stay.tobytes(),
+        )
+
     def transition_matrix(self) -> np.ndarray:
         """Dense ``(n, n)`` transition matrix ``P``."""
         g = self.graph

@@ -131,6 +131,19 @@ class Graph:
     # ------------------------------------------------------------------
     # Basic queries
     # ------------------------------------------------------------------
+    def content_key(self) -> bytes:
+        """Structural identity of the graph (CSR bytes), cached.
+
+        Structurally equal graphs produce equal keys even when built as
+        separate objects — used to decide when random walks may share a
+        vectorised kernel across trials (``RandomWalk.batch_key``).
+        """
+        cached = getattr(self, "_content_key", None)
+        if cached is None:
+            cached = self.indptr.tobytes() + self.indices.tobytes()
+            object.__setattr__(self, "_content_key", cached)
+        return cached
+
     @property
     def degrees(self) -> np.ndarray:
         """Degree of every vertex, shape ``(n,)``."""
