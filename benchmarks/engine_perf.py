@@ -8,7 +8,7 @@ backend), so future PRs have a trajectory to regress against::
     PYTHONPATH=src python benchmarks/engine_perf.py --quick    # ~1 min
     PYTHONPATH=src python benchmarks/engine_perf.py --out my.json
 
-Two groups of measurements:
+Three groups of measurements:
 
 * ``size_grid`` — small sweeps across ``(n, m)`` sizes for every
   backend (``process`` only where more than one CPU is available; on a
@@ -18,6 +18,14 @@ Two groups of measurements:
   ``W ∈ {2000, 6000, 10000}``, ``n = 1000``) with 1000 trials per
   point, serial vs batched.  The summary block reports the aggregate
   ``batched_speedup`` (total rounds / wall time, batched over serial).
+* ``study_api`` — the same E1 points executed through the declarative
+  Scenario/Study layer vs hand-rolled ``run_trials`` calls, batched
+  both ways.  ``overhead_frac`` is the Study layer's wall-clock tax;
+  the acceptance bar is **under 5%** (it is pure Python plumbing per
+  sweep point, amortised over thousands of simulated rounds).  The two
+  paths are timed in three interleaved repeats and the best run of
+  each counts — single-shot timings on a busy single-core box swing
+  ±10%, far more than the overhead being measured.
 
 All sweeps are seeded, and every backend replays identical trials
 (bit-for-bit — see ``tests/properties/test_backend_equivalence.py``),
@@ -34,8 +42,10 @@ from pathlib import Path
 
 import numpy as np
 
-from repro import run_trials
+from repro import run_trials, summarize_runs
 from repro.experiments import UserControlledSetup
+from repro.experiments.figure1 import Figure1Config, build_study
+from repro.study import run_study
 from repro.workloads import TwoPointWeights, UniformRangeWeights
 
 
@@ -110,6 +120,65 @@ def run_harness(quick: bool = False, seed: int = 2015) -> dict:
                 f"[e1_quick ] {entry['label']:>24} {backend:>8}: "
                 f"{entry['rounds_per_sec']:>9.1f} rounds/s"
             )
+
+    # ---- Study-API overhead vs direct run_trials ----------------------
+    # warm the batched kernel and allocator so neither timed path pays
+    # first-touch costs (run-to-run noise on one core is ~5%)
+    run_trials(_e1_setup(2000), 20, seed=seed, backend="batched")
+    study_trials = 100 if quick else 400
+    weights = (2000, 6000, 10000)
+    config = Figure1Config(
+        total_weights=weights,
+        k_values=(1,),
+        trials=study_trials,
+        seed=seed,
+        backend="batched",
+    )
+    def run_study_path() -> list[float]:
+        return [
+            row["mean_rounds"] for row in run_study(build_study(config)).rows
+        ]
+
+    def run_direct_path() -> list[float]:
+        means = []
+        children = np.random.SeedSequence(seed).spawn(len(weights))
+        for total_weight, child in zip(weights, children):
+            results = run_trials(
+                _e1_setup(total_weight), study_trials, seed=child,
+                backend="batched",
+            )
+            means.append(summarize_runs(results).mean_rounds)
+        return means
+
+    # interleave the repeats so background load hits both paths alike
+    paths = {"study": run_study_path, "direct": run_direct_path}
+    timings: dict[str, list[float]] = {"study": [], "direct": []}
+    outputs: dict[str, list[float]] = {}
+    for _ in range(3):
+        for label, path in paths.items():
+            start = time.perf_counter()
+            outputs[label] = path()
+            timings[label].append(time.perf_counter() - start)
+    study_seconds = min(timings["study"])
+    direct_seconds = min(timings["direct"])
+
+    if outputs["study"] != outputs["direct"]:
+        raise AssertionError(
+            "Study API diverged from direct run_trials on shared seeds"
+        )
+    overhead = study_seconds / direct_seconds - 1.0
+    report["study_api"] = {
+        "trials": study_trials,
+        "points": len(weights),
+        "study_seconds": round(study_seconds, 3),
+        "direct_seconds": round(direct_seconds, 3),
+        "overhead_frac": round(overhead, 4),
+    }
+    print(
+        f"[study_api] E1 x{study_trials} trials: study {study_seconds:.2f}s "
+        f"vs direct {direct_seconds:.2f}s -> overhead {overhead * 100:+.1f}%"
+        + ("  ** exceeds 5% budget **" if overhead >= 0.05 else "")
+    )
 
     serial_rps = totals["serial"][0] / totals["serial"][1]
     batched_rps = totals["batched"][0] / totals["batched"][1]

@@ -3,29 +3,75 @@
 Usage::
 
     python -m repro.cli list
+    python -m repro.cli describe figure1
     python -m repro.cli run figure1 --quick --trials 20 --out fig1.csv
-    python -m repro.cli run figure2 --backend batched
-    python -m repro.cli run table1
+    python -m repro.cli run figure2 --backend batched --progress
     python -m repro.cli run all --quick
+    python -m repro.cli sweep --protocol user --n 200 --m 1000 \
+        --axis eps=0.1,0.2,0.4 --trials 50 --backend batched
+    python -m repro.cli sweep --protocol resource --graph torus:8x8 \
+        --m 512 --weights two_point:1:50:5 --axis m=256,512,1024
 
-``--quick`` switches every experiment to its minutes-scale preset
-(reduced sweeps/trials that preserve the qualitative shape); without it
-the paper-scale defaults run, which for figure1/figure2 means the full
-1000 trials per point.
+``run`` executes a registered paper artefact; ``--quick`` applies its
+minutes-scale preset (preset overrides are registry *data*, see
+``describe``).  ``sweep`` builds a declarative Study straight from
+flags — any scenario axis can carry the grid — without touching Python.
 """
 
 from __future__ import annotations
 
 import argparse
-import dataclasses
 import sys
 import time
 
 from .core.backends import BACKEND_NAMES
 from .experiments.io import write_csv
 from .experiments.registry import EXPERIMENTS
+from .study import (
+    Scenario,
+    Study,
+    Sweep,
+    parse_axis_values,
+    parse_graph,
+    parse_weights,
+    scenario_axes,
+    sweep as make_sweep,
+)
 
 __all__ = ["build_parser", "main"]
+
+
+def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trials", type=int, default=None, help="override trials per point"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None, help="override root seed"
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process-pool size for trials (-1 = all cores)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=list(BACKEND_NAMES),
+        default=None,
+        help=(
+            "trial execution backend: 'serial' (reference), 'process' "
+            "(pool of --workers), or 'batched' (vectorised across "
+            "trials; fastest on one machine)"
+        ),
+    )
+    parser.add_argument(
+        "--out", type=str, default=None, help="write result rows to this CSV"
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print one line per completed sweep point",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -40,6 +86,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list available experiments")
 
+    describe = sub.add_parser(
+        "describe", help="show one experiment's config, presets and sweep"
+    )
+    describe.add_argument(
+        "experiment", choices=list(EXPERIMENTS), help="experiment key"
+    )
+
     run = sub.add_parser("run", help="run one experiment (or 'all')")
     run.add_argument(
         "experiment",
@@ -51,44 +104,97 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="use the reduced minutes-scale preset",
     )
-    run.add_argument(
-        "--trials", type=int, default=None, help="override trials per point"
-    )
-    run.add_argument("--seed", type=int, default=None, help="override root seed")
-    run.add_argument(
-        "--workers",
-        type=int,
-        default=None,
-        help="process-pool size for trials (-1 = all cores)",
-    )
-    run.add_argument(
-        "--backend",
-        choices=list(BACKEND_NAMES),
-        default=None,
-        help=(
-            "trial execution backend: 'serial' (reference), 'process' "
-            "(pool of --workers), or 'batched' (vectorised across "
-            "trials; fastest on one machine)"
+    _add_execution_flags(run)
+
+    swp = sub.add_parser(
+        "sweep",
+        help="build and run a custom Study from scenario flags",
+        description=(
+            "Compose a scenario from flags and sweep any of its axes: "
+            "repeat --axis NAME=V1,V2,... (axes multiply into a grid; "
+            "the last flag varies fastest).  Graphs use family:args "
+            "specs (complete:64, torus:8x8, expander:64:3); weight "
+            "distributions use kind:args (unit, two_point:1:50:5, "
+            "pareto:2.5)."
         ),
     )
-    run.add_argument(
-        "--out", type=str, default=None, help="write result rows to this CSV"
+    swp.add_argument(
+        "--protocol",
+        choices=("user", "resource", "hybrid"),
+        default="user",
+        help="protocol kind (default: user)",
     )
+    swp.add_argument(
+        "--n", type=int, default=None,
+        help="resources for the user protocol's complete graph",
+    )
+    swp.add_argument(
+        "--graph", type=str, default=None,
+        help="graph spec for resource/hybrid, e.g. torus:8x8",
+    )
+    swp.add_argument("--m", type=int, default=0, help="number of tasks")
+    swp.add_argument(
+        "--weights", type=str, default="unit",
+        help="weight distribution spec (default: unit)",
+    )
+    swp.add_argument(
+        "--threshold", type=str, default="above_average",
+        help="threshold policy kind (default: above_average)",
+    )
+    swp.add_argument(
+        "--placement", type=str, default="single_source",
+        help="initial placement kind (default: single_source)",
+    )
+    swp.add_argument(
+        "--arrival-order", type=str, default="random",
+        help="arrival stacking order (default: random)",
+    )
+    swp.add_argument("--alpha", type=float, default=1.0)
+    swp.add_argument("--eps", type=float, default=0.2)
+    swp.add_argument("--resource-fraction", type=float, default=0.5)
+    swp.add_argument(
+        "--axis",
+        action="append",
+        default=[],
+        metavar="NAME=V1,V2,...",
+        help="sweep a scenario axis over a grid (repeatable)",
+    )
+    swp.add_argument(
+        "--max-rounds", type=int, default=100_000,
+        help="per-trial round budget",
+    )
+    _add_execution_flags(swp)
     return parser
 
 
+def _progress_printer(event) -> None:
+    print(f"  {event}")
+
+
+def _check_pool_flags(args, parser: argparse.ArgumentParser) -> None:
+    """Reject --workers with a backend that cannot use a pool, up front.
+
+    Mirrors :func:`repro.core.runner.run_trials`'s precedence check so
+    the conflict surfaces as a clean usage error instead of a traceback
+    after the first sweep point starts.
+    """
+    workers = getattr(args, "workers", None)
+    backend = getattr(args, "backend", None)
+    if workers not in (None, 0, 1) and backend not in (None, "process"):
+        parser.error(
+            f"--workers {workers} only applies to --backend process; "
+            f"the {backend!r} backend cannot use a process pool"
+        )
+
+
 def _configure(exp, args) -> object:
-    config = exp.config_factory()
-    if args.quick and hasattr(config, "quick"):
-        config = config.quick()
-    overrides = {}
-    for name in ("trials", "seed", "workers", "backend"):
-        value = getattr(args, name, None)
-        if value is not None and hasattr(config, name):
-            overrides[name] = value
-    if overrides:
-        config = dataclasses.replace(config, **overrides)
-    return config
+    return exp.configure(
+        preset="quick" if getattr(args, "quick", False) else None,
+        trials=getattr(args, "trials", None),
+        seed=getattr(args, "seed", None),
+        workers=getattr(args, "workers", None),
+        backend=getattr(args, "backend", None),
+    )
 
 
 def _run_one(key: str, args) -> int:
@@ -96,7 +202,9 @@ def _run_one(key: str, args) -> int:
     config = _configure(exp, args)
     print(f"== {exp.paper_artifact}: {exp.description}")
     start = time.perf_counter()
-    result = exp.runner(config)
+    result = exp.run(
+        config, progress=_progress_printer if args.progress else None
+    )
     elapsed = time.perf_counter() - start
     print(result.format_table())
     if hasattr(result, "chart"):
@@ -111,13 +219,105 @@ def _run_one(key: str, args) -> int:
     return 0
 
 
+def _describe(key: str) -> int:
+    exp = EXPERIMENTS[key]
+    print(f"{exp.key}  [{exp.paper_artifact}]")
+    print(exp.description)
+    print()
+    config = exp.config_factory()
+    print("config defaults:")
+    import dataclasses
+
+    for f in dataclasses.fields(config):
+        print(f"  {f.name} = {getattr(config, f.name)!r}")
+    for name, overrides in exp.presets.items():
+        print(f"preset --{name}:")
+        for field_name, value in overrides.items():
+            print(f"  {field_name} = {value!r}")
+    print()
+    print("study:")
+    for line in exp.build_study(config).describe().splitlines():
+        print(f"  {line}")
+    return 0
+
+
+def _build_sweep_study(args, parser: argparse.ArgumentParser) -> Study:
+    try:
+        scenario = Scenario(
+            protocol=args.protocol,
+            n=args.n,
+            graph=parse_graph(args.graph) if args.graph else None,
+            m=args.m,
+            weights=parse_weights(args.weights),
+            threshold=args.threshold,
+            placement=args.placement,
+            arrival_order=args.arrival_order,
+            alpha=args.alpha,
+            eps=args.eps,
+            resource_fraction=args.resource_fraction,
+        )
+        if not args.axis:
+            raise ValueError(
+                "sweep needs at least one --axis NAME=V1,V2,... "
+                f"(valid axes: {', '.join(scenario_axes())})"
+            )
+        grid: Sweep | None = None
+        for spec in args.axis:
+            name, sep, text = spec.partition("=")
+            if not sep:
+                raise ValueError(
+                    f"--axis {spec!r} is not of the form NAME=V1,V2,..."
+                )
+            axis = make_sweep(name.strip(), parse_axis_values(name.strip(), text))
+            grid = axis if grid is None else grid * axis
+        # verify every grid point compiles before burning trial time
+        study = Study(
+            scenario=scenario,
+            sweep=grid,
+            trials=args.trials if args.trials is not None else 10,
+            seed=args.seed if args.seed is not None else 0,
+            max_rounds=args.max_rounds,
+            workers=args.workers,
+            backend=args.backend,
+        )
+        for point in grid.points():
+            scenario.with_(**point.values).compile()
+        return study
+    except ValueError as exc:
+        parser.error(str(exc))
+
+
+def _run_sweep(args, parser: argparse.ArgumentParser) -> int:
+    study = _build_sweep_study(args, parser)
+    print("== custom sweep")
+    for line in study.describe().splitlines():
+        print(f"   {line}")
+    start = time.perf_counter()
+    result = study.run(
+        progress=_progress_printer if args.progress else None
+    )
+    elapsed = time.perf_counter() - start
+    print(result.format_table())
+    print(f"-- completed in {elapsed:.1f}s")
+    if args.out:
+        path = result.write_csv(args.out)
+        print(f"-- rows written to {path}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
     if args.command == "list":
         width = max(len(k) for k in EXPERIMENTS)
         for exp in EXPERIMENTS.values():
             print(f"{exp.key:<{width}}  [{exp.paper_artifact}] {exp.description}")
         return 0
+    if args.command == "describe":
+        return _describe(args.experiment)
+    _check_pool_flags(args, parser)
+    if args.command == "sweep":
+        return _run_sweep(args, parser)
     keys = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for key in keys:
         _run_one(key, args)

@@ -46,14 +46,32 @@ def run_trials(
     workers:
         ``None``/``0``/``1`` = serial.  Otherwise a process pool of that
         many workers (capped at ``os.cpu_count()``); ``-1`` = all cores.
-        Only meaningful for the process backend.
     backend:
         ``"serial"``, ``"process"``, ``"batched"``, a
         :class:`~repro.core.backends.SimulationBackend` instance, or
         ``None`` to infer from ``workers`` (the historical behaviour).
+
+    Precedence: an explicit ``backend`` decides the execution strategy;
+    ``workers`` then only parameterises the ``"process"`` pool.  With
+    ``backend=None`` a pool-requesting ``workers`` selects the process
+    backend.  Requesting a pool alongside a backend that cannot use one
+    (``"serial"``, ``"batched"``, or any pre-built backend instance,
+    which carries its own pool size) raises ``ValueError`` instead of
+    silently ignoring ``workers``.
     """
     if trials <= 0:
         raise ValueError("trials must be positive")
+    if workers not in (None, 0, 1) and backend is not None and backend != "process":
+        label = (
+            f"backend {backend.name!r} (instance)"
+            if isinstance(backend, SimulationBackend)
+            else f"backend {backend!r}"
+        )
+        raise ValueError(
+            f"workers={workers} requests a process pool, but {label} cannot "
+            "use it and would silently ignore the setting; pass "
+            "backend='process' (or drop the workers argument)"
+        )
     root = (
         seed
         if isinstance(seed, np.random.SeedSequence)

@@ -1,4 +1,11 @@
-"""Experiment drivers — one per table/figure/claim of the paper."""
+"""Paper artefacts as declarative Studies — one module per table/figure/claim.
+
+Each module defines a frozen config, a ``build_study(config)`` returning
+the declarative :class:`repro.study.Study`, and a result adapter that
+turns study rows into the artefact's rich result type.  The registry
+(:data:`EXPERIMENTS`) binds them together; the ``run_*`` functions are
+deprecation shims kept for pre-Study callers.
+"""
 
 from .alpha_ablation import (
     AlphaAblationConfig,
@@ -11,10 +18,10 @@ from .arrival_order import (
     run_arrival_order,
 )
 from .drift_check import DriftCheckConfig, DriftCheckResult, run_drift_check
-from .charts import ascii_chart
+from .charts import ascii_chart, series_from_rows
 from .figure1 import Figure1Config, Figure1Result, run_figure1
 from .figure2 import Figure2Config, Figure2Result, run_figure2
-from .io import format_table, write_csv, write_json
+from .io import format_table, series, write_csv, write_json
 from .lower_bound import LowerBoundConfig, LowerBoundResult, run_lower_bound
 from .registry import EXPERIMENTS, Experiment
 from .resource_above import (
@@ -73,6 +80,8 @@ __all__ = [
     "run_resource_tight",
     "run_table1",
     "run_tight_scaling",
+    "series",
+    "series_from_rows",
     "write_csv",
     "write_json",
 ]

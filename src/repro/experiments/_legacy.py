@@ -1,0 +1,719 @@
+"""Frozen pre-Study driver implementations (equivalence reference).
+
+Verbatim copies of the imperative experiment drivers as they existed
+before the declarative Scenario/Study API became the public surface.
+They exist solely so ``tests/integration/test_study_equivalence.py``
+can prove, for every registry key, that the Study pipeline reproduces
+the legacy numbers **bit-for-bit** from a shared root seed.
+
+Do not add features or "clean up" seed handling here — any change
+destroys the reference.  New scenarios belong in the Study definitions
+inside the driver modules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..analysis.bounds import (
+    theorem3_rounds,
+    theorem7_rounds,
+    theorem11_rounds,
+    theorem12_rounds,
+)
+from ..analysis.drift import estimate_drift, lemma10_delta
+from ..analysis.fitting import fit_linear, fit_logarithmic, fit_power_law
+from ..core.metrics import normalized_balancing_time, summarize_runs
+from ..core.protocols import (
+    Protocol,
+    ResourceControlledProtocol,
+    UserControlledProtocol,
+)
+from ..core.protocols.user_controlled import theorem11_alpha
+from ..core.runner import run_trials
+from ..core.state import SystemState
+from ..core.thresholds import AboveAverageThreshold
+from ..graphs.builders import (
+    clique_with_pendant,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_graph,
+    grid_graph,
+    hypercube_graph,
+    random_regular_graph,
+    torus_graph,
+)
+from ..graphs.hitting import hitting_times_to_target, max_hitting_time
+from ..graphs.random_walk import lazy_walk, max_degree_walk
+from ..graphs.spectral import mixing_time_bound, spectral_gap, spectral_summary
+from ..graphs.topology import Graph
+from ..study.setups import (
+    HybridSetup,
+    ResourceControlledSetup,
+    UserControlledSetup,
+)
+from ..workloads.placement import single_source_placement
+from ..workloads.weights import (
+    TwoPointWeights,
+    UniformRangeWeights,
+    UniformWeights,
+    WeightDistribution,
+)
+from .alpha_ablation import AlphaAblationConfig, AlphaAblationResult
+from .arrival_order import ArrivalOrderConfig, ArrivalOrderResult
+from .drift_check import DriftCheckConfig, DriftCheckResult
+from .figure1 import Figure1Config, Figure1Result
+from .figure2 import Figure2Config, Figure2Result
+from .lower_bound import LowerBoundConfig, LowerBoundResult
+from .resource_above import ResourceAboveConfig, ResourceAboveResult
+from .resource_tight import ResourceTightConfig, ResourceTightResult
+from .table1 import Table1Config, Table1Result
+from .tight_scaling import TightScalingConfig, TightScalingResult
+
+__all__ = ["LEGACY_RUNNERS"]
+
+
+# Helpers are copied here verbatim rather than imported from the live
+# driver modules: if the reference shared code with the Study pipeline,
+# a drift in that code would change both sides identically and the
+# equivalence suite could never catch it.
+
+
+def _graphs(config: ResourceAboveConfig) -> list[Graph]:
+    rng = np.random.default_rng(config.seed)
+    n = config.n_target
+    dim = int(round(np.log2(n)))
+    side = int(round(np.sqrt(n)))
+    return [
+        complete_graph(n),
+        random_regular_graph(n, 3, rng),
+        hypercube_graph(dim),
+        torus_graph(side, side),
+    ]
+
+
+def _instances(config: Table1Config):
+    rng = np.random.default_rng(config.seed)
+    for n in config.complete_sizes:
+        yield "complete", complete_graph(n)
+    for n in config.expander_sizes:
+        yield "regular_expander", random_regular_graph(
+            n, config.expander_degree, rng
+        )
+    for n in config.er_sizes:
+        p = config.er_density_factor * np.log(n) / n
+        yield "erdos_renyi", erdos_renyi_graph(n, min(p, 1.0), rng)
+    for dim in config.hypercube_dims:
+        yield "hypercube", hypercube_graph(dim)
+    for side in config.grid_sides:
+        yield "grid", grid_graph(side, side)
+
+
+def _phase_drops(trace: np.ndarray, phase: int) -> list[float]:
+    drops = []
+    t = 0
+    while t + phase < trace.shape[0] and trace[t] > 0:
+        drops.append(1.0 - trace[t + phase] / trace[t])
+        t += phase
+    return drops
+
+
+def run_figure1_legacy(config: Figure1Config) -> Figure1Result:
+    rows: list[dict] = []
+    root = np.random.SeedSequence(config.seed)
+    for k in config.k_values:
+        for w_tot, child in zip(
+            config.total_weights, root.spawn(len(config.total_weights))
+        ):
+            light = int(round(w_tot - config.heavy_weight * k))
+            if light < 0:
+                # the k-heavy curve only exists for W >= k * heavy_weight
+                continue
+            m = light + k
+            setup = UserControlledSetup(
+                n=config.n,
+                m=m,
+                distribution=TwoPointWeights(
+                    light=1.0, heavy=config.heavy_weight, heavy_count=k
+                ),
+                alpha=config.alpha,
+                eps=config.eps,
+            )
+            summary = summarize_runs(
+                run_trials(
+                    setup,
+                    config.trials,
+                    seed=child,
+                    max_rounds=config.max_rounds,
+                    workers=config.workers,
+                    backend=config.backend,
+                )
+            )
+            rows.append(
+                {
+                    "W": w_tot,
+                    "k": k,
+                    "m": m,
+                    "mean_rounds": summary.mean_rounds,
+                    "ci95": summary.ci95_halfwidth,
+                    "log_m_plus_k": float(np.log(m + k)),
+                    "balanced_trials": summary.balanced_trials,
+                    "trials": summary.trials,
+                }
+            )
+    result = Figure1Result(config=config, rows=rows)
+    for k in config.k_values:
+        pts = sorted(
+            (r["m"] + r["k"], r["mean_rounds"])
+            for r in result.rows
+            if r["k"] == k
+        )
+        if len(pts) >= 2:
+            arr = np.array(pts, dtype=np.float64)
+            result.fits[k] = fit_logarithmic(arr[:, 0], arr[:, 1])
+    return result
+
+
+def run_figure2_legacy(config: Figure2Config) -> Figure2Result:
+    rows: list[dict] = []
+    root = np.random.SeedSequence(config.seed)
+    for wmax in config.wmax_values:
+        for m, child in zip(config.m_values, root.spawn(len(config.m_values))):
+            setup = UserControlledSetup(
+                n=config.n,
+                m=m,
+                distribution=TwoPointWeights(
+                    light=1.0, heavy=float(wmax), heavy_count=1
+                ),
+                alpha=config.alpha,
+                eps=config.eps,
+            )
+            summary = summarize_runs(
+                run_trials(
+                    setup,
+                    config.trials,
+                    seed=child,
+                    max_rounds=config.max_rounds,
+                    workers=config.workers,
+                    backend=config.backend,
+                )
+            )
+            rows.append(
+                {
+                    "m": m,
+                    "wmax": wmax,
+                    "mean_rounds": summary.mean_rounds,
+                    "ci95": summary.ci95_halfwidth,
+                    "normalized": normalized_balancing_time(
+                        summary.mean_rounds, m
+                    ),
+                    "balanced_trials": summary.balanced_trials,
+                    "trials": summary.trials,
+                }
+            )
+    result = Figure2Result(config=config, rows=rows)
+    wmaxes, means = result.mean_normalized_by_wmax()
+    if wmaxes.shape[0] >= 2:
+        result.wmax_fit = fit_linear(wmaxes, means)
+    for wmax in config.wmax_values:
+        ms, norm = result.curve(wmax)
+        if ms.shape[0] >= 2:
+            raw = norm * np.log(ms)
+            result.per_wmax_fits[wmax] = fit_logarithmic(ms, raw)
+    return result
+
+
+def run_table1_legacy(config: Table1Config) -> Table1Result:
+    rows: list[dict] = []
+    for family, graph in _instances(config):
+        summary = spectral_summary(graph, empirical=config.empirical_mixing)
+        walk = max_degree_walk(graph)
+        if spectral_gap(walk) <= 1e-12:
+            walk = lazy_walk(graph)
+        h_exact = max_hitting_time(walk)
+        rows.append(
+            {
+                "family": family,
+                "n": graph.n,
+                "gap": summary.spectral_gap,
+                "tau_bound": summary.mixing_bound,
+                "t_mix_emp": (
+                    float(summary.empirical_mixing)
+                    if summary.empirical_mixing is not None
+                    else float("nan")
+                ),
+                "H_exact": h_exact,
+                "lazy": summary.used_lazy,
+            }
+        )
+    result = Table1Result(config=config, rows=rows)
+    for family in dict.fromkeys(r["family"] for r in rows):
+        ns, mix, hit = result.family_series(family)
+        if ns.shape[0] >= 2 and np.all(mix > 0):
+            result.fits[family] = {
+                "mixing": fit_power_law(ns, mix),
+                "hitting": fit_power_law(ns, hit),
+            }
+    return result
+
+
+def run_resource_above_legacy(
+    config: ResourceAboveConfig,
+) -> ResourceAboveResult:
+    rows: list[dict] = []
+    root = np.random.SeedSequence(config.seed)
+    workloads = [
+        ("unit", UniformWeights(1.0)),
+        ("uniform[1,10]", UniformRangeWeights(1.0, config.heavy_high)),
+    ]
+    for graph in _graphs(config):
+        tau = mixing_time_bound(max_degree_walk(graph))
+        for label, dist in workloads:
+            for m, child in zip(
+                config.m_values, root.spawn(len(config.m_values))
+            ):
+                setup = ResourceControlledSetup(
+                    graph=graph,
+                    m=m,
+                    distribution=dist,
+                    eps=config.eps,
+                    threshold_kind="above_average",
+                )
+                summary = summarize_runs(
+                    run_trials(
+                        setup,
+                        config.trials,
+                        seed=child,
+                        max_rounds=config.max_rounds,
+                        workers=config.workers,
+                        backend=config.backend,
+                    )
+                )
+                rows.append(
+                    {
+                        "graph": graph.name,
+                        "weights": label,
+                        "m": m,
+                        "tau": tau,
+                        "mean_rounds": summary.mean_rounds,
+                        "ci95": summary.ci95_halfwidth,
+                        "per_tau_log_m": summary.mean_rounds
+                        / (tau * np.log(m)),
+                        "thm3_bound": theorem3_rounds(tau, m, config.eps),
+                        "balanced_trials": summary.balanced_trials,
+                    }
+                )
+    return ResourceAboveResult(config=config, rows=rows)
+
+
+def run_resource_tight_legacy(
+    config: ResourceTightConfig,
+) -> ResourceTightResult:
+    rows: list[dict] = []
+    root = np.random.SeedSequence(config.seed)
+    graphs = [complete_graph(config.n), cycle_graph(config.n)]
+    workloads = [
+        ("unit", UniformWeights(1.0)),
+        (
+            f"{config.heavy_count}x{config.heavy_weight:g}+units",
+            TwoPointWeights(
+                light=1.0,
+                heavy=config.heavy_weight,
+                heavy_count=config.heavy_count,
+            ),
+        ),
+    ]
+    for graph in graphs:
+        h = max_hitting_time(max_degree_walk(graph))
+        for label, dist in workloads:
+            for m, child in zip(
+                config.m_values, root.spawn(len(config.m_values))
+            ):
+                setup = ResourceControlledSetup(
+                    graph=graph,
+                    m=m,
+                    distribution=dist,
+                    threshold_kind="tight_resource",
+                )
+                summary = summarize_runs(
+                    run_trials(
+                        setup,
+                        config.trials,
+                        seed=child,
+                        max_rounds=config.max_rounds,
+                        workers=config.workers,
+                        backend=config.backend,
+                    )
+                )
+                w_sample = dist.sample(m, np.random.default_rng(0))
+                total_w = float(w_sample.sum())
+                rows.append(
+                    {
+                        "graph": graph.name,
+                        "weights": label,
+                        "m": m,
+                        "H": h,
+                        "mean_rounds": summary.mean_rounds,
+                        "ci95": summary.ci95_halfwidth,
+                        "per_H_log_W": summary.mean_rounds
+                        / (h * np.log(total_w)),
+                        "thm7_bound": theorem7_rounds(h, total_w),
+                        "balanced_trials": summary.balanced_trials,
+                    }
+                )
+    return ResourceTightResult(config=config, rows=rows)
+
+
+def run_lower_bound_legacy(config: LowerBoundConfig) -> LowerBoundResult:
+    rows: list[dict] = []
+    root = np.random.SeedSequence(config.seed)
+    for k, child in zip(config.k_values, root.spawn(len(config.k_values))):
+        graph = clique_with_pendant(config.n, k)
+        walk = max_degree_walk(graph)
+        h_pendant = float(hitting_times_to_target(walk, graph.n - 1).max())
+        setup = ResourceControlledSetup(
+            graph=graph,
+            m=config.m,
+            distribution=UniformWeights(1.0),
+            threshold_kind="tight_resource",
+            placement_kind="adversarial_clique",
+        )
+        summary = summarize_runs(
+            run_trials(
+                setup,
+                config.trials,
+                seed=child,
+                max_rounds=config.max_rounds,
+                workers=config.workers,
+                backend=config.backend,
+            )
+        )
+        rows.append(
+            {
+                "k": k,
+                "H_to_pendant": h_pendant,
+                "mean_rounds": summary.mean_rounds,
+                "ci95": summary.ci95_halfwidth,
+                "per_H": summary.mean_rounds / h_pendant,
+                "balanced_trials": summary.balanced_trials,
+            }
+        )
+    return LowerBoundResult(config=config, rows=rows)
+
+
+def run_alpha_ablation_legacy(
+    config: AlphaAblationConfig,
+) -> AlphaAblationResult:
+    rows: list[dict] = []
+    root = np.random.SeedSequence(config.seed)
+    dist = TwoPointWeights(
+        light=1.0, heavy=config.heavy_weight, heavy_count=config.heavy_count
+    )
+    alphas = list(config.alphas)
+    if config.include_theory_alpha:
+        alphas = [theorem11_alpha(config.eps), *alphas]
+    children = iter(
+        root.spawn(len(alphas) + (1 if config.include_hybrid else 0))
+    )
+
+    for alpha in alphas:
+        setup = UserControlledSetup(
+            n=config.n,
+            m=config.m,
+            distribution=dist,
+            alpha=alpha,
+            eps=config.eps,
+        )
+        summary = summarize_runs(
+            run_trials(
+                setup,
+                config.trials,
+                seed=next(children),
+                max_rounds=config.max_rounds,
+                workers=config.workers,
+                backend=config.backend,
+            )
+        )
+        rows.append(
+            {
+                "protocol": "user",
+                "alpha": alpha,
+                "mean_rounds": summary.mean_rounds,
+                "ci95": summary.ci95_halfwidth,
+                "rounds_x_alpha": summary.mean_rounds * alpha,
+                "thm11_bound": theorem11_rounds(
+                    config.m, config.eps, alpha, config.heavy_weight
+                ),
+                "balanced_trials": summary.balanced_trials,
+            }
+        )
+
+    if config.include_hybrid:
+        setup = HybridSetup(
+            graph=complete_graph(config.n),
+            m=config.m,
+            distribution=dist,
+            alpha=1.0,
+            eps=config.eps,
+            resource_fraction=0.5,
+        )
+        summary = summarize_runs(
+            run_trials(
+                setup,
+                config.trials,
+                seed=next(children),
+                max_rounds=config.max_rounds,
+                workers=config.workers,
+                backend=config.backend,
+            )
+        )
+        rows.append(
+            {
+                "protocol": "hybrid(q=0.5)",
+                "alpha": 1.0,
+                "mean_rounds": summary.mean_rounds,
+                "ci95": summary.ci95_halfwidth,
+                "rounds_x_alpha": summary.mean_rounds,
+                "thm11_bound": float("nan"),
+                "balanced_trials": summary.balanced_trials,
+            }
+        )
+    return AlphaAblationResult(config=config, rows=rows)
+
+
+def run_tight_scaling_legacy(config: TightScalingConfig) -> TightScalingResult:
+    rows: list[dict] = []
+    root = np.random.SeedSequence(config.seed)
+    for n, child in zip(config.n_values, root.spawn(len(config.n_values))):
+        m = config.m_per_n * n
+        setup = UserControlledSetup(
+            n=n,
+            m=m,
+            distribution=UniformWeights(1.0),
+            alpha=config.alpha,
+            threshold_kind="tight_user",
+        )
+        summary = summarize_runs(
+            run_trials(
+                setup,
+                config.trials,
+                seed=child,
+                max_rounds=config.max_rounds,
+                workers=config.workers,
+                backend=config.backend,
+            )
+        )
+        bound = theorem12_rounds(m, n, config.alpha, 1.0)
+        rows.append(
+            {
+                "n": n,
+                "m": m,
+                "mean_rounds": summary.mean_rounds,
+                "ci95": summary.ci95_halfwidth,
+                "thm12_bound": bound,
+                "measured/bound": summary.mean_rounds / bound,
+                "balanced_trials": summary.balanced_trials,
+            }
+        )
+    result = TightScalingResult(config=config, rows=rows)
+    ns = np.array([r["n"] for r in rows], dtype=np.float64)
+    times = np.array([r["mean_rounds"] for r in rows])
+    if ns.shape[0] >= 2 and np.all(times > 0):
+        result.fit = fit_power_law(ns, times)
+    return result
+
+
+@dataclass(frozen=True)
+class _OrderedSetup:
+    """Picklable per-trial setup with a configurable arrival order."""
+
+    kind: str  # "user" | "resource"
+    graph: Graph
+    m: int
+    distribution: WeightDistribution
+    eps: float
+    arrival_order: str
+
+    def __call__(
+        self, rng: np.random.Generator
+    ) -> tuple[Protocol, SystemState]:
+        weights = self.distribution.sample(self.m, rng)
+        state = SystemState.from_workload(
+            weights,
+            single_source_placement(self.m, self.graph.n),
+            self.graph.n,
+            AboveAverageThreshold(self.eps),
+        )
+        if self.kind == "user":
+            return (
+                UserControlledProtocol(
+                    alpha=1.0, arrival_order=self.arrival_order
+                ),
+                state,
+            )
+        return (
+            ResourceControlledProtocol(
+                self.graph, arrival_order=self.arrival_order
+            ),
+            state,
+        )
+
+
+def run_arrival_order_legacy(config: ArrivalOrderConfig) -> ArrivalOrderResult:
+    rows: list[dict] = []
+    root = np.random.SeedSequence(config.seed)
+    dist = TwoPointWeights(
+        light=1.0, heavy=config.heavy_weight, heavy_count=config.heavy_count
+    )
+    scenarios = [
+        ("user", complete_graph(config.n)),
+        (
+            "resource",
+            torus_graph(
+                int(round(np.sqrt(config.n))), int(round(np.sqrt(config.n)))
+            ),
+        ),
+    ]
+    for (kind, graph), proto_seed in zip(
+        scenarios, root.spawn(len(scenarios))
+    ):
+        # the SAME seed for both orders: identical workloads & walks,
+        # only the stacking order differs
+        for order in ("random", "fifo"):
+            setup = _OrderedSetup(
+                kind=kind,
+                graph=graph,
+                m=config.m,
+                distribution=dist,
+                eps=config.eps,
+                arrival_order=order,
+            )
+            summary = summarize_runs(
+                run_trials(
+                    setup,
+                    config.trials,
+                    seed=proto_seed,
+                    max_rounds=config.max_rounds,
+                    workers=config.workers,
+                    backend=config.backend,
+                )
+            )
+            rows.append(
+                {
+                    "protocol": kind,
+                    "order": order,
+                    "mean_rounds": summary.mean_rounds,
+                    "ci95": summary.ci95_halfwidth,
+                    "balanced_trials": summary.balanced_trials,
+                }
+            )
+    return ArrivalOrderResult(config=config, rows=rows)
+
+
+def run_drift_check_legacy(config: DriftCheckConfig) -> DriftCheckResult:
+    rows: list[dict] = []
+    root = np.random.SeedSequence(config.seed)
+    s_user, s_cycle, s_complete = root.spawn(3)
+
+    # --- user-controlled, above-average threshold (Lemma 10) ----------
+    dist = TwoPointWeights(
+        light=1.0, heavy=config.heavy_weight, heavy_count=config.heavy_count
+    )
+    results = run_trials(
+        UserControlledSetup(
+            n=config.n,
+            m=config.m,
+            distribution=dist,
+            alpha=config.alpha,
+            eps=config.eps,
+        ),
+        config.trials,
+        seed=s_user,
+        max_rounds=config.max_rounds,
+        workers=config.workers,
+        backend=config.backend,
+        record_traces=True,
+    )
+    deltas, preds, rounds = [], [], []
+    for r in results:
+        est = estimate_drift(r.potential_trace)
+        deltas.append(est.delta_regression)
+        preds.append(est.predicted_rounds)
+        rounds.append(r.rounds)
+    theory_delta = lemma10_delta(
+        config.eps, config.alpha, config.heavy_weight, 1.0
+    )
+    rows.append(
+        {
+            "scenario": "user/above-average (Lemma 10)",
+            "delta_measured": float(np.mean(deltas)),
+            "delta_theory": theory_delta,
+            "phase_drop_measured": float("nan"),
+            "phase_drop_theory": float("nan"),
+            "monotone_phi": False,  # user potential may increase transiently
+            "mean_rounds": float(np.mean(rounds)),
+            "drift_pred_rounds": float(np.mean(preds)),
+        }
+    )
+
+    # --- resource-controlled, tight threshold (Lemma 5) ---------------
+    for graph, seed in (
+        (cycle_graph(config.n), s_cycle),
+        (complete_graph(config.n), s_complete),
+    ):
+        h = max_hitting_time(max_degree_walk(graph))
+        phase = max(1, int(round(2 * h)))
+        results = run_trials(
+            ResourceControlledSetup(
+                graph=graph,
+                m=config.m,
+                distribution=UniformWeights(1.0),
+                threshold_kind="tight_resource",
+            ),
+            config.trials,
+            seed=seed,
+            max_rounds=config.max_rounds,
+            workers=config.workers,
+            backend=config.backend,
+            record_traces=True,
+        )
+        drops, monotone, rounds, preds = [], [], [], []
+        for r in results:
+            trace = r.potential_trace
+            monotone.append(bool(np.all(np.diff(trace) <= 1e-9)))
+            drops.extend(_phase_drops(trace, phase))
+            rounds.append(r.rounds)
+            est = estimate_drift(trace)
+            preds.append(est.predicted_rounds)
+        rows.append(
+            {
+                "scenario": f"resource/tight on {graph.name} (Lemma 5)",
+                "delta_measured": float("nan"),
+                "delta_theory": float("nan"),
+                "phase_drop_measured": (
+                    float(np.mean(drops)) if drops else 1.0
+                ),
+                "phase_drop_theory": 0.25,
+                "monotone_phi": all(monotone),
+                "mean_rounds": float(np.mean(rounds)),
+                "drift_pred_rounds": float(np.mean(preds)),
+            }
+        )
+    return DriftCheckResult(config=config, rows=rows)
+
+
+#: Registry-key -> frozen legacy runner, for the equivalence suite.
+LEGACY_RUNNERS = {
+    "figure1": run_figure1_legacy,
+    "figure2": run_figure2_legacy,
+    "table1": run_table1_legacy,
+    "resource_above": run_resource_above_legacy,
+    "resource_tight": run_resource_tight_legacy,
+    "lower_bound": run_lower_bound_legacy,
+    "alpha_ablation": run_alpha_ablation_legacy,
+    "tight_scaling": run_tight_scaling_legacy,
+    "arrival_order": run_arrival_order_legacy,
+    "drift_check": run_drift_check_legacy,
+}

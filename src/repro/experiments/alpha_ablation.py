@@ -7,31 +7,44 @@ whether the theoretical bound can also be shown for ``alpha = 1``."
 This ablation quantifies the observation: the user-controlled protocol
 is run with ``alpha`` ranging from Theorem 11's analysis value
 ``eps/(120(1+eps))`` up to 1.  Theorem 11 predicts
-``E[T] ~ 1/alpha``; the driver reports ``mean_rounds * alpha``, which
+``E[T] ~ 1/alpha``; the study reports ``mean_rounds * alpha``, which
 staying roughly constant confirms the ``1/alpha`` law, and the absolute
 numbers show ``alpha = 1`` is ~3 orders of magnitude faster than the
 analysis constant while still balancing every trial.
 
-A hybrid-protocol column (E7b) compares the future-work mixed protocol
-on the same workload.
+A hybrid-protocol variant (E7b) compares the future-work mixed protocol
+on the same workload — the sweep's single ``variant`` axis enumerates
+the user-protocol alphas followed by the hybrid point.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, replace
 
-import numpy as np
-
 from ..analysis.bounds import theorem11_rounds
-from ..core.metrics import summarize_runs
 from ..core.protocols.user_controlled import theorem11_alpha
-from ..core.runner import run_trials
 from ..graphs.builders import complete_graph
+from ..graphs.topology import Graph
+from ..study import PointOutcome, Scenario, Study, StudyResult, run_study, sweep
 from ..workloads.weights import TwoPointWeights
 from .io import format_table
-from .setups import HybridSetup, UserControlledSetup
 
-__all__ = ["AlphaAblationConfig", "AlphaAblationResult", "run_alpha_ablation"]
+__all__ = [
+    "QUICK",
+    "AlphaAblationConfig",
+    "AlphaAblationResult",
+    "build_study",
+    "alpha_ablation_result",
+    "run_alpha_ablation",
+]
+
+#: The ``--quick`` preset.
+QUICK = {
+    "alphas": (0.05, 0.5, 1.0),
+    "include_theory_alpha": False,
+    "trials": 8,
+}
 
 
 @dataclass(frozen=True)
@@ -51,10 +64,93 @@ class AlphaAblationConfig:
     backend: str | None = None
 
     def quick(self) -> "AlphaAblationConfig":
-        return replace(
-            self, alphas=(0.05, 0.5, 1.0), include_theory_alpha=False,
-            trials=8,
+        return replace(self, **QUICK)
+
+
+@dataclass(frozen=True)
+class _AlphaBind:
+    """Bind one ``variant`` axis value (protocol kind, alpha)."""
+
+    graph: Graph | None  # complete graph, built iff hybrid is included
+
+    def __call__(self, scenario: Scenario, point) -> Scenario:
+        kind, alpha = point["variant"]
+        if kind == "user":
+            return scenario.with_(alpha=alpha)
+        return scenario.with_(
+            protocol="hybrid",
+            n=None,
+            graph=self.graph,
+            alpha=alpha,
+            resource_fraction=0.5,
         )
+
+
+@dataclass(frozen=True)
+class _AlphaRow:
+    m: int
+    eps: float
+    heavy_weight: float
+
+    def __call__(self, outcome: PointOutcome) -> dict:
+        kind, alpha = outcome.point["variant"]
+        summary = outcome.summary
+        if kind == "user":
+            return {
+                "protocol": "user",
+                "alpha": alpha,
+                "mean_rounds": summary.mean_rounds,
+                "ci95": summary.ci95_halfwidth,
+                "rounds_x_alpha": summary.mean_rounds * alpha,
+                "thm11_bound": theorem11_rounds(
+                    self.m, self.eps, alpha, self.heavy_weight
+                ),
+                "balanced_trials": summary.balanced_trials,
+            }
+        return {
+            "protocol": "hybrid(q=0.5)",
+            "alpha": alpha,
+            "mean_rounds": summary.mean_rounds,
+            "ci95": summary.ci95_halfwidth,
+            "rounds_x_alpha": summary.mean_rounds,
+            "thm11_bound": float("nan"),
+            "balanced_trials": summary.balanced_trials,
+        }
+
+
+def build_study(
+    config: AlphaAblationConfig = AlphaAblationConfig(),
+) -> Study:
+    """The alpha ablation (plus hybrid comparison) as a Study."""
+    alphas = list(config.alphas)
+    if config.include_theory_alpha:
+        alphas = [theorem11_alpha(config.eps), *alphas]
+    variants = [("user", alpha) for alpha in alphas]
+    hybrid_graph = None
+    if config.include_hybrid:
+        variants.append(("hybrid", 1.0))
+        hybrid_graph = complete_graph(config.n)
+    return Study(
+        scenario=Scenario(
+            protocol="user",
+            n=config.n,
+            m=config.m,
+            weights=TwoPointWeights(
+                light=1.0,
+                heavy=config.heavy_weight,
+                heavy_count=config.heavy_count,
+            ),
+            eps=config.eps,
+        ),
+        sweep=sweep("variant", tuple(variants)),
+        trials=config.trials,
+        seed=config.seed,
+        max_rounds=config.max_rounds,
+        workers=config.workers,
+        backend=config.backend,
+        bind=_AlphaBind(hybrid_graph),
+        row=_AlphaRow(config.m, config.eps, config.heavy_weight),
+    )
 
 
 @dataclass
@@ -89,77 +185,21 @@ class AlphaAblationResult:
         return float(max(vals) / min(vals)) if vals else 1.0
 
 
+def alpha_ablation_result(
+    config: AlphaAblationConfig, study_result: StudyResult
+) -> AlphaAblationResult:
+    """Adapt the study rows into the alpha-ablation result."""
+    return AlphaAblationResult(config=config, rows=list(study_result.rows))
+
+
 def run_alpha_ablation(
     config: AlphaAblationConfig = AlphaAblationConfig(),
 ) -> AlphaAblationResult:
-    """Sweep ``alpha`` (and optionally the hybrid protocol)."""
-    rows: list[dict] = []
-    root = np.random.SeedSequence(config.seed)
-    dist = TwoPointWeights(
-        light=1.0, heavy=config.heavy_weight, heavy_count=config.heavy_count
+    """Deprecated driver entry point; delegates to the Study API."""
+    warnings.warn(
+        "run_alpha_ablation() is deprecated; use build_study()/run_study() "
+        "or repro.experiments.EXPERIMENTS['alpha_ablation'].run()",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    alphas = list(config.alphas)
-    if config.include_theory_alpha:
-        alphas = [theorem11_alpha(config.eps), *alphas]
-    children = iter(root.spawn(len(alphas) + (1 if config.include_hybrid else 0)))
-
-    for alpha in alphas:
-        setup = UserControlledSetup(
-            n=config.n, m=config.m, distribution=dist, alpha=alpha,
-            eps=config.eps,
-        )
-        summary = summarize_runs(
-            run_trials(
-                setup,
-                config.trials,
-                seed=next(children),
-                max_rounds=config.max_rounds,
-                workers=config.workers,
-                backend=config.backend,
-            )
-        )
-        rows.append(
-            {
-                "protocol": "user",
-                "alpha": alpha,
-                "mean_rounds": summary.mean_rounds,
-                "ci95": summary.ci95_halfwidth,
-                "rounds_x_alpha": summary.mean_rounds * alpha,
-                "thm11_bound": theorem11_rounds(
-                    config.m, config.eps, alpha, config.heavy_weight
-                ),
-                "balanced_trials": summary.balanced_trials,
-            }
-        )
-
-    if config.include_hybrid:
-        setup = HybridSetup(
-            graph=complete_graph(config.n),
-            m=config.m,
-            distribution=dist,
-            alpha=1.0,
-            eps=config.eps,
-            resource_fraction=0.5,
-        )
-        summary = summarize_runs(
-            run_trials(
-                setup,
-                config.trials,
-                seed=next(children),
-                max_rounds=config.max_rounds,
-                workers=config.workers,
-                backend=config.backend,
-            )
-        )
-        rows.append(
-            {
-                "protocol": "hybrid(q=0.5)",
-                "alpha": 1.0,
-                "mean_rounds": summary.mean_rounds,
-                "ci95": summary.ci95_halfwidth,
-                "rounds_x_alpha": summary.mean_rounds,
-                "thm11_bound": float("nan"),
-                "balanced_trials": summary.balanced_trials,
-            }
-        )
-    return AlphaAblationResult(config=config, rows=rows)
+    return alpha_ablation_result(config, run_study(build_study(config)))

@@ -1,4 +1,4 @@
-"""Experiment E9 — the "arbitrary order" modelling assumption.
+"""Experiment E9 — the "arbitrary order" modelling assumption, as a Study.
 
 Section 5 of the paper states: "If several balls arrive at the same
 resource in one time step the new balls are added in an arbitrary
@@ -11,64 +11,36 @@ and reports the ratio of mean balancing times — it should hover around
 This is a *model-robustness* check rather than a paper artefact: if a
 refactor ever made the simulator's results depend on an arbitrary
 choice the paper's model leaves open, this bench catches it.
+
+The sweep showcases seed sharing: the ``order`` axis is *unseeded*
+(``sweep("order", ..., seeded=False)``), so both stacking orders draw
+from one per-protocol seed child instead of receiving independent
+children — reproducing the pre-Study driver's seeding bit-for-bit.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, replace
 
 import numpy as np
 
-from ..core.metrics import summarize_runs
-from ..core.protocols import (
-    Protocol,
-    ResourceControlledProtocol,
-    UserControlledProtocol,
-)
-from ..core.runner import run_trials
-from ..core.state import SystemState
-from ..core.thresholds import AboveAverageThreshold
 from ..graphs.builders import complete_graph, torus_graph
-from ..graphs.topology import Graph
-from ..workloads.placement import single_source_placement
-from ..workloads.weights import TwoPointWeights, WeightDistribution
+from ..study import PointOutcome, Scenario, Study, StudyResult, run_study, sweep
+from ..workloads.weights import TwoPointWeights
 from .io import format_table
 
-__all__ = ["ArrivalOrderConfig", "ArrivalOrderResult", "run_arrival_order"]
+__all__ = [
+    "QUICK",
+    "ArrivalOrderConfig",
+    "ArrivalOrderResult",
+    "build_study",
+    "arrival_order_result",
+    "run_arrival_order",
+]
 
-
-@dataclass(frozen=True)
-class _OrderedSetup:
-    """Picklable per-trial setup with a configurable arrival order."""
-
-    kind: str  # "user" | "resource"
-    graph: Graph
-    m: int
-    distribution: WeightDistribution
-    eps: float
-    arrival_order: str
-
-    def __call__(self, rng: np.random.Generator) -> tuple[Protocol, SystemState]:
-        weights = self.distribution.sample(self.m, rng)
-        state = SystemState.from_workload(
-            weights,
-            single_source_placement(self.m, self.graph.n),
-            self.graph.n,
-            AboveAverageThreshold(self.eps),
-        )
-        if self.kind == "user":
-            return (
-                UserControlledProtocol(
-                    alpha=1.0, arrival_order=self.arrival_order
-                ),
-                state,
-            )
-        return (
-            ResourceControlledProtocol(
-                self.graph, arrival_order=self.arrival_order
-            ),
-            state,
-        )
+#: The ``--quick`` preset.
+QUICK = {"trials": 15}
 
 
 @dataclass(frozen=True)
@@ -85,7 +57,67 @@ class ArrivalOrderConfig:
     backend: str | None = None
 
     def quick(self) -> "ArrivalOrderConfig":
-        return replace(self, trials=15)
+        return replace(self, **QUICK)
+
+
+def _arrival_order_bind(scenario: Scenario, point) -> Scenario:
+    kind, graph = point["protocol"]
+    order = point["order"]
+    if kind == "user":
+        return scenario.with_(
+            protocol="user", n=graph.n, graph=None, arrival_order=order
+        )
+    return scenario.with_(
+        protocol="resource", n=None, graph=graph, arrival_order=order
+    )
+
+
+def _arrival_order_row(outcome: PointOutcome) -> dict:
+    kind, _graph = outcome.point["protocol"]
+    summary = outcome.summary
+    return {
+        "protocol": kind,
+        "order": outcome.point["order"],
+        "mean_rounds": summary.mean_rounds,
+        "ci95": summary.ci95_halfwidth,
+        "balanced_trials": summary.balanced_trials,
+    }
+
+
+def build_study(
+    config: ArrivalOrderConfig = ArrivalOrderConfig(),
+) -> Study:
+    """Both protocols × both arrival orders, orders sharing seeds."""
+    side = int(round(np.sqrt(config.n)))
+    protocol_axis = (
+        ("user", complete_graph(config.n)),
+        ("resource", torus_graph(side, side)),
+    )
+    return Study(
+        scenario=Scenario(
+            protocol="user",
+            m=config.m,
+            weights=TwoPointWeights(
+                light=1.0,
+                heavy=config.heavy_weight,
+                heavy_count=config.heavy_count,
+            ),
+            alpha=1.0,
+            eps=config.eps,
+        ),
+        # one seed child per protocol, continued across both orders
+        sweep=(
+            sweep("protocol", protocol_axis)
+            * sweep("order", ("random", "fifo"), seeded=False)
+        ),
+        trials=config.trials,
+        seed=config.seed,
+        max_rounds=config.max_rounds,
+        workers=config.workers,
+        backend=config.backend,
+        bind=_arrival_order_bind,
+        row=_arrival_order_row,
+    )
 
 
 @dataclass
@@ -115,50 +147,21 @@ class ArrivalOrderResult:
         return float(max(vals) / min(vals)) if vals else 1.0
 
 
+def arrival_order_result(
+    config: ArrivalOrderConfig, study_result: StudyResult
+) -> ArrivalOrderResult:
+    """Adapt the study rows into the arrival-order result."""
+    return ArrivalOrderResult(config=config, rows=list(study_result.rows))
+
+
 def run_arrival_order(
     config: ArrivalOrderConfig = ArrivalOrderConfig(),
 ) -> ArrivalOrderResult:
-    """Run both protocols under both arrival orders."""
-    rows: list[dict] = []
-    root = np.random.SeedSequence(config.seed)
-    dist = TwoPointWeights(
-        light=1.0, heavy=config.heavy_weight, heavy_count=config.heavy_count
+    """Deprecated driver entry point; delegates to the Study API."""
+    warnings.warn(
+        "run_arrival_order() is deprecated; use build_study()/run_study() "
+        "or repro.experiments.EXPERIMENTS['arrival_order'].run()",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    scenarios = [
-        ("user", complete_graph(config.n)),
-        ("resource", torus_graph(
-            int(round(np.sqrt(config.n))), int(round(np.sqrt(config.n)))
-        )),
-    ]
-    for (kind, graph), proto_seed in zip(scenarios, root.spawn(len(scenarios))):
-        # the SAME seed for both orders: identical workloads & walks,
-        # only the stacking order differs
-        for order in ("random", "fifo"):
-            setup = _OrderedSetup(
-                kind=kind,
-                graph=graph,
-                m=config.m,
-                distribution=dist,
-                eps=config.eps,
-                arrival_order=order,
-            )
-            summary = summarize_runs(
-                run_trials(
-                    setup,
-                    config.trials,
-                    seed=proto_seed,
-                    max_rounds=config.max_rounds,
-                    workers=config.workers,
-                    backend=config.backend,
-                )
-            )
-            rows.append(
-                {
-                    "protocol": kind,
-                    "order": order,
-                    "mean_rounds": summary.mean_rounds,
-                    "ci95": summary.ci95_halfwidth,
-                    "balanced_trials": summary.balanced_trials,
-                }
-            )
-    return ArrivalOrderResult(config=config, rows=rows)
+    return arrival_order_result(config, run_study(build_study(config)))

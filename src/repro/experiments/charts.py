@@ -18,9 +18,44 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
-__all__ = ["ascii_chart"]
+__all__ = ["ascii_chart", "series_from_rows"]
 
 _GLYPHS = "ox+*#@%&"
+
+
+def series_from_rows(
+    rows: Sequence[Mapping[str, object]],
+    x: str,
+    y: str,
+    by: str | None = None,
+) -> dict[str, tuple[np.ndarray, np.ndarray]]:
+    """Group tidy rows into :func:`ascii_chart` series.
+
+    Plots column ``y`` against column ``x``; ``by`` splits the rows
+    into one series per distinct value (series are labelled
+    ``"{by}={value}"`` and points are sorted by ``x``).  Rows missing
+    any required column are skipped.  Extraction and sorting delegate
+    to :func:`repro.experiments.io.series`.
+    """
+    from .io import series as io_series
+
+    if by is None:
+        groups: dict[str, object] = {y: None}
+    else:
+        groups = {f"{by}={row[by]}": row[by] for row in rows if by in row}
+    out: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+    for label, value in groups.items():
+        where = (
+            None
+            if by is None
+            else (lambda row, v=value: by in row and row[by] == v)
+        )
+        xs, ys = io_series(rows, x, y, where=where)
+        if xs.size:
+            out[label] = (xs, ys)
+    if not out:
+        raise ValueError(f"no rows carry columns {x!r} and {y!r}")
+    return out
 
 
 def ascii_chart(

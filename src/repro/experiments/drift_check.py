@@ -13,24 +13,38 @@ Two claims are checked against recorded potential trajectories:
 
 Additionally, the resource-controlled rows verify Observation 4
 (``Phi`` never increases) on every recorded trace.
+
+As a Study this sweeps one ``probe`` axis (user / cycle / complete)
+with ``record_traces=True``; the row builder consumes the raw traces
+from each point's :class:`~repro.study.PointOutcome`.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, replace
 
 import numpy as np
 
 from ..analysis.drift import estimate_drift, lemma10_delta
-from ..core.runner import run_trials
 from ..graphs.builders import complete_graph, cycle_graph
 from ..graphs.hitting import max_hitting_time
 from ..graphs.random_walk import max_degree_walk
+from ..study import PointOutcome, Scenario, Study, StudyResult, run_study, sweep
 from ..workloads.weights import TwoPointWeights, UniformWeights
 from .io import format_table
-from .setups import ResourceControlledSetup, UserControlledSetup
 
-__all__ = ["DriftCheckConfig", "DriftCheckResult", "run_drift_check"]
+__all__ = [
+    "QUICK",
+    "DriftCheckConfig",
+    "DriftCheckResult",
+    "build_study",
+    "drift_check_result",
+    "run_drift_check",
+]
+
+#: The ``--quick`` preset.
+QUICK = {"trials": 5}
 
 
 @dataclass(frozen=True)
@@ -48,7 +62,113 @@ class DriftCheckConfig:
     backend: str | None = None
 
     def quick(self) -> "DriftCheckConfig":
-        return replace(self, trials=5)
+        return replace(self, **QUICK)
+
+
+def _phase_drops(trace: np.ndarray, phase: int) -> list[float]:
+    """Relative potential drop over consecutive phases of given length."""
+    drops = []
+    t = 0
+    while t + phase < trace.shape[0] and trace[t] > 0:
+        drops.append(1.0 - trace[t + phase] / trace[t])
+        t += phase
+    return drops
+
+
+def _drift_bind(scenario: Scenario, point) -> Scenario:
+    kind, graph, _phase = point["probe"]
+    if kind == "user":
+        return scenario
+    return scenario.with_(
+        protocol="resource",
+        n=None,
+        graph=graph,
+        weights=UniformWeights(1.0),
+        threshold="tight_resource",
+    )
+
+
+@dataclass(frozen=True)
+class _DriftRow:
+    """Measure drift/phase-drop statistics from the recorded traces."""
+
+    eps: float
+    alpha: float
+    heavy_weight: float
+
+    def __call__(self, outcome: PointOutcome) -> dict:
+        kind, graph, phase = outcome.point["probe"]
+        results = outcome.results
+        if kind == "user":
+            deltas, preds, rounds = [], [], []
+            for r in results:
+                est = estimate_drift(r.potential_trace)
+                deltas.append(est.delta_regression)
+                preds.append(est.predicted_rounds)
+                rounds.append(r.rounds)
+            return {
+                "scenario": "user/above-average (Lemma 10)",
+                "delta_measured": float(np.mean(deltas)),
+                "delta_theory": lemma10_delta(
+                    self.eps, self.alpha, self.heavy_weight, 1.0
+                ),
+                "phase_drop_measured": float("nan"),
+                "phase_drop_theory": float("nan"),
+                # user potential may increase transiently
+                "monotone_phi": False,
+                "mean_rounds": float(np.mean(rounds)),
+                "drift_pred_rounds": float(np.mean(preds)),
+            }
+        drops, monotone, rounds, preds = [], [], [], []
+        for r in results:
+            trace = r.potential_trace
+            monotone.append(bool(np.all(np.diff(trace) <= 1e-9)))
+            drops.extend(_phase_drops(trace, phase))
+            rounds.append(r.rounds)
+            est = estimate_drift(trace)
+            # drift prediction expressed in rounds of length 1
+            preds.append(est.predicted_rounds)
+        return {
+            "scenario": f"resource/tight on {graph.name} (Lemma 5)",
+            "delta_measured": float("nan"),
+            "delta_theory": float("nan"),
+            "phase_drop_measured": float(np.mean(drops)) if drops else 1.0,
+            "phase_drop_theory": 0.25,
+            "monotone_phi": all(monotone),
+            "mean_rounds": float(np.mean(rounds)),
+            "drift_pred_rounds": float(np.mean(preds)),
+        }
+
+
+def build_study(config: DriftCheckConfig = DriftCheckConfig()) -> Study:
+    """The three drift probes as one trace-recording Study."""
+    probes = [("user", None, 0)]
+    for graph in (cycle_graph(config.n), complete_graph(config.n)):
+        h = max_hitting_time(max_degree_walk(graph))
+        probes.append(("resource", graph, max(1, int(round(2 * h)))))
+    return Study(
+        scenario=Scenario(
+            protocol="user",
+            n=config.n,
+            m=config.m,
+            weights=TwoPointWeights(
+                light=1.0,
+                heavy=config.heavy_weight,
+                heavy_count=config.heavy_count,
+            ),
+            alpha=config.alpha,
+            eps=config.eps,
+        ),
+        sweep=sweep("probe", tuple(probes)),
+        trials=config.trials,
+        seed=config.seed,
+        max_rounds=config.max_rounds,
+        workers=config.workers,
+        backend=config.backend,
+        record_traces=True,
+        bind=_drift_bind,
+        row=_DriftRow(config.eps, config.alpha, config.heavy_weight),
+    )
 
 
 @dataclass
@@ -72,102 +192,21 @@ class DriftCheckResult:
         )
 
 
-def _phase_drops(trace: np.ndarray, phase: int) -> list[float]:
-    """Relative potential drop over consecutive phases of given length."""
-    drops = []
-    t = 0
-    while t + phase < trace.shape[0] and trace[t] > 0:
-        drops.append(1.0 - trace[t + phase] / trace[t])
-        t += phase
-    return drops
+def drift_check_result(
+    config: DriftCheckConfig, study_result: StudyResult
+) -> DriftCheckResult:
+    """Adapt the study rows into the drift-check result."""
+    return DriftCheckResult(config=config, rows=list(study_result.rows))
 
 
 def run_drift_check(
     config: DriftCheckConfig = DriftCheckConfig(),
 ) -> DriftCheckResult:
-    """Measure per-round and per-phase potential drops on three scenarios."""
-    rows: list[dict] = []
-    root = np.random.SeedSequence(config.seed)
-    s_user, s_cycle, s_complete = root.spawn(3)
-
-    # --- user-controlled, above-average threshold (Lemma 10) ----------
-    dist = TwoPointWeights(
-        light=1.0, heavy=config.heavy_weight, heavy_count=config.heavy_count
+    """Deprecated driver entry point; delegates to the Study API."""
+    warnings.warn(
+        "run_drift_check() is deprecated; use build_study()/run_study() or "
+        "repro.experiments.EXPERIMENTS['drift_check'].run()",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    results = run_trials(
-        UserControlledSetup(
-            n=config.n, m=config.m, distribution=dist, alpha=config.alpha,
-            eps=config.eps,
-        ),
-        config.trials,
-        seed=s_user,
-        max_rounds=config.max_rounds,
-        workers=config.workers,
-        backend=config.backend,
-        record_traces=True,
-    )
-    deltas, preds, rounds = [], [], []
-    for r in results:
-        est = estimate_drift(r.potential_trace)
-        deltas.append(est.delta_regression)
-        preds.append(est.predicted_rounds)
-        rounds.append(r.rounds)
-    theory_delta = lemma10_delta(
-        config.eps, config.alpha, config.heavy_weight, 1.0
-    )
-    rows.append(
-        {
-            "scenario": "user/above-average (Lemma 10)",
-            "delta_measured": float(np.mean(deltas)),
-            "delta_theory": theory_delta,
-            "phase_drop_measured": float("nan"),
-            "phase_drop_theory": float("nan"),
-            "monotone_phi": False,  # user potential may increase transiently
-            "mean_rounds": float(np.mean(rounds)),
-            "drift_pred_rounds": float(np.mean(preds)),
-        }
-    )
-
-    # --- resource-controlled, tight threshold (Lemma 5) ---------------
-    for graph, seed in ((cycle_graph(config.n), s_cycle),
-                        (complete_graph(config.n), s_complete)):
-        h = max_hitting_time(max_degree_walk(graph))
-        phase = max(1, int(round(2 * h)))
-        results = run_trials(
-            ResourceControlledSetup(
-                graph=graph,
-                m=config.m,
-                distribution=UniformWeights(1.0),
-                threshold_kind="tight_resource",
-            ),
-            config.trials,
-            seed=seed,
-            max_rounds=config.max_rounds,
-            workers=config.workers,
-            backend=config.backend,
-            record_traces=True,
-        )
-        drops, monotone, rounds, preds = [], [], [], []
-        for r in results:
-            trace = r.potential_trace
-            monotone.append(bool(np.all(np.diff(trace) <= 1e-9)))
-            drops.extend(_phase_drops(trace, phase))
-            rounds.append(r.rounds)
-            est = estimate_drift(trace)
-            # drift prediction expressed in rounds of length 1
-            preds.append(est.predicted_rounds)
-        rows.append(
-            {
-                "scenario": f"resource/tight on {graph.name} (Lemma 5)",
-                "delta_measured": float("nan"),
-                "delta_theory": float("nan"),
-                "phase_drop_measured": (
-                    float(np.mean(drops)) if drops else 1.0
-                ),
-                "phase_drop_theory": 0.25,
-                "monotone_phi": all(monotone),
-                "mean_rounds": float(np.mean(rounds)),
-                "drift_pred_rounds": float(np.mean(preds)),
-            }
-        )
-    return DriftCheckResult(config=config, rows=rows)
+    return drift_check_result(config, run_study(build_study(config)))

@@ -1,4 +1,4 @@
-"""Experiment E1 — Figure 1 of the paper.
+"""Experiment E1 — Figure 1 of the paper, as a declarative Study.
 
 User-controlled protocol, complete graph, ``n = 1000``, ``eps = 0.2``,
 ``alpha = 1``, all tasks initially on one resource.  The workload mixes
@@ -8,25 +8,43 @@ curve is drawn per ``k`` in {1, 5, 10, 20, 50}.
 
 Paper's finding: "the balancing time is proportional to the logarithm
 of ``m(W, k) + k`` — the results seem to be more or less independent of
-the number of big tasks."  The driver reports, per curve, the
+the number of big tasks."  The result reports, per curve, the
 logarithmic fit quality (R²) and the cross-``k`` spread, which should be
 small relative to the mean.
+
+The experiment is the grid ``sweep("k", ...) * sweep("W", ...)`` over a
+user-protocol scenario; a binder turns each ``(k, W)`` into the task
+count and two-point weight distribution (skipping infeasible corners
+where ``W < 50 k``), and the row builder emits the figure's columns.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field, replace
 
 import numpy as np
 
 from ..analysis.fitting import FitResult, fit_logarithmic
-from ..core.metrics import summarize_runs
-from ..core.runner import run_trials
+from ..study import PointOutcome, Scenario, Study, StudyResult, run_study, sweep
 from ..workloads.weights import TwoPointWeights
-from .io import format_table
-from .setups import UserControlledSetup
+from .io import format_table, series
 
-__all__ = ["Figure1Config", "Figure1Result", "run_figure1"]
+__all__ = [
+    "QUICK",
+    "Figure1Config",
+    "Figure1Result",
+    "build_study",
+    "figure1_result",
+    "run_figure1",
+]
+
+#: The ``--quick`` preset (minutes-scale, preserves the sweep's shape).
+QUICK = {
+    "total_weights": (2000, 4000, 6000, 8000, 10000),
+    "k_values": (1, 10, 50),
+    "trials": 20,
+}
 
 
 @dataclass(frozen=True)
@@ -49,12 +67,61 @@ class Figure1Config:
 
     def quick(self) -> "Figure1Config":
         """A minutes-scale variant preserving the sweep's shape."""
-        return replace(
-            self,
-            total_weights=(2000, 4000, 6000, 8000, 10000),
-            k_values=(1, 10, 50),
-            trials=20,
+        return replace(self, **QUICK)
+
+
+@dataclass(frozen=True)
+class _Figure1Bind:
+    """Map a ``(k, W)`` grid point onto the scenario workload."""
+
+    heavy_weight: float
+
+    def __call__(self, scenario: Scenario, point) -> Scenario | None:
+        k = point["k"]
+        light = int(round(point["W"] - self.heavy_weight * k))
+        if light < 0:
+            # the k-heavy curve only exists for W >= k * heavy_weight
+            # (the paper's k=50 curve starts above W=2500)
+            return None
+        return scenario.with_(
+            m=light + k,
+            weights=TwoPointWeights(
+                light=1.0, heavy=self.heavy_weight, heavy_count=k
+            ),
         )
+
+
+def _figure1_row(outcome: PointOutcome) -> dict:
+    m = outcome.scenario.m
+    k = outcome.point["k"]
+    summary = outcome.summary
+    return {
+        "W": outcome.point["W"],
+        "k": k,
+        "m": m,
+        "mean_rounds": summary.mean_rounds,
+        "ci95": summary.ci95_halfwidth,
+        "log_m_plus_k": float(np.log(m + k)),
+        "balanced_trials": summary.balanced_trials,
+        "trials": summary.trials,
+    }
+
+
+def build_study(config: Figure1Config = Figure1Config()) -> Study:
+    """The Figure 1 sweep as a declarative Study."""
+    return Study(
+        scenario=Scenario(
+            protocol="user", n=config.n, alpha=config.alpha, eps=config.eps
+        ),
+        sweep=sweep("k", config.k_values) * sweep("W", config.total_weights),
+        trials=config.trials,
+        seed=config.seed,
+        max_rounds=config.max_rounds,
+        workers=config.workers,
+        backend=config.backend,
+        bind=_Figure1Bind(config.heavy_weight),
+        row=_figure1_row,
+    )
 
 
 @dataclass
@@ -86,21 +153,19 @@ class Figure1Result:
 
     def curve(self, k: int) -> tuple[np.ndarray, np.ndarray]:
         """(W values, mean rounds) for one ``k`` — a figure series."""
-        pts = [(r["W"], r["mean_rounds"]) for r in self.rows if r["k"] == k]
-        arr = np.array(sorted(pts))
-        return arr[:, 0], arr[:, 1]
+        return series(self.rows, "W", "mean_rounds", where=lambda r: r["k"] == k)
 
     def chart(self, width: int = 64, height: int = 16) -> str:
         """ASCII rendering of the figure's series (one glyph per k)."""
         from .charts import ascii_chart
 
-        series = {}
+        out = {}
         for k in self.config.k_values:
             ws, times = self.curve(k)
             if ws.size:
-                series[f"k={k}"] = (ws, times)
+                out[f"k={k}"] = (ws, times)
         return ascii_chart(
-            series, width=width, height=height,
+            out, width=width, height=height,
             x_label="W", y_label="rounds",
         )
 
@@ -118,64 +183,32 @@ class Figure1Result:
         return float(max(spreads)) if spreads else 0.0
 
 
-def run_figure1(config: Figure1Config = Figure1Config()) -> Figure1Result:
-    """Run the Figure 1 sweep and fit each curve.
-
-    Every ``(W, k)`` point averages ``config.trials`` independent runs;
-    randomness is derived from ``config.seed`` so results are exactly
-    reproducible.
-    """
-    rows: list[dict] = []
-    root = np.random.SeedSequence(config.seed)
+def figure1_result(
+    config: Figure1Config, study_result: StudyResult
+) -> Figure1Result:
+    """Adapt the study rows into the rich Figure 1 result (adds fits)."""
+    result = Figure1Result(config=config, rows=list(study_result.rows))
     for k in config.k_values:
-        for w_tot, child in zip(
-            config.total_weights, root.spawn(len(config.total_weights))
-        ):
-            light = int(round(w_tot - config.heavy_weight * k))
-            if light < 0:
-                # the k-heavy curve only exists for W >= k * heavy_weight
-                # (the paper's k=50 curve starts above W=2500)
-                continue
-            m = light + k
-            setup = UserControlledSetup(
-                n=config.n,
-                m=m,
-                distribution=TwoPointWeights(
-                    light=1.0, heavy=config.heavy_weight, heavy_count=k
-                ),
-                alpha=config.alpha,
-                eps=config.eps,
-            )
-            summary = summarize_runs(
-                run_trials(
-                    setup,
-                    config.trials,
-                    seed=child,
-                    max_rounds=config.max_rounds,
-                    workers=config.workers,
-                    backend=config.backend,
-                )
-            )
-            rows.append(
-                {
-                    "W": w_tot,
-                    "k": k,
-                    "m": m,
-                    "mean_rounds": summary.mean_rounds,
-                    "ci95": summary.ci95_halfwidth,
-                    "log_m_plus_k": float(np.log(m + k)),
-                    "balanced_trials": summary.balanced_trials,
-                    "trials": summary.trials,
-                }
-            )
-    result = Figure1Result(config=config, rows=rows)
-    for k in config.k_values:
-        pts = sorted(
-            (r["m"] + r["k"], r["mean_rounds"])
-            for r in result.rows
-            if r["k"] == k
+        xs, ys = series(
+            result.rows,
+            "m",
+            "mean_rounds",
+            where=lambda r, k=k: r["k"] == k,
         )
-        if len(pts) >= 2:
-            arr = np.array(pts, dtype=np.float64)
-            result.fits[k] = fit_logarithmic(arr[:, 0], arr[:, 1])
+        if xs.shape[0] >= 2:
+            result.fits[k] = fit_logarithmic(xs + k, ys)
     return result
+
+
+def run_figure1(config: Figure1Config = Figure1Config()) -> Figure1Result:
+    """Deprecated driver entry point; delegates to the Study API.
+
+    Equivalent to ``figure1_result(config, run_study(build_study(config)))``.
+    """
+    warnings.warn(
+        "run_figure1() is deprecated; use build_study()/run_study() or "
+        "repro.experiments.EXPERIMENTS['figure1'].run()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return figure1_result(config, run_study(build_study(config)))

@@ -1,4 +1,4 @@
-"""Experiment E2 — Figure 2 of the paper.
+"""Experiment E2 — Figure 2 of the paper, as a declarative Study.
 
 User-controlled protocol, complete graph, ``n = 1000``, ``eps = 0.2``,
 ``alpha = 1``, single-source start.  The workload has exactly one heavy
@@ -9,25 +9,39 @@ normalised by ``log m``.
 
 Paper's finding: "the upper bound of Theorem 11 is tight up to a
 constant factor; the balancing time of the simulation is logarithmic in
-``m`` and almost linear in ``wmax/wmin``."  The driver fits the
+``m`` and almost linear in ``wmax/wmin``."  The result fits the
 normalised time against ``wmax`` (linear) and each curve against
 ``ln m`` (flat after normalisation).
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field, replace
 
 import numpy as np
 
-from ..analysis.fitting import FitResult, fit_linear
-from ..core.metrics import normalized_balancing_time, summarize_runs
-from ..core.runner import run_trials
+from ..analysis.fitting import FitResult, fit_linear, fit_logarithmic
+from ..core.metrics import normalized_balancing_time
+from ..study import PointOutcome, Scenario, Study, StudyResult, run_study, sweep
 from ..workloads.weights import TwoPointWeights
-from .io import format_table
-from .setups import UserControlledSetup
+from .io import format_table, series
 
-__all__ = ["Figure2Config", "Figure2Result", "run_figure2"]
+__all__ = [
+    "QUICK",
+    "Figure2Config",
+    "Figure2Result",
+    "build_study",
+    "figure2_result",
+    "run_figure2",
+]
+
+#: The ``--quick`` preset (minutes-scale, preserves the sweep's shape).
+QUICK = {
+    "m_values": (500, 1000, 2000, 4000),
+    "wmax_values": (1, 4, 16, 64, 256),
+    "trials": 10,
+}
 
 
 @dataclass(frozen=True)
@@ -47,12 +61,47 @@ class Figure2Config:
 
     def quick(self) -> "Figure2Config":
         """A minutes-scale variant preserving the sweep's shape."""
-        return replace(
-            self,
-            m_values=(500, 1000, 2000, 4000),
-            wmax_values=(1, 4, 16, 64, 256),
-            trials=10,
-        )
+        return replace(self, **QUICK)
+
+
+def _figure2_bind(scenario: Scenario, point) -> Scenario:
+    return scenario.with_(
+        m=point["m"],
+        weights=TwoPointWeights(
+            light=1.0, heavy=float(point["wmax"]), heavy_count=1
+        ),
+    )
+
+
+def _figure2_row(outcome: PointOutcome) -> dict:
+    m = outcome.point["m"]
+    summary = outcome.summary
+    return {
+        "m": m,
+        "wmax": outcome.point["wmax"],
+        "mean_rounds": summary.mean_rounds,
+        "ci95": summary.ci95_halfwidth,
+        "normalized": normalized_balancing_time(summary.mean_rounds, m),
+        "balanced_trials": summary.balanced_trials,
+        "trials": summary.trials,
+    }
+
+
+def build_study(config: Figure2Config = Figure2Config()) -> Study:
+    """The Figure 2 sweep as a declarative Study."""
+    return Study(
+        scenario=Scenario(
+            protocol="user", n=config.n, alpha=config.alpha, eps=config.eps
+        ),
+        sweep=sweep("wmax", config.wmax_values) * sweep("m", config.m_values),
+        trials=config.trials,
+        seed=config.seed,
+        max_rounds=config.max_rounds,
+        workers=config.workers,
+        backend=config.backend,
+        bind=_figure2_bind,
+        row=_figure2_row,
+    )
 
 
 @dataclass
@@ -87,23 +136,21 @@ class Figure2Result:
 
     def curve(self, wmax: int) -> tuple[np.ndarray, np.ndarray]:
         """(m values, normalised rounds) for one ``wmax`` curve."""
-        pts = [
-            (r["m"], r["normalized"]) for r in self.rows if r["wmax"] == wmax
-        ]
-        arr = np.array(sorted(pts))
-        return arr[:, 0], arr[:, 1]
+        return series(
+            self.rows, "m", "normalized", where=lambda r: r["wmax"] == wmax
+        )
 
     def chart(self, width: int = 64, height: int = 16) -> str:
         """ASCII rendering of the figure's series (one glyph per wmax)."""
         from .charts import ascii_chart
 
-        series = {}
+        out = {}
         for wmax in self.config.wmax_values:
             ms, norm = self.curve(wmax)
             if ms.size:
-                series[f"wmax={wmax}"] = (ms, norm)
+                out[f"wmax={wmax}"] = (ms, norm)
         return ascii_chart(
-            series, width=width, height=height,
+            out, width=width, height=height,
             x_label="m", y_label="rounds/ln m",
         )
 
@@ -121,50 +168,14 @@ class Figure2Result:
         return wmaxes, means
 
 
-def run_figure2(config: Figure2Config = Figure2Config()) -> Figure2Result:
-    """Run the Figure 2 sweep and fit the shape claims."""
-    rows: list[dict] = []
-    root = np.random.SeedSequence(config.seed)
-    for wmax in config.wmax_values:
-        for m, child in zip(config.m_values, root.spawn(len(config.m_values))):
-            setup = UserControlledSetup(
-                n=config.n,
-                m=m,
-                distribution=TwoPointWeights(
-                    light=1.0, heavy=float(wmax), heavy_count=1
-                ),
-                alpha=config.alpha,
-                eps=config.eps,
-            )
-            summary = summarize_runs(
-                run_trials(
-                    setup,
-                    config.trials,
-                    seed=child,
-                    max_rounds=config.max_rounds,
-                    workers=config.workers,
-                    backend=config.backend,
-                )
-            )
-            rows.append(
-                {
-                    "m": m,
-                    "wmax": wmax,
-                    "mean_rounds": summary.mean_rounds,
-                    "ci95": summary.ci95_halfwidth,
-                    "normalized": normalized_balancing_time(
-                        summary.mean_rounds, m
-                    ),
-                    "balanced_trials": summary.balanced_trials,
-                    "trials": summary.trials,
-                }
-            )
-    result = Figure2Result(config=config, rows=rows)
+def figure2_result(
+    config: Figure2Config, study_result: StudyResult
+) -> Figure2Result:
+    """Adapt the study rows into the rich Figure 2 result (adds fits)."""
+    result = Figure2Result(config=config, rows=list(study_result.rows))
     wmaxes, means = result.mean_normalized_by_wmax()
     if wmaxes.shape[0] >= 2:
         result.wmax_fit = fit_linear(wmaxes, means)
-    from ..analysis.fitting import fit_logarithmic
-
     for wmax in config.wmax_values:
         ms, norm = result.curve(wmax)
         if ms.shape[0] >= 2:
@@ -172,3 +183,17 @@ def run_figure2(config: Figure2Config = Figure2Config()) -> Figure2Result:
             raw = norm * np.log(ms)
             result.per_wmax_fits[wmax] = fit_logarithmic(ms, raw)
     return result
+
+
+def run_figure2(config: Figure2Config = Figure2Config()) -> Figure2Result:
+    """Deprecated driver entry point; delegates to the Study API.
+
+    Equivalent to ``figure2_result(config, run_study(build_study(config)))``.
+    """
+    warnings.warn(
+        "run_figure2() is deprecated; use build_study()/run_study() or "
+        "repro.experiments.EXPERIMENTS['figure2'].run()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return figure2_result(config, run_study(build_study(config)))

@@ -10,9 +10,33 @@ from __future__ import annotations
 import csv
 import json
 from pathlib import Path
-from typing import Any, Mapping, Sequence
+from typing import Any, Callable, Mapping, Sequence
 
-__all__ = ["format_table", "write_csv", "write_json"]
+import numpy as np
+
+__all__ = ["format_table", "series", "write_csv", "write_json"]
+
+
+def series(
+    rows: Sequence[Mapping[str, Any]],
+    x: str,
+    y: str,
+    where: Callable[[Mapping[str, Any]], bool] | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Extract ``(xs, ys)`` float arrays from tidy rows, sorted by x.
+
+    ``where`` filters rows (e.g. one figure curve out of a long table);
+    rows missing either column are skipped.  This is the bridge from
+    row-shaped study results to the fitting helpers in
+    :mod:`repro.analysis.fitting`.
+    """
+    pts = sorted(
+        (float(row[x]), float(row[y]))
+        for row in rows
+        if x in row and y in row and (where is None or where(row))
+    )
+    arr = np.array(pts, dtype=np.float64).reshape(-1, 2)
+    return arr[:, 0], arr[:, 1]
 
 
 def _render(value: Any, float_fmt: str) -> str:

@@ -1,4 +1,4 @@
-"""Experiment E6 — Observation 8's lower-bound construction.
+"""Experiment E6 — Observation 8's lower-bound construction, as a Study.
 
 The graph is a clique on ``n - 1`` vertices plus one pendant vertex
 attached by ``k`` edges; its maximum hitting time is ``Theta(n^2/k)``.
@@ -8,27 +8,36 @@ under the tight threshold the only place the surplus can go is the
 pendant vertex — which random-walking tasks take ``~H(G)`` rounds to
 hit.
 
-The driver sweeps ``k``; the measured balancing time should scale like
+The study sweeps ``k``; the measured balancing time should scale like
 ``1/k`` (i.e. like ``H``), matching ``Omega(H(G) log m)``.  The ratio
 ``rounds / H`` is reported and should be roughly flat across ``k``.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, replace
 
 import numpy as np
 
-from ..core.metrics import summarize_runs
-from ..core.runner import run_trials
 from ..graphs.builders import clique_with_pendant
 from ..graphs.hitting import hitting_times_to_target
 from ..graphs.random_walk import max_degree_walk
+from ..study import PointOutcome, Scenario, Study, StudyResult, run_study, sweep
 from ..workloads.weights import UniformWeights
 from .io import format_table
-from .setups import ResourceControlledSetup
 
-__all__ = ["LowerBoundConfig", "LowerBoundResult", "run_lower_bound"]
+__all__ = [
+    "QUICK",
+    "LowerBoundConfig",
+    "LowerBoundResult",
+    "build_study",
+    "lower_bound_result",
+    "run_lower_bound",
+]
+
+#: The ``--quick`` preset.
+QUICK = {"k_values": (1, 4, 16), "trials": 5}
 
 
 @dataclass(frozen=True)
@@ -47,7 +56,53 @@ class LowerBoundConfig:
         return self.m_factor * self.n**2
 
     def quick(self) -> "LowerBoundConfig":
-        return replace(self, k_values=(1, 4, 16), trials=5)
+        return replace(self, **QUICK)
+
+
+def _lower_bound_bind(scenario: Scenario, point) -> Scenario:
+    _k, graph, _h = point["bridge"]
+    return scenario.with_(graph=graph)
+
+
+def _lower_bound_row(outcome: PointOutcome) -> dict:
+    k, _graph, h_pendant = outcome.point["bridge"]
+    summary = outcome.summary
+    return {
+        "k": k,
+        "H_to_pendant": h_pendant,
+        "mean_rounds": summary.mean_rounds,
+        "ci95": summary.ci95_halfwidth,
+        "per_H": summary.mean_rounds / h_pendant,
+        "balanced_trials": summary.balanced_trials,
+    }
+
+
+def build_study(config: LowerBoundConfig = LowerBoundConfig()) -> Study:
+    """The Observation 8 bridge-width sweep as a declarative Study."""
+    bridges = []
+    for k in config.k_values:
+        graph = clique_with_pendant(config.n, k)
+        walk = max_degree_walk(graph)
+        # the relevant hitting time: worst clique vertex -> pendant
+        h_pendant = float(hitting_times_to_target(walk, graph.n - 1).max())
+        bridges.append((k, graph, h_pendant))
+    return Study(
+        scenario=Scenario(
+            protocol="resource",
+            m=config.m,
+            weights=UniformWeights(1.0),
+            threshold="tight_resource",
+            placement="adversarial_clique",
+        ),
+        sweep=sweep("bridge", tuple(bridges)),
+        trials=config.trials,
+        seed=config.seed,
+        max_rounds=config.max_rounds,
+        workers=config.workers,
+        backend=config.backend,
+        bind=_lower_bound_bind,
+        row=_lower_bound_row,
+    )
 
 
 @dataclass
@@ -79,42 +134,21 @@ class LowerBoundResult:
         return float(rows[0]["mean_rounds"] / rows[-1]["mean_rounds"])
 
 
+def lower_bound_result(
+    config: LowerBoundConfig, study_result: StudyResult
+) -> LowerBoundResult:
+    """Adapt the study rows into the Observation 8 result."""
+    return LowerBoundResult(config=config, rows=list(study_result.rows))
+
+
 def run_lower_bound(
     config: LowerBoundConfig = LowerBoundConfig(),
 ) -> LowerBoundResult:
-    """Run the Observation 8 sweep over the bridge width ``k``."""
-    rows: list[dict] = []
-    root = np.random.SeedSequence(config.seed)
-    for k, child in zip(config.k_values, root.spawn(len(config.k_values))):
-        graph = clique_with_pendant(config.n, k)
-        walk = max_degree_walk(graph)
-        # the relevant hitting time: worst clique vertex -> pendant
-        h_pendant = float(hitting_times_to_target(walk, graph.n - 1).max())
-        setup = ResourceControlledSetup(
-            graph=graph,
-            m=config.m,
-            distribution=UniformWeights(1.0),
-            threshold_kind="tight_resource",
-            placement_kind="adversarial_clique",
-        )
-        summary = summarize_runs(
-            run_trials(
-                setup,
-                config.trials,
-                seed=child,
-                max_rounds=config.max_rounds,
-                workers=config.workers,
-                backend=config.backend,
-            )
-        )
-        rows.append(
-            {
-                "k": k,
-                "H_to_pendant": h_pendant,
-                "mean_rounds": summary.mean_rounds,
-                "ci95": summary.ci95_halfwidth,
-                "per_H": summary.mean_rounds / h_pendant,
-                "balanced_trials": summary.balanced_trials,
-            }
-        )
-    return LowerBoundResult(config=config, rows=rows)
+    """Deprecated driver entry point; delegates to the Study API."""
+    warnings.warn(
+        "run_lower_bound() is deprecated; use build_study()/run_study() or "
+        "repro.experiments.EXPERIMENTS['lower_bound'].run()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return lower_bound_result(config, run_study(build_study(config)))

@@ -1,50 +1,104 @@
-"""Registry mapping experiment ids to their drivers.
+"""Registry mapping experiment keys to their declarative Studies.
 
-Used by the CLI (``python -m repro.cli``) and by the benchmark suite so
-every paper artefact has exactly one entry point.
+Every paper artefact is one :class:`Experiment` record: key, artefact
+metadata, a config factory, preset override *data* (``--quick`` is a
+dict, not a code path), a ``study_builder`` that turns a config into a
+declarative :class:`~repro.study.Study`, and a ``result_adapter`` that
+wraps the study rows into the artefact's rich result type (fits, claim
+checks, chart helpers).
+
+Used by the CLI (``python -m repro.cli``) and the benchmark suite so
+every artefact has exactly one entry point::
+
+    from repro.experiments import EXPERIMENTS
+
+    exp = EXPERIMENTS["figure1"]
+    config = exp.configure(preset="quick", trials=50)
+    result = exp.run(config, backend="batched")
 """
 
 from __future__ import annotations
 
 import dataclasses
-from dataclasses import dataclass
-from typing import Any, Callable
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
 
-from .alpha_ablation import AlphaAblationConfig, run_alpha_ablation
-from .arrival_order import ArrivalOrderConfig, run_arrival_order
-from .drift_check import DriftCheckConfig, run_drift_check
-from .figure1 import Figure1Config, run_figure1
-from .figure2 import Figure2Config, run_figure2
-from .lower_bound import LowerBoundConfig, run_lower_bound
-from .resource_above import ResourceAboveConfig, run_resource_above
-from .resource_tight import ResourceTightConfig, run_resource_tight
-from .table1 import Table1Config, run_table1
-from .tight_scaling import TightScalingConfig, run_tight_scaling
+from ..study import Study, StudyProgress, StudyResult, run_study
+from . import (
+    alpha_ablation,
+    arrival_order,
+    drift_check,
+    figure1,
+    figure2,
+    lower_bound,
+    resource_above,
+    resource_tight,
+    table1,
+    tight_scaling,
+)
 
 __all__ = ["Experiment", "EXPERIMENTS"]
 
 
 @dataclass(frozen=True)
 class Experiment:
-    """One reproducible paper artefact."""
+    """One reproducible paper artefact, defined declaratively."""
 
     key: str
     paper_artifact: str
     description: str
     config_factory: Callable[[], Any]
-    runner: Callable[[Any], Any]
+    study_builder: Callable[[Any], Study]
+    result_adapter: Callable[[Any, StudyResult], Any]
+    presets: Mapping[str, Mapping[str, Any]] = field(default_factory=dict)
 
-    def run(self, config: Any | None = None, backend: str | None = None) -> Any:
+    def configure(self, preset: str | None = None, **overrides: Any) -> Any:
+        """Build a config, applying a named preset and field overrides.
+
+        Overrides the config lacks (e.g. ``trials`` for the analytical
+        Table 1) are ignored, mirroring the CLI's historical behaviour.
+        """
+        config = self.config_factory()
+        if preset is not None:
+            if preset not in self.presets:
+                raise ValueError(
+                    f"experiment {self.key!r} has no preset {preset!r}; "
+                    f"available: {sorted(self.presets)}"
+                )
+            config = dataclasses.replace(config, **self.presets[preset])
+        applicable = {
+            k: v
+            for k, v in overrides.items()
+            if v is not None and hasattr(config, k)
+        }
+        if applicable:
+            config = dataclasses.replace(config, **applicable)
+        return config
+
+    def build_study(self, config: Any | None = None) -> Study:
+        """The declarative study for a config (default config if None)."""
+        config = config if config is not None else self.config_factory()
+        return self.study_builder(config)
+
+    def run(
+        self,
+        config: Any | None = None,
+        backend: str | None = None,
+        progress: Callable[[StudyProgress], None] | None = None,
+    ) -> Any:
         """Run the experiment, optionally forcing a simulation backend.
 
         ``backend`` overrides the config's ``backend`` field (every
         trial-sweep config carries one); see
-        :mod:`repro.core.backends` for the choices.
+        :mod:`repro.core.backends` for the choices.  ``progress`` is
+        forwarded to :func:`repro.study.run_study` and fires once per
+        grid point.
         """
         config = config if config is not None else self.config_factory()
         if backend is not None and hasattr(config, "backend"):
             config = dataclasses.replace(config, backend=backend)
-        return self.runner(config)
+        study = self.study_builder(config)
+        return self.result_adapter(config, run_study(study, progress=progress))
 
 
 EXPERIMENTS: dict[str, Experiment] = {
@@ -57,8 +111,10 @@ EXPERIMENTS: dict[str, Experiment] = {
                 "user-controlled balancing time vs total weight W for k "
                 "heavy tasks (n=1000)"
             ),
-            config_factory=Figure1Config,
-            runner=run_figure1,
+            config_factory=figure1.Figure1Config,
+            study_builder=figure1.build_study,
+            result_adapter=figure1.figure1_result,
+            presets={"quick": figure1.QUICK},
         ),
         Experiment(
             key="figure2",
@@ -67,15 +123,19 @@ EXPERIMENTS: dict[str, Experiment] = {
                 "normalised balancing time vs m for one heavy task of "
                 "weight wmax (n=1000)"
             ),
-            config_factory=Figure2Config,
-            runner=run_figure2,
+            config_factory=figure2.Figure2Config,
+            study_builder=figure2.build_study,
+            result_adapter=figure2.figure2_result,
+            presets={"quick": figure2.QUICK},
         ),
         Experiment(
             key="table1",
             paper_artifact="Table 1",
             description="mixing and hitting times of common graph families",
-            config_factory=Table1Config,
-            runner=run_table1,
+            config_factory=table1.Table1Config,
+            study_builder=table1.build_study,
+            result_adapter=table1.table1_result,
+            presets={"quick": table1.QUICK},
         ),
         Experiment(
             key="resource_above",
@@ -84,8 +144,10 @@ EXPERIMENTS: dict[str, Experiment] = {
                 "resource-controlled, above-average threshold: rounds = "
                 "O(tau log m) across graph families"
             ),
-            config_factory=ResourceAboveConfig,
-            runner=run_resource_above,
+            config_factory=resource_above.ResourceAboveConfig,
+            study_builder=resource_above.build_study,
+            result_adapter=resource_above.resource_above_result,
+            presets={"quick": resource_above.QUICK},
         ),
         Experiment(
             key="resource_tight",
@@ -94,8 +156,10 @@ EXPERIMENTS: dict[str, Experiment] = {
                 "resource-controlled, tight threshold: rounds = O(H ln W), "
                 "complete graph vs cycle"
             ),
-            config_factory=ResourceTightConfig,
-            runner=run_resource_tight,
+            config_factory=resource_tight.ResourceTightConfig,
+            study_builder=resource_tight.build_study,
+            result_adapter=resource_tight.resource_tight_result,
+            presets={"quick": resource_tight.QUICK},
         ),
         Experiment(
             key="lower_bound",
@@ -104,8 +168,10 @@ EXPERIMENTS: dict[str, Experiment] = {
                 "clique-plus-pendant adversarial instance: rounds scale "
                 "with H = Theta(n^2/k)"
             ),
-            config_factory=LowerBoundConfig,
-            runner=run_lower_bound,
+            config_factory=lower_bound.LowerBoundConfig,
+            study_builder=lower_bound.build_study,
+            result_adapter=lower_bound.lower_bound_result,
+            presets={"quick": lower_bound.QUICK},
         ),
         Experiment(
             key="alpha_ablation",
@@ -114,8 +180,10 @@ EXPERIMENTS: dict[str, Experiment] = {
                 "alpha sweep for the user-controlled protocol plus hybrid "
                 "protocol comparison"
             ),
-            config_factory=AlphaAblationConfig,
-            runner=run_alpha_ablation,
+            config_factory=alpha_ablation.AlphaAblationConfig,
+            study_builder=alpha_ablation.build_study,
+            result_adapter=alpha_ablation.alpha_ablation_result,
+            presets={"quick": alpha_ablation.QUICK},
         ),
         Experiment(
             key="tight_scaling",
@@ -124,8 +192,10 @@ EXPERIMENTS: dict[str, Experiment] = {
                 "user-controlled tight-threshold scaling in n: measured "
                 "exponent vs Theorem 12's linear upper bound"
             ),
-            config_factory=TightScalingConfig,
-            runner=run_tight_scaling,
+            config_factory=tight_scaling.TightScalingConfig,
+            study_builder=tight_scaling.build_study,
+            result_adapter=tight_scaling.tight_scaling_result,
+            presets={"quick": tight_scaling.QUICK},
         ),
         Experiment(
             key="arrival_order",
@@ -134,8 +204,10 @@ EXPERIMENTS: dict[str, Experiment] = {
                 "arbitrary-arrival-order robustness: random vs FIFO "
                 "stacking must not change balancing times"
             ),
-            config_factory=ArrivalOrderConfig,
-            runner=run_arrival_order,
+            config_factory=arrival_order.ArrivalOrderConfig,
+            study_builder=arrival_order.build_study,
+            result_adapter=arrival_order.arrival_order_result,
+            presets={"quick": arrival_order.QUICK},
         ),
         Experiment(
             key="drift_check",
@@ -144,8 +216,10 @@ EXPERIMENTS: dict[str, Experiment] = {
                 "measured potential drift vs the analysis constants; "
                 "Observation 4 monotonicity"
             ),
-            config_factory=DriftCheckConfig,
-            runner=run_drift_check,
+            config_factory=drift_check.DriftCheckConfig,
+            study_builder=drift_check.build_study,
+            result_adapter=drift_check.drift_check_result,
+            presets={"quick": drift_check.QUICK},
         ),
     ]
 }

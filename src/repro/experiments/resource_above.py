@@ -1,9 +1,9 @@
-"""Experiment E4 — Theorem 3's ``O(tau(G) log m)`` shape check.
+"""Experiment E4 — Theorem 3's ``O(tau(G) log m)`` shape check, as a Study.
 
 Resource-controlled protocol, above-average threshold
 ``(1+eps) W/n + wmax``, single-source start, across four graph families
 of equal size (complete, random 3-regular expander, hypercube, torus).
-The driver measures the mean balancing time per ``m`` in a sweep and
+The study measures the mean balancing time per ``m`` in a sweep and
 reports the ratio ``rounds / (tau(G) ln m)``, which Theorem 3 predicts
 is bounded by a constant — per graph *and* across graphs.
 
@@ -11,31 +11,44 @@ A second workload column re-runs the same sweep with heterogeneous
 weights (uniform on [1, 10]): Theorem 3's bound does not depend on the
 weights, so the two columns should be close — the paper's headline
 "note that this bound does not depend on the weights of the tasks".
+
+Declaratively: ``sweep("graph", ...) * sweep("workload", ...) *
+sweep("m", ...)`` over a resource-protocol scenario; ``tau(G)`` is
+precomputed once per graph into the axis values.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, replace
 
 import numpy as np
 
 from ..analysis.bounds import theorem3_rounds
-from ..core.metrics import summarize_runs
-from ..core.runner import run_trials
 from ..graphs.builders import (
     complete_graph,
     hypercube_graph,
     random_regular_graph,
     torus_graph,
 )
-from ..graphs.spectral import mixing_time_bound
 from ..graphs.random_walk import max_degree_walk
+from ..graphs.spectral import mixing_time_bound
 from ..graphs.topology import Graph
+from ..study import PointOutcome, Scenario, Study, StudyResult, run_study, sweep
 from ..workloads.weights import UniformRangeWeights, UniformWeights
 from .io import format_table
-from .setups import ResourceControlledSetup
 
-__all__ = ["ResourceAboveConfig", "ResourceAboveResult", "run_resource_above"]
+__all__ = [
+    "QUICK",
+    "ResourceAboveConfig",
+    "ResourceAboveResult",
+    "build_study",
+    "resource_above_result",
+    "run_resource_above",
+]
+
+#: The ``--quick`` preset.
+QUICK = {"m_values": (512, 2048), "trials": 10}
 
 
 @dataclass(frozen=True)
@@ -53,7 +66,7 @@ class ResourceAboveConfig:
     backend: str | None = None
 
     def quick(self) -> "ResourceAboveConfig":
-        return replace(self, m_values=(512, 2048), trials=10)
+        return replace(self, **QUICK)
 
 
 def _graphs(config: ResourceAboveConfig) -> list[Graph]:
@@ -67,6 +80,65 @@ def _graphs(config: ResourceAboveConfig) -> list[Graph]:
         hypercube_graph(dim),
         torus_graph(side, side),
     ]
+
+
+def _resource_above_bind(scenario: Scenario, point) -> Scenario:
+    graph, _tau = point["graph"]
+    _label, dist = point["workload"]
+    return scenario.with_(graph=graph, m=point["m"], weights=dist)
+
+
+@dataclass(frozen=True)
+class _ResourceAboveRow:
+    eps: float
+
+    def __call__(self, outcome: PointOutcome) -> dict:
+        graph, tau = outcome.point["graph"]
+        label, _dist = outcome.point["workload"]
+        m = outcome.point["m"]
+        summary = outcome.summary
+        return {
+            "graph": graph.name,
+            "weights": label,
+            "m": m,
+            "tau": tau,
+            "mean_rounds": summary.mean_rounds,
+            "ci95": summary.ci95_halfwidth,
+            "per_tau_log_m": summary.mean_rounds / (tau * np.log(m)),
+            "thm3_bound": theorem3_rounds(tau, m, self.eps),
+            "balanced_trials": summary.balanced_trials,
+        }
+
+
+def build_study(
+    config: ResourceAboveConfig = ResourceAboveConfig(),
+) -> Study:
+    """The Theorem 3 shape check as a declarative Study."""
+    graph_axis = tuple(
+        (graph, mixing_time_bound(max_degree_walk(graph)))
+        for graph in _graphs(config)
+    )
+    workload_axis = (
+        ("unit", UniformWeights(1.0)),
+        ("uniform[1,10]", UniformRangeWeights(1.0, config.heavy_high)),
+    )
+    return Study(
+        scenario=Scenario(
+            protocol="resource", eps=config.eps, threshold="above_average"
+        ),
+        sweep=(
+            sweep("graph", graph_axis)
+            * sweep("workload", workload_axis)
+            * sweep("m", config.m_values)
+        ),
+        trials=config.trials,
+        seed=config.seed,
+        max_rounds=config.max_rounds,
+        workers=config.workers,
+        backend=config.backend,
+        bind=_resource_above_bind,
+        row=_ResourceAboveRow(config.eps),
+    )
 
 
 @dataclass
@@ -95,49 +167,21 @@ class ResourceAboveResult:
         return float(max(r["per_tau_log_m"] for r in self.rows))
 
 
+def resource_above_result(
+    config: ResourceAboveConfig, study_result: StudyResult
+) -> ResourceAboveResult:
+    """Adapt the study rows into the Theorem 3 result."""
+    return ResourceAboveResult(config=config, rows=list(study_result.rows))
+
+
 def run_resource_above(
     config: ResourceAboveConfig = ResourceAboveConfig(),
 ) -> ResourceAboveResult:
-    """Run the Theorem 3 shape check across graph families."""
-    rows: list[dict] = []
-    root = np.random.SeedSequence(config.seed)
-    workloads = [
-        ("unit", UniformWeights(1.0)),
-        ("uniform[1,10]", UniformRangeWeights(1.0, config.heavy_high)),
-    ]
-    for graph in _graphs(config):
-        tau = mixing_time_bound(max_degree_walk(graph))
-        for label, dist in workloads:
-            for m, child in zip(config.m_values, root.spawn(len(config.m_values))):
-                setup = ResourceControlledSetup(
-                    graph=graph,
-                    m=m,
-                    distribution=dist,
-                    eps=config.eps,
-                    threshold_kind="above_average",
-                )
-                summary = summarize_runs(
-                    run_trials(
-                        setup,
-                        config.trials,
-                        seed=child,
-                        max_rounds=config.max_rounds,
-                        workers=config.workers,
-                        backend=config.backend,
-                    )
-                )
-                rows.append(
-                    {
-                        "graph": graph.name,
-                        "weights": label,
-                        "m": m,
-                        "tau": tau,
-                        "mean_rounds": summary.mean_rounds,
-                        "ci95": summary.ci95_halfwidth,
-                        "per_tau_log_m": summary.mean_rounds
-                        / (tau * np.log(m)),
-                        "thm3_bound": theorem3_rounds(tau, m, config.eps),
-                        "balanced_trials": summary.balanced_trials,
-                    }
-                )
-    return ResourceAboveResult(config=config, rows=rows)
+    """Deprecated driver entry point; delegates to the Study API."""
+    warnings.warn(
+        "run_resource_above() is deprecated; use build_study()/run_study() "
+        "or repro.experiments.EXPERIMENTS['resource_above'].run()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return resource_above_result(config, run_study(build_study(config)))

@@ -1,9 +1,9 @@
-"""Experiment E5 — Theorem 7's ``O(H(G) ln W)`` shape check.
+"""Experiment E5 — Theorem 7's ``O(H(G) ln W)`` shape check, as a Study.
 
 Resource-controlled protocol under the tight threshold
 ``T = W/n + 2 wmax``.  Two graphs with sharply different maximum hitting
 times are contrasted at equal size: the complete graph
-(``H = n - 1``) and the cycle (``H = n^2/4``).  The driver sweeps the
+(``H = n - 1``) and the cycle (``H = n^2/4``).  The study sweeps the
 task count and reports ``rounds / (H(G) ln W)``, which Theorem 7 bounds
 by a constant — so the cycle should take ~``n/4``x longer in absolute
 rounds yet normalise to a similar constant.
@@ -14,21 +14,30 @@ independent of the individual weights (only ``W`` enters).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, replace
 
 import numpy as np
 
 from ..analysis.bounds import theorem7_rounds
-from ..core.metrics import summarize_runs
-from ..core.runner import run_trials
 from ..graphs.builders import complete_graph, cycle_graph
 from ..graphs.hitting import max_hitting_time
 from ..graphs.random_walk import max_degree_walk
+from ..study import PointOutcome, Scenario, Study, StudyResult, run_study, sweep
 from ..workloads.weights import TwoPointWeights, UniformWeights
 from .io import format_table
-from .setups import ResourceControlledSetup
 
-__all__ = ["ResourceTightConfig", "ResourceTightResult", "run_resource_tight"]
+__all__ = [
+    "QUICK",
+    "ResourceTightConfig",
+    "ResourceTightResult",
+    "build_study",
+    "resource_tight_result",
+    "run_resource_tight",
+]
+
+#: The ``--quick`` preset.
+QUICK = {"m_values": (128, 512), "trials": 8}
 
 
 @dataclass(frozen=True)
@@ -44,7 +53,70 @@ class ResourceTightConfig:
     backend: str | None = None
 
     def quick(self) -> "ResourceTightConfig":
-        return replace(self, m_values=(128, 512), trials=8)
+        return replace(self, **QUICK)
+
+
+def _resource_tight_bind(scenario: Scenario, point) -> Scenario:
+    graph, _h = point["graph"]
+    _label, dist = point["workload"]
+    return scenario.with_(graph=graph, m=point["m"], weights=dist)
+
+
+def _resource_tight_row(outcome: PointOutcome) -> dict:
+    graph, h = outcome.point["graph"]
+    label, dist = outcome.point["workload"]
+    m = outcome.point["m"]
+    summary = outcome.summary
+    # total weight for the normaliser (deterministic dists)
+    w_sample = dist.sample(m, np.random.default_rng(0))
+    total_w = float(w_sample.sum())
+    return {
+        "graph": graph.name,
+        "weights": label,
+        "m": m,
+        "H": h,
+        "mean_rounds": summary.mean_rounds,
+        "ci95": summary.ci95_halfwidth,
+        "per_H_log_W": summary.mean_rounds / (h * np.log(total_w)),
+        "thm7_bound": theorem7_rounds(h, total_w),
+        "balanced_trials": summary.balanced_trials,
+    }
+
+
+def build_study(
+    config: ResourceTightConfig = ResourceTightConfig(),
+) -> Study:
+    """The Theorem 7 shape check as a declarative Study."""
+    graph_axis = tuple(
+        (graph, max_hitting_time(max_degree_walk(graph)))
+        for graph in (complete_graph(config.n), cycle_graph(config.n))
+    )
+    workload_axis = (
+        ("unit", UniformWeights(1.0)),
+        (
+            f"{config.heavy_count}x{config.heavy_weight:g}+units",
+            TwoPointWeights(
+                light=1.0,
+                heavy=config.heavy_weight,
+                heavy_count=config.heavy_count,
+            ),
+        ),
+    )
+    return Study(
+        scenario=Scenario(protocol="resource", threshold="tight_resource"),
+        sweep=(
+            sweep("graph", graph_axis)
+            * sweep("workload", workload_axis)
+            * sweep("m", config.m_values)
+        ),
+        trials=config.trials,
+        seed=config.seed,
+        max_rounds=config.max_rounds,
+        workers=config.workers,
+        backend=config.backend,
+        bind=_resource_tight_bind,
+        row=_resource_tight_row,
+    )
 
 
 @dataclass
@@ -76,59 +148,21 @@ class ResourceTightResult:
         return {g: float(np.mean(v)) for g, v in out.items()}
 
 
+def resource_tight_result(
+    config: ResourceTightConfig, study_result: StudyResult
+) -> ResourceTightResult:
+    """Adapt the study rows into the Theorem 7 result."""
+    return ResourceTightResult(config=config, rows=list(study_result.rows))
+
+
 def run_resource_tight(
     config: ResourceTightConfig = ResourceTightConfig(),
 ) -> ResourceTightResult:
-    """Run the Theorem 7 shape check on complete graph vs cycle."""
-    rows: list[dict] = []
-    root = np.random.SeedSequence(config.seed)
-    graphs = [complete_graph(config.n), cycle_graph(config.n)]
-    workloads = [
-        ("unit", UniformWeights(1.0)),
-        (
-            f"{config.heavy_count}x{config.heavy_weight:g}+units",
-            TwoPointWeights(
-                light=1.0,
-                heavy=config.heavy_weight,
-                heavy_count=config.heavy_count,
-            ),
-        ),
-    ]
-    for graph in graphs:
-        h = max_hitting_time(max_degree_walk(graph))
-        for label, dist in workloads:
-            for m, child in zip(config.m_values, root.spawn(len(config.m_values))):
-                setup = ResourceControlledSetup(
-                    graph=graph,
-                    m=m,
-                    distribution=dist,
-                    threshold_kind="tight_resource",
-                )
-                summary = summarize_runs(
-                    run_trials(
-                        setup,
-                        config.trials,
-                        seed=child,
-                        max_rounds=config.max_rounds,
-                        workers=config.workers,
-                        backend=config.backend,
-                    )
-                )
-                # total weight for the normaliser (deterministic dists)
-                w_sample = dist.sample(m, np.random.default_rng(0))
-                total_w = float(w_sample.sum())
-                rows.append(
-                    {
-                        "graph": graph.name,
-                        "weights": label,
-                        "m": m,
-                        "H": h,
-                        "mean_rounds": summary.mean_rounds,
-                        "ci95": summary.ci95_halfwidth,
-                        "per_H_log_W": summary.mean_rounds
-                        / (h * np.log(total_w)),
-                        "thm7_bound": theorem7_rounds(h, total_w),
-                        "balanced_trials": summary.balanced_trials,
-                    }
-                )
-    return ResourceTightResult(config=config, rows=rows)
+    """Deprecated driver entry point; delegates to the Study API."""
+    warnings.warn(
+        "run_resource_tight() is deprecated; use build_study()/run_study() "
+        "or repro.experiments.EXPERIMENTS['resource_tight'].run()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return resource_tight_result(config, run_study(build_study(config)))

@@ -1,4 +1,4 @@
-"""Experiment E3 — Table 1 of the paper.
+"""Experiment E3 — Table 1 of the paper, as a declarative Study.
 
 Mixing and hitting times for the five graph families the paper tabulates
 (complete, regular expander, Erdős–Rényi, hypercube, grid), computed on
@@ -8,14 +8,19 @@ concrete instances across a size sweep:
   empirical total-variation mixing time;
 * ``H(G)``: exact maximum hitting time via the fundamental matrix.
 
-For each family the driver fits a power law against ``n`` and reports
+For each family the result fits a power law against ``n`` and reports
 the exponent next to Table 1's asymptotic order — complete/expander/ER/
 hypercube hitting times should scale ~linearly (exponent near 1), the
 grid's mixing time ~linearly, etc.
+
+No trials are involved: this is an *analytical* study — the sweep
+enumerates graph instances and an ``evaluate`` hook computes the
+spectral quantities per point.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field, replace
 
 import numpy as np
@@ -32,9 +37,26 @@ from ..graphs.builders import (
 from ..graphs.hitting import max_hitting_time
 from ..graphs.random_walk import lazy_walk, max_degree_walk
 from ..graphs.spectral import spectral_gap, spectral_summary
+from ..study import Study, StudyResult, run_study, sweep
 from .io import format_table
 
-__all__ = ["Table1Config", "Table1Result", "run_table1"]
+__all__ = [
+    "QUICK",
+    "Table1Config",
+    "Table1Result",
+    "build_study",
+    "run_table1",
+    "table1_result",
+]
+
+#: The ``--quick`` preset (smaller instances per family).
+QUICK = {
+    "complete_sizes": (64, 128, 256),
+    "expander_sizes": (64, 128, 256),
+    "er_sizes": (64, 128, 256),
+    "hypercube_dims": (6, 7, 8),
+    "grid_sides": (8, 12, 16),
+}
 
 
 @dataclass(frozen=True)
@@ -53,14 +75,60 @@ class Table1Config:
     seed: int = 2017
 
     def quick(self) -> "Table1Config":
-        return replace(
-            self,
-            complete_sizes=(64, 128, 256),
-            expander_sizes=(64, 128, 256),
-            er_sizes=(64, 128, 256),
-            hypercube_dims=(6, 7, 8),
-            grid_sides=(8, 12, 16),
+        return replace(self, **QUICK)
+
+
+def _instances(config: Table1Config):
+    rng = np.random.default_rng(config.seed)
+    for n in config.complete_sizes:
+        yield "complete", complete_graph(n)
+    for n in config.expander_sizes:
+        yield "regular_expander", random_regular_graph(
+            n, config.expander_degree, rng
         )
+    for n in config.er_sizes:
+        p = config.er_density_factor * np.log(n) / n
+        yield "erdos_renyi", erdos_renyi_graph(n, min(p, 1.0), rng)
+    for dim in config.hypercube_dims:
+        yield "hypercube", hypercube_graph(dim)
+    for side in config.grid_sides:
+        yield "grid", grid_graph(side, side)
+
+
+@dataclass(frozen=True)
+class _Table1Eval:
+    """Compute one instance's Table 1 row (no simulation involved)."""
+
+    empirical_mixing: bool
+
+    def __call__(self, point) -> dict:
+        family, graph = point["instance"]
+        summary = spectral_summary(graph, empirical=self.empirical_mixing)
+        walk = max_degree_walk(graph)
+        if spectral_gap(walk) <= 1e-12:
+            walk = lazy_walk(graph)
+        h_exact = max_hitting_time(walk)
+        return {
+            "family": family,
+            "n": graph.n,
+            "gap": summary.spectral_gap,
+            "tau_bound": summary.mixing_bound,
+            "t_mix_emp": (
+                float(summary.empirical_mixing)
+                if summary.empirical_mixing is not None
+                else float("nan")
+            ),
+            "H_exact": h_exact,
+            "lazy": summary.used_lazy,
+        }
+
+
+def build_study(config: Table1Config = Table1Config()) -> Study:
+    """The Table 1 instance sweep as an analytical Study."""
+    return Study(
+        sweep=sweep("instance", tuple(_instances(config))),
+        evaluate=_Table1Eval(config.empirical_mixing),
+    )
 
 
 @dataclass
@@ -91,7 +159,9 @@ class Table1Result:
             )
         return "\n".join(lines)
 
-    def family_series(self, family: str) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    def family_series(
+        self, family: str
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """(n, empirical mixing, exact hitting) arrays for one family."""
         rows = sorted(
             (r for r in self.rows if r["family"] == family),
@@ -104,49 +174,12 @@ class Table1Result:
         )
 
 
-def _instances(config: Table1Config):
-    rng = np.random.default_rng(config.seed)
-    for n in config.complete_sizes:
-        yield "complete", complete_graph(n)
-    for n in config.expander_sizes:
-        yield "regular_expander", random_regular_graph(
-            n, config.expander_degree, rng
-        )
-    for n in config.er_sizes:
-        p = config.er_density_factor * np.log(n) / n
-        yield "erdos_renyi", erdos_renyi_graph(n, min(p, 1.0), rng)
-    for dim in config.hypercube_dims:
-        yield "hypercube", hypercube_graph(dim)
-    for side in config.grid_sides:
-        yield "grid", grid_graph(side, side)
-
-
-def run_table1(config: Table1Config = Table1Config()) -> Table1Result:
-    """Compute the Table 1 quantities across the configured instances."""
-    rows: list[dict] = []
-    for family, graph in _instances(config):
-        summary = spectral_summary(graph, empirical=config.empirical_mixing)
-        walk = max_degree_walk(graph)
-        if spectral_gap(walk) <= 1e-12:
-            walk = lazy_walk(graph)
-        h_exact = max_hitting_time(walk)
-        rows.append(
-            {
-                "family": family,
-                "n": graph.n,
-                "gap": summary.spectral_gap,
-                "tau_bound": summary.mixing_bound,
-                "t_mix_emp": (
-                    float(summary.empirical_mixing)
-                    if summary.empirical_mixing is not None
-                    else float("nan")
-                ),
-                "H_exact": h_exact,
-                "lazy": summary.used_lazy,
-            }
-        )
-    result = Table1Result(config=config, rows=rows)
-    for family in dict.fromkeys(r["family"] for r in rows):
+def table1_result(
+    config: Table1Config, study_result: StudyResult
+) -> Table1Result:
+    """Adapt the study rows into the rich Table 1 result (adds fits)."""
+    result = Table1Result(config=config, rows=list(study_result.rows))
+    for family in dict.fromkeys(r["family"] for r in result.rows):
         ns, mix, hit = result.family_series(family)
         if ns.shape[0] >= 2 and np.all(mix > 0):
             result.fits[family] = {
@@ -154,3 +187,17 @@ def run_table1(config: Table1Config = Table1Config()) -> Table1Result:
                 "hitting": fit_power_law(ns, hit),
             }
     return result
+
+
+def run_table1(config: Table1Config = Table1Config()) -> Table1Result:
+    """Deprecated driver entry point; delegates to the Study API.
+
+    Equivalent to ``table1_result(config, run_study(build_study(config)))``.
+    """
+    warnings.warn(
+        "run_table1() is deprecated; use build_study()/run_study() or "
+        "repro.experiments.EXPERIMENTS['table1'].run()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return table1_result(config, run_study(build_study(config)))

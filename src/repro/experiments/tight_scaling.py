@@ -1,4 +1,4 @@
-"""Experiment E10 — probing the conclusion's open question.
+"""Experiment E10 — probing the conclusion's open question, as a Study.
 
 "In the case of user-based allocation we provided only upper-bounds for
 the complete graphs.  It would be interesting to consider lower bounds
@@ -22,19 +22,26 @@ so future work has a number to beat.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, replace
-
-import numpy as np
 
 from ..analysis.bounds import theorem12_rounds
 from ..analysis.fitting import FitResult, fit_power_law
-from ..core.metrics import summarize_runs
-from ..core.runner import run_trials
+from ..study import PointOutcome, Scenario, Study, StudyResult, run_study, sweep
 from ..workloads.weights import UniformWeights
-from .io import format_table
-from .setups import UserControlledSetup
+from .io import format_table, series
 
-__all__ = ["TightScalingConfig", "TightScalingResult", "run_tight_scaling"]
+__all__ = [
+    "QUICK",
+    "TightScalingConfig",
+    "TightScalingResult",
+    "build_study",
+    "tight_scaling_result",
+    "run_tight_scaling",
+]
+
+#: The ``--quick`` preset.
+QUICK = {"n_values": (32, 64, 128, 256), "trials": 12}
 
 
 @dataclass(frozen=True)
@@ -49,7 +56,58 @@ class TightScalingConfig:
     backend: str | None = None
 
     def quick(self) -> "TightScalingConfig":
-        return replace(self, n_values=(32, 64, 128, 256), trials=12)
+        return replace(self, **QUICK)
+
+
+@dataclass(frozen=True)
+class _TightScalingBind:
+    m_per_n: int
+
+    def __call__(self, scenario: Scenario, point) -> Scenario:
+        n = point["n"]
+        return scenario.with_(n=n, m=self.m_per_n * n)
+
+
+@dataclass(frozen=True)
+class _TightScalingRow:
+    alpha: float
+
+    def __call__(self, outcome: PointOutcome) -> dict:
+        n = outcome.point["n"]
+        m = outcome.scenario.m
+        summary = outcome.summary
+        bound = theorem12_rounds(m, n, self.alpha, 1.0)
+        return {
+            "n": n,
+            "m": m,
+            "mean_rounds": summary.mean_rounds,
+            "ci95": summary.ci95_halfwidth,
+            "thm12_bound": bound,
+            "measured/bound": summary.mean_rounds / bound,
+            "balanced_trials": summary.balanced_trials,
+        }
+
+
+def build_study(
+    config: TightScalingConfig = TightScalingConfig(),
+) -> Study:
+    """The tight-threshold scaling sweep as a declarative Study."""
+    return Study(
+        scenario=Scenario(
+            protocol="user",
+            weights=UniformWeights(1.0),
+            alpha=config.alpha,
+            threshold="tight_user",
+        ),
+        sweep=sweep("n", config.n_values),
+        trials=config.trials,
+        seed=config.seed,
+        max_rounds=config.max_rounds,
+        workers=config.workers,
+        backend=config.backend,
+        bind=_TightScalingBind(config.m_per_n),
+        row=_TightScalingRow(config.alpha),
+    )
 
 
 @dataclass
@@ -80,46 +138,25 @@ class TightScalingResult:
         return table
 
 
+def tight_scaling_result(
+    config: TightScalingConfig, study_result: StudyResult
+) -> TightScalingResult:
+    """Adapt the study rows into the scaling result (adds the fit)."""
+    result = TightScalingResult(config=config, rows=list(study_result.rows))
+    ns, times = series(result.rows, "n", "mean_rounds")
+    if ns.shape[0] >= 2 and (times > 0).all():
+        result.fit = fit_power_law(ns, times)
+    return result
+
+
 def run_tight_scaling(
     config: TightScalingConfig = TightScalingConfig(),
 ) -> TightScalingResult:
-    """Sweep ``n`` at fixed per-resource load and fit the scaling."""
-    rows: list[dict] = []
-    root = np.random.SeedSequence(config.seed)
-    for n, child in zip(config.n_values, root.spawn(len(config.n_values))):
-        m = config.m_per_n * n
-        setup = UserControlledSetup(
-            n=n,
-            m=m,
-            distribution=UniformWeights(1.0),
-            alpha=config.alpha,
-            threshold_kind="tight_user",
-        )
-        summary = summarize_runs(
-            run_trials(
-                setup,
-                config.trials,
-                seed=child,
-                max_rounds=config.max_rounds,
-                workers=config.workers,
-                backend=config.backend,
-            )
-        )
-        bound = theorem12_rounds(m, n, config.alpha, 1.0)
-        rows.append(
-            {
-                "n": n,
-                "m": m,
-                "mean_rounds": summary.mean_rounds,
-                "ci95": summary.ci95_halfwidth,
-                "thm12_bound": bound,
-                "measured/bound": summary.mean_rounds / bound,
-                "balanced_trials": summary.balanced_trials,
-            }
-        )
-    result = TightScalingResult(config=config, rows=rows)
-    ns = np.array([r["n"] for r in rows], dtype=np.float64)
-    times = np.array([r["mean_rounds"] for r in rows])
-    if ns.shape[0] >= 2 and np.all(times > 0):
-        result.fit = fit_power_law(ns, times)
-    return result
+    """Deprecated driver entry point; delegates to the Study API."""
+    warnings.warn(
+        "run_tight_scaling() is deprecated; use build_study()/run_study() "
+        "or repro.experiments.EXPERIMENTS['tight_scaling'].run()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return tight_scaling_result(config, run_study(build_study(config)))

@@ -1,0 +1,63 @@
+"""Declarative Scenario/Study API — the package's public surface.
+
+Compose a :class:`Scenario` (protocol × topology × workload ×
+threshold × placement × arrival order), describe a parameter grid with
+:func:`sweep`, and execute the product as a :class:`Study` through any
+simulation backend::
+
+    from repro.study import Scenario, Study, sweep
+    from repro.workloads import TwoPointWeights
+
+    study = Study(
+        scenario=Scenario(
+            protocol="user",
+            n=100,
+            m=500,
+            weights=TwoPointWeights(heavy=50.0, heavy_count=5),
+        ),
+        sweep=sweep("eps", [0.1, 0.2, 0.4]),
+        trials=100,
+        seed=7,
+        backend="batched",
+    )
+    result = study.run()
+    print(result.format_table())
+
+Every paper artefact in :mod:`repro.experiments` is itself a Study
+definition; the registry exposes them by key.
+"""
+
+from .parse import parse_axis_values, parse_graph, parse_weights
+from .scenario import PROTOCOL_KINDS, Scenario, scenario_axes
+from .setups import (
+    PLACEMENT_KINDS,
+    THRESHOLD_KINDS,
+    HybridSetup,
+    ResourceControlledSetup,
+    UserControlledSetup,
+)
+from .study import PointOutcome, Study, StudyProgress, StudyResult, run_study
+from .sweep import Axis, Sweep, SweepPoint, sweep
+
+__all__ = [
+    "Axis",
+    "HybridSetup",
+    "PLACEMENT_KINDS",
+    "PROTOCOL_KINDS",
+    "PointOutcome",
+    "ResourceControlledSetup",
+    "Scenario",
+    "Study",
+    "StudyProgress",
+    "StudyResult",
+    "Sweep",
+    "SweepPoint",
+    "THRESHOLD_KINDS",
+    "UserControlledSetup",
+    "parse_axis_values",
+    "parse_graph",
+    "parse_weights",
+    "run_study",
+    "scenario_axes",
+    "sweep",
+]

@@ -1,0 +1,177 @@
+"""Parse compact spec strings into scenario axis values.
+
+The generic CLI sweep builds a whole :class:`~repro.study.Study` from
+flags, so graphs and weight distributions need a flag-sized syntax:
+
+* graphs — ``complete:64``, ``cycle:100``, ``torus:8x8``,
+  ``hypercube:6``, ``expander:64:3`` (optional ``:seed``),
+  ``er:64:0.2`` (optional ``:seed``), ``clique_pendant:32:4``, ...
+* weights — ``unit``, ``uniform:2``, ``two_point:1:50:5``,
+  ``uniform_range:1:10``, ``exponential:2``, ``pareto:2.5`` (optional
+  ``:cap``).
+
+:func:`parse_axis_values` coerces a comma-separated ``--axis``
+grid onto the right type for any scenario axis, using these parsers
+for the ``graph`` and ``weights`` axes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphs import builders
+from ..graphs.topology import Graph
+from ..workloads.weights import (
+    ExponentialWeights,
+    ParetoWeights,
+    TwoPointWeights,
+    UniformRangeWeights,
+    UniformWeights,
+    WeightDistribution,
+)
+from .scenario import scenario_axes
+
+__all__ = ["parse_axis_values", "parse_graph", "parse_weights"]
+
+
+def _split(spec: str) -> tuple[str, list[str]]:
+    head, *args = spec.strip().split(":")
+    return head.lower(), args
+
+
+def _ints(args: list[str], spec: str) -> list[int]:
+    try:
+        return [int(a) for a in args]
+    except ValueError as exc:
+        raise ValueError(f"bad integer argument in spec {spec!r}") from exc
+
+
+def parse_graph(spec: str) -> Graph:
+    """Build a graph from a ``family:args`` spec string."""
+    head, args = _split(spec)
+    try:
+        if head == "complete":
+            return builders.complete_graph(*_ints(args, spec))
+        if head == "cycle":
+            return builders.cycle_graph(*_ints(args, spec))
+        if head == "path":
+            return builders.path_graph(*_ints(args, spec))
+        if head == "star":
+            return builders.star_graph(*_ints(args, spec))
+        if head == "hypercube":
+            return builders.hypercube_graph(*_ints(args, spec))
+        if head in ("grid", "torus"):
+            dims = args[0].split("x") if len(args) == 1 else []
+            if len(dims) != 2:
+                raise ValueError(f"{head} spec needs RxC, e.g. {head}:8x8")
+            rows, cols = _ints(dims, spec)
+            build = (
+                builders.grid_graph if head == "grid" else builders.torus_graph
+            )
+            return build(rows, cols)
+        if head == "expander":
+            if len(args) not in (2, 3):
+                raise ValueError(
+                    "expander spec needs n:degree (optional :seed), "
+                    "e.g. expander:64:3"
+                )
+            n, degree, *seed = _ints(args, spec)
+            rng = np.random.default_rng(seed[0] if seed else 0)
+            return builders.random_regular_graph(n, degree, rng)
+        if head == "er":
+            if len(args) not in (2, 3):
+                raise ValueError(
+                    "er spec needs n:p (optional :seed), e.g. er:64:0.2"
+                )
+            n = _ints(args[:1], spec)[0]
+            try:
+                p = float(args[1])
+            except ValueError as exc:
+                raise ValueError(
+                    f"bad edge probability in spec {spec!r}"
+                ) from exc
+            seed = _ints(args[2:], spec)
+            rng = np.random.default_rng(seed[0] if seed else 0)
+            return builders.erdos_renyi_graph(n, p, rng)
+        if head == "clique_pendant":
+            return builders.clique_with_pendant(*_ints(args, spec))
+        if head == "lollipop":
+            return builders.lollipop_graph(*_ints(args, spec))
+        if head == "barbell":
+            return builders.barbell_graph(*_ints(args, spec))
+        if head == "binary_tree":
+            return builders.binary_tree_graph(*_ints(args, spec))
+    except TypeError as exc:
+        raise ValueError(
+            f"wrong argument count in graph spec {spec!r}"
+        ) from exc
+    raise ValueError(
+        f"unknown graph family {head!r} in spec {spec!r}; expected one of "
+        "complete, cycle, path, star, grid, torus, hypercube, expander, er, "
+        "clique_pendant, lollipop, barbell, binary_tree"
+    )
+
+
+def parse_weights(spec: str) -> WeightDistribution:
+    """Build a weight distribution from a ``kind:args`` spec string."""
+    head, args = _split(spec)
+    try:
+        floats = [float(a) for a in args]
+    except ValueError as exc:
+        raise ValueError(f"bad numeric argument in spec {spec!r}") from exc
+    try:
+        if head in ("unit", "uniform"):
+            return UniformWeights(*floats)
+        if head == "two_point":
+            if len(floats) != 3:
+                raise ValueError(
+                    "two_point spec needs light:heavy:count, "
+                    "e.g. two_point:1:50:5"
+                )
+            return TwoPointWeights(
+                light=floats[0], heavy=floats[1], heavy_count=int(floats[2])
+            )
+        if head == "uniform_range":
+            return UniformRangeWeights(*floats)
+        if head == "exponential":
+            return ExponentialWeights(*floats)
+        if head == "pareto":
+            return ParetoWeights(*floats)
+    except TypeError as exc:
+        raise ValueError(
+            f"wrong argument count in weights spec {spec!r}"
+        ) from exc
+    raise ValueError(
+        f"unknown weight distribution {head!r} in spec {spec!r}; expected "
+        "one of unit, uniform, two_point, uniform_range, exponential, pareto"
+    )
+
+
+#: How each scenario axis coerces one ``--axis`` grid entry.
+_AXIS_PARSERS = {
+    "m": int,
+    "n": int,
+    "alpha": float,
+    "eps": float,
+    "resource_fraction": float,
+    "atol": float,
+    "graph": parse_graph,
+    "weights": parse_weights,
+}
+
+
+def parse_axis_values(name: str, text: str) -> tuple:
+    """Coerce a comma-separated grid onto scenario axis ``name``."""
+    if name not in scenario_axes():
+        raise ValueError(
+            f"unknown scenario axis {name!r}; "
+            f"valid axes: {', '.join(scenario_axes())}"
+        )
+    parser = _AXIS_PARSERS.get(name, str)
+    entries = [e.strip() for e in text.split(",") if e.strip()]
+    if not entries:
+        raise ValueError(f"axis {name!r} got an empty grid")
+    try:
+        return tuple(parser(e) for e in entries)
+    except ValueError as exc:
+        raise ValueError(f"bad grid for axis {name!r}: {exc}") from exc

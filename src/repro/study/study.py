@@ -1,0 +1,292 @@
+"""Studies: scenario × sweep × trials, executed through the backends.
+
+A :class:`Study` composes a :class:`~repro.study.Scenario` template
+with a :class:`~repro.study.Sweep` and the execution knobs of
+:func:`repro.core.runner.run_trials` (trials, root seed, max rounds,
+workers, backend).  :func:`run_study` walks the grid, binds each point
+onto the scenario, compiles it to a trial setup, runs the trials
+through the chosen backend, and collects one tidy row per point into a
+:class:`StudyResult` that feeds straight into
+:func:`repro.experiments.io.write_csv` and the ASCII charts.
+
+Three small hooks keep arbitrary paper artefacts declarative without
+reintroducing bespoke drivers:
+
+``bind(scenario, point) -> Scenario | None``
+    Maps axis values onto scenario fields.  The default substitutes
+    values whose axis names are scenario axes; custom binders derive
+    fields (e.g. Figure 1 turns a total weight ``W`` and heavy count
+    ``k`` into ``m`` and a two-point distribution).  Returning ``None``
+    skips the point — its seed child is still consumed, so grids with
+    infeasible corners stay reproducible point-for-point.
+
+``row(outcome) -> mapping``
+    Builds the result row for one point from the bound scenario and
+    its :class:`~repro.core.metrics.TrialSummary`.  The hook always
+    sees the point's raw ``RunResult`` list (with traces when
+    ``record_traces`` is on); the list is retained on the returned
+    :class:`StudyResult` only under ``keep_results=True``, so
+    trace-heavy sweeps don't pin every point's trajectories at once.
+
+``evaluate(point) -> mapping``
+    Replaces simulation entirely for analytical studies (Table 1
+    computes spectral quantities; no trials are involved).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Mapping, Sequence
+
+import numpy as np
+
+from ..core.backends import SimulationBackend, get_backend
+from ..core.metrics import TrialSummary, summarize_runs
+from ..core.runner import run_trials
+from ..core.simulator import RunResult
+from .scenario import Scenario
+from .sweep import Sweep, SweepPoint, _label
+
+__all__ = [
+    "PointOutcome",
+    "Study",
+    "StudyProgress",
+    "StudyResult",
+    "run_study",
+]
+
+
+@dataclass(frozen=True)
+class PointOutcome:
+    """Everything one executed grid point produced."""
+
+    point: SweepPoint
+    scenario: Scenario | None
+    summary: TrialSummary | None
+    results: tuple[RunResult, ...] | None
+
+
+@dataclass(frozen=True)
+class StudyProgress:
+    """Per-point progress event passed to ``run_study(progress=...)``.
+
+    ``executed`` distinguishes a binder-skipped point (no trials ran)
+    from one whose trials ran but whose row hook returned ``None``.
+    """
+
+    done: int
+    total: int
+    point: SweepPoint
+    row: Mapping[str, Any] | None
+    seconds: float
+    executed: bool = True
+
+    def __str__(self) -> str:
+        if not self.executed:
+            status = "skipped"
+        elif self.row is None:
+            status = f"{self.seconds:.1f}s (no row)"
+        else:
+            status = f"{self.seconds:.1f}s"
+        return (
+            f"[{self.done}/{self.total}] {self.point.label() or '(point)'}: "
+            f"{status}"
+        )
+
+
+@dataclass(frozen=True)
+class Study:
+    """A declarative experiment: scenario template × sweep × execution.
+
+    ``trials``/``seed``/``max_rounds``/``workers``/``backend`` carry the
+    exact semantics of :func:`repro.core.runner.run_trials`; every point
+    receives its own ``SeedSequence`` child of ``seed`` (see
+    :mod:`repro.study.sweep` for the seeding discipline).
+    """
+
+    sweep: Sweep
+    scenario: Scenario | None = None
+    trials: int = 10
+    seed: int = 0
+    max_rounds: int = 100_000
+    workers: int | None = None
+    backend: str | SimulationBackend | None = None
+    record_traces: bool = False
+    keep_results: bool = False
+    bind: Callable[[Scenario, SweepPoint], Scenario | None] | None = None
+    row: Callable[[PointOutcome], Mapping[str, Any] | None] | None = None
+    evaluate: Callable[[SweepPoint], Mapping[str, Any]] | None = None
+
+    def run(
+        self,
+        progress: Callable[[StudyProgress], None] | None = None,
+    ) -> "StudyResult":
+        return run_study(self, progress=progress)
+
+    def describe(self) -> str:
+        """Multi-line summary (the CLI ``describe`` body)."""
+        lines = []
+        if self.evaluate is None and self.scenario is not None:
+            lines.append(f"scenario: {self.scenario.describe()}")
+        else:
+            lines.append("scenario: (analytical study, no trials)")
+        for axis in self.sweep.axes:
+            rendered = ", ".join(_label(v) for v in axis.values)
+            shared = "" if axis.seeded else " (shares seeds)"
+            lines.append(f"axis {axis.name}: [{rendered}]{shared}")
+        if self.evaluate is None:
+            backend = get_backend(self.backend, workers=self.workers).name
+            lines.append(
+                f"points: {self.sweep.n_points} x {self.trials} trials, "
+                f"root seed {self.seed}, backend {backend}"
+            )
+        else:
+            lines.append(f"points: {self.sweep.n_points}")
+        return "\n".join(lines)
+
+
+def _default_bind(scenario: Scenario, point: SweepPoint) -> Scenario:
+    return scenario.with_(**point.values)
+
+
+def _default_row(outcome: PointOutcome) -> Mapping[str, Any]:
+    row = {k: _label(v) for k, v in outcome.point.values.items()}
+    row.update(outcome.summary.row())
+    return row
+
+
+def run_study(
+    study: Study,
+    progress: Callable[[StudyProgress], None] | None = None,
+) -> "StudyResult":
+    """Execute every grid point and collect the tidy rows."""
+    points = list(study.sweep.points())
+    simulated = study.evaluate is None
+    if simulated and study.scenario is None:
+        raise ValueError("study needs a scenario unless evaluate= is given")
+    children: Sequence[np.random.SeedSequence] = ()
+    if simulated:
+        root = np.random.SeedSequence(study.seed)
+        children = root.spawn(study.sweep.n_seeds)
+    bind = study.bind if study.bind is not None else _default_bind
+    build_row = study.row if study.row is not None else _default_row
+    rows: list[dict[str, Any]] = []
+    outcomes: list[PointOutcome] = []
+    for point in points:
+        start = time.perf_counter()
+        row: Mapping[str, Any] | None
+        if not simulated:
+            row = dict(study.evaluate(point))
+            outcome = PointOutcome(
+                point=point, scenario=None, summary=None, results=None
+            )
+        else:
+            scenario = bind(study.scenario, point)
+            if scenario is None:
+                # consume exactly the trial children run_trials would
+                # have drawn, so siblings sharing this child (unseeded
+                # axes) keep their randomness when a point is filtered
+                children[point.seed_index].spawn(study.trials)
+                outcome = PointOutcome(
+                    point=point, scenario=None, summary=None, results=None
+                )
+                row = None
+            else:
+                results = run_trials(
+                    scenario.compile(),
+                    study.trials,
+                    seed=children[point.seed_index],
+                    max_rounds=study.max_rounds,
+                    workers=study.workers,
+                    record_traces=study.record_traces,
+                    backend=study.backend,
+                )
+                outcome = PointOutcome(
+                    point=point,
+                    scenario=scenario,
+                    summary=summarize_runs(results),
+                    results=tuple(results),
+                )
+                built = build_row(outcome)
+                row = dict(built) if built is not None else None
+                if not study.keep_results:
+                    # the row hook has consumed the raw results; don't
+                    # pin every point's traces for the result's lifetime
+                    outcome = dataclasses.replace(outcome, results=None)
+        if row is not None:
+            rows.append(dict(row))
+        outcomes.append(outcome)
+        if progress is not None:
+            progress(
+                StudyProgress(
+                    done=point.index + 1,
+                    total=len(points),
+                    point=point,
+                    row=row,
+                    seconds=time.perf_counter() - start,
+                    executed=outcome.summary is not None or not simulated,
+                )
+            )
+    return StudyResult(study=study, outcomes=outcomes, rows=rows)
+
+
+@dataclass
+class StudyResult:
+    """Per-point summaries plus tidy rows ready for export."""
+
+    study: Study
+    outcomes: list[PointOutcome]
+    rows: list[dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def summaries(self) -> list[TrialSummary | None]:
+        """One summary per grid point (``None`` for skipped points)."""
+        return [o.summary for o in self.outcomes]
+
+    def column(self, name: str) -> list[Any]:
+        """One column across all rows (missing cells excluded)."""
+        return [row[name] for row in self.rows if name in row]
+
+    def format_table(
+        self,
+        columns: Sequence[str] | None = None,
+        float_fmt: str = ".4g",
+        title: str | None = None,
+    ) -> str:
+        from ..experiments.io import format_table
+
+        return format_table(
+            self.rows, columns=columns, float_fmt=float_fmt, title=title
+        )
+
+    def write_csv(self, path: str | Path) -> Path:
+        from ..experiments.io import write_csv
+
+        return write_csv(self.rows, path)
+
+    def write_json(self, path: str | Path) -> Path:
+        from ..experiments.io import write_json
+
+        return write_json({"rows": self.rows}, path)
+
+    def chart(
+        self,
+        x: str,
+        y: str,
+        by: str | None = None,
+        width: int = 64,
+        height: int = 16,
+    ) -> str:
+        """ASCII chart of ``y`` vs ``x``, one series per ``by`` value."""
+        from ..experiments.charts import ascii_chart, series_from_rows
+
+        return ascii_chart(
+            series_from_rows(self.rows, x=x, y=y, by=by),
+            width=width,
+            height=height,
+            x_label=x,
+            y_label=y,
+        )

@@ -67,6 +67,46 @@ class TestRunTrials:
         assert serial == parallel
 
 
+class TestWorkersBackendPrecedence:
+    """workers parameterises only the process backend; anything else
+    must refuse a pool request instead of silently ignoring it."""
+
+    def test_workers_with_serial_backend_raises(self):
+        with pytest.raises(ValueError, match="process pool"):
+            run_trials(SETUP, trials=2, seed=0, workers=2, backend="serial")
+
+    def test_workers_with_batched_backend_raises(self):
+        with pytest.raises(ValueError, match="silently ignore"):
+            run_trials(SETUP, trials=2, seed=0, workers=-1, backend="batched")
+
+    def test_workers_with_backend_instance_raises(self):
+        from repro import BatchedBackend, ProcessBackend
+
+        with pytest.raises(ValueError, match="instance"):
+            run_trials(
+                SETUP, trials=2, seed=0, workers=2, backend=BatchedBackend()
+            )
+        # a pre-built process pool carries its own size: also a conflict
+        with pytest.raises(ValueError, match="instance"):
+            run_trials(
+                SETUP, trials=2, seed=0, workers=2,
+                backend=ProcessBackend(workers=2),
+            )
+
+    def test_workers_with_process_backend_name_ok(self):
+        results = run_trials(
+            SETUP, trials=2, seed=0, workers=2, backend="process"
+        )
+        assert len(results) == 2
+
+    def test_serial_workers_values_compatible_everywhere(self):
+        for workers in (None, 0, 1):
+            results = run_trials(
+                SETUP, trials=2, seed=0, workers=workers, backend="batched"
+            )
+            assert len(results) == 2
+
+
 class TestSummary:
     def test_summary(self):
         s = run_trial_summary(SETUP, trials=5, seed=3)

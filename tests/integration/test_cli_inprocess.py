@@ -1,4 +1,4 @@
-"""In-process CLI tests (fast: no subprocess, tiny experiment)."""
+"""In-process CLI tests (fast: no subprocess, tiny experiments)."""
 
 from __future__ import annotations
 
@@ -31,6 +31,132 @@ class TestRunCommand:
         assert "legend:" in text          # the ASCII chart rendered
         assert "wmax=" in text
 
+    def test_run_progress_lines(self, capsys):
+        rc = main([
+            "run", "lower_bound", "--quick", "--trials", "2", "--progress",
+        ])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "[1/3]" in text and "bridge=" in text
+
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestDescribeCommand:
+    def test_describe_shows_config_presets_and_sweep(self, capsys):
+        rc = main(["describe", "figure1"])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "config defaults:" in text
+        assert "preset --quick:" in text
+        assert "axis k:" in text and "axis W:" in text
+        assert "points: 45" in text
+
+    def test_describe_analytical_study(self, capsys):
+        rc = main(["describe", "table1"])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "analytical study" in text
+
+    def test_describe_unknown_key_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["describe", "figure99"])
+
+
+class TestSweepCommand:
+    def test_sweep_runs_a_custom_grid(self, capsys, tmp_path):
+        out = tmp_path / "sweep.csv"
+        rc = main([
+            "sweep", "--protocol", "user", "--n", "20", "--m", "80",
+            "--weights", "two_point:1:8:2", "--axis", "eps=0.1,0.4",
+            "--trials", "2", "--seed", "9", "--backend", "batched",
+            "--out", str(out), "--progress",
+        ])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "custom sweep" in text
+        assert "axis eps: [0.1, 0.4]" in text
+        assert "[2/2]" in text
+        assert "mean_rounds" in text
+        header = out.read_text().splitlines()[0]
+        assert header.startswith("eps,")
+
+    def test_sweep_resource_protocol_graph_spec(self, capsys):
+        rc = main([
+            "sweep", "--protocol", "resource", "--graph", "torus:3x3",
+            "--m", "30", "--axis", "m=20,40", "--trials", "2",
+        ])
+        assert rc == 0
+        assert "torus(3x3)" in capsys.readouterr().out
+
+    def test_sweep_multi_axis_grid(self, capsys):
+        rc = main([
+            "sweep", "--n", "12", "--m", "40",
+            "--axis", "eps=0.1,0.2", "--axis", "alpha=0.5,1.0",
+            "--trials", "2",
+        ])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "points: 4" in text
+
+    def test_sweep_requires_an_axis(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--n", "10", "--m", "20", "--trials", "2"])
+        assert "--axis" in capsys.readouterr().err
+
+    def test_sweep_unknown_axis_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main([
+                "sweep", "--n", "10", "--m", "20",
+                "--axis", "tasks=1,2", "--trials", "2",
+            ])
+        err = capsys.readouterr().err
+        assert "unknown scenario axis" in err
+        assert "valid axes" in err
+
+    def test_sweep_bad_grid_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main([
+                "sweep", "--n", "10", "--m", "20",
+                "--axis", "m=10,lots", "--trials", "2",
+            ])
+        assert "bad grid for axis 'm'" in capsys.readouterr().err
+
+    def test_sweep_malformed_axis_flag(self, capsys):
+        with pytest.raises(SystemExit):
+            main([
+                "sweep", "--n", "10", "--m", "20",
+                "--axis", "eps:0.1", "--trials", "2",
+            ])
+        assert "NAME=V1,V2" in capsys.readouterr().err
+
+    def test_sweep_bad_graph_spec(self, capsys):
+        with pytest.raises(SystemExit):
+            main([
+                "sweep", "--protocol", "resource", "--graph", "moebius:9",
+                "--m", "20", "--axis", "m=10,20", "--trials", "2",
+            ])
+        assert "unknown graph family" in capsys.readouterr().err
+
+    def test_workers_with_poolless_backend_rejected(self, capsys):
+        # statically-known conflict: clean usage error, not a traceback
+        for argv in (
+            ["run", "figure1", "--quick", "--backend", "batched",
+             "--workers", "4"],
+            ["sweep", "--n", "10", "--m", "20", "--axis", "eps=0.1,0.2",
+             "--backend", "serial", "--workers", "2"],
+        ):
+            with pytest.raises(SystemExit):
+                main(argv)
+            assert "--backend process" in capsys.readouterr().err
+
+    def test_sweep_incomplete_scenario_rejected(self, capsys):
+        # user protocol without --n cannot compile
+        with pytest.raises(SystemExit):
+            main([
+                "sweep", "--m", "20", "--axis", "eps=0.1,0.2",
+                "--trials", "2",
+            ])
+        assert "set n" in capsys.readouterr().err

@@ -1,0 +1,126 @@
+"""Unit tests for the CLI spec parsers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.study import parse_axis_values, parse_graph, parse_weights
+from repro.workloads import (
+    ExponentialWeights,
+    ParetoWeights,
+    TwoPointWeights,
+    UniformRangeWeights,
+    UniformWeights,
+)
+
+
+class TestParseGraph:
+    @pytest.mark.parametrize(
+        "spec, n",
+        [
+            ("complete:8", 8),
+            ("cycle:10", 10),
+            ("path:5", 5),
+            ("star:6", 6),
+            ("grid:3x4", 12),
+            ("torus:3x5", 15),
+            ("hypercube:4", 16),
+            ("expander:8:3", 8),
+            ("expander:8:3:42", 8),
+            ("er:12:0.9", 12),
+            ("clique_pendant:8:2", 8),
+            ("lollipop:4:3", 7),
+            ("barbell:3:2", 8),
+            ("binary_tree:3", 15),
+        ],
+    )
+    def test_families(self, spec, n):
+        assert parse_graph(spec).n == n
+
+    def test_deterministic_random_families(self):
+        a = parse_graph("expander:16:3:7")
+        b = parse_graph("expander:16:3:7")
+        assert a.name == b.name
+        assert list(a.indices) == list(b.indices)
+
+    def test_unknown_family(self):
+        with pytest.raises(ValueError, match="unknown graph family"):
+            parse_graph("petersen:10")
+
+    def test_bad_dimensions(self):
+        with pytest.raises(ValueError, match="RxC"):
+            parse_graph("torus:9")
+        with pytest.raises(ValueError, match="integer"):
+            parse_graph("complete:abc")
+        with pytest.raises(ValueError, match="argument count"):
+            parse_graph("complete:3:4:5")
+
+    def test_wrong_arity_names_the_spec_syntax(self):
+        # no raw tuple-unpack errors may leak to the CLI user
+        with pytest.raises(ValueError, match="expander spec needs"):
+            parse_graph("expander:64")
+        with pytest.raises(ValueError, match="RxC"):
+            parse_graph("torus:8x8x8")
+        with pytest.raises(ValueError, match="er spec needs"):
+            parse_graph("er:64")
+        with pytest.raises(ValueError, match="edge probability"):
+            parse_graph("er:64:dense")
+
+
+class TestParseWeights:
+    @pytest.mark.parametrize(
+        "spec, expected",
+        [
+            ("unit", UniformWeights(1.0)),
+            ("uniform:2", UniformWeights(2.0)),
+            ("two_point:1:50:5", TwoPointWeights(1.0, 50.0, 5)),
+            ("uniform_range:1:10", UniformRangeWeights(1.0, 10.0)),
+            ("exponential:2", ExponentialWeights(2.0)),
+            ("pareto:2.5", ParetoWeights(2.5)),
+            ("pareto:2.5:100", ParetoWeights(2.5, 100.0)),
+        ],
+    )
+    def test_kinds(self, spec, expected):
+        assert parse_weights(spec) == expected
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown weight distribution"):
+            parse_weights("zipf:2")
+
+    def test_bad_arguments(self):
+        with pytest.raises(ValueError, match="numeric"):
+            parse_weights("pareto:heavy")
+        with pytest.raises(ValueError, match="two_point"):
+            parse_weights("two_point:1:50")
+
+
+class TestParseAxisValues:
+    def test_int_axis(self):
+        assert parse_axis_values("m", "100, 200,300") == (100, 200, 300)
+
+    def test_float_axis(self):
+        assert parse_axis_values("eps", "0.1,0.2") == (0.1, 0.2)
+
+    def test_string_axis(self):
+        values = parse_axis_values("threshold", "above_average,tight_user")
+        assert values == ("above_average", "tight_user")
+
+    def test_graph_axis(self):
+        values = parse_axis_values("graph", "complete:4,cycle:5")
+        assert [g.n for g in values] == [4, 5]
+
+    def test_weights_axis(self):
+        values = parse_axis_values("weights", "unit,pareto:2.5")
+        assert values[0] == UniformWeights(1.0)
+
+    def test_unknown_axis(self):
+        with pytest.raises(ValueError, match="unknown scenario axis"):
+            parse_axis_values("tasks", "1,2")
+
+    def test_bad_grid_value(self):
+        with pytest.raises(ValueError, match="bad grid for axis 'm'"):
+            parse_axis_values("m", "100,many")
+
+    def test_empty_grid(self):
+        with pytest.raises(ValueError, match="empty grid"):
+            parse_axis_values("m", " , ")

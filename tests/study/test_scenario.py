@@ -1,0 +1,176 @@
+"""Unit tests for the declarative Scenario spec."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.study import (
+    HybridSetup,
+    ResourceControlledSetup,
+    Scenario,
+    UserControlledSetup,
+    scenario_axes,
+)
+from repro.graphs import complete_graph, torus_graph
+from repro.workloads import TwoPointWeights, UniformWeights
+
+
+class TestCompile:
+    def test_user_scenario_compiles_to_user_setup(self):
+        sc = Scenario(protocol="user", n=8, m=40, alpha=0.5, eps=0.3)
+        setup = sc.compile()
+        assert isinstance(setup, UserControlledSetup)
+        assert setup == UserControlledSetup(
+            n=8,
+            m=40,
+            distribution=UniformWeights(1.0),
+            alpha=0.5,
+            eps=0.3,
+        )
+
+    def test_resource_scenario_compiles_to_resource_setup(self):
+        g = torus_graph(3, 3)
+        sc = Scenario(
+            protocol="resource",
+            graph=g,
+            m=20,
+            threshold="tight_resource",
+            arrival_order="fifo",
+        )
+        setup = sc.compile()
+        assert isinstance(setup, ResourceControlledSetup)
+        assert setup.graph is g
+        assert setup.threshold_kind == "tight_resource"
+        assert setup.arrival_order == "fifo"
+
+    def test_hybrid_scenario_compiles_to_hybrid_setup(self):
+        sc = Scenario(
+            protocol="hybrid",
+            graph=complete_graph(6),
+            m=24,
+            resource_fraction=0.25,
+        )
+        setup = sc.compile()
+        assert isinstance(setup, HybridSetup)
+        assert setup.resource_fraction == 0.25
+        assert setup.mode == "probabilistic"
+
+    def test_compiled_setup_runs_a_trial(self, rng):
+        sc = Scenario(
+            protocol="user",
+            n=4,
+            m=12,
+            weights=TwoPointWeights(heavy=4.0, heavy_count=2),
+        )
+        protocol, state = sc.compile()(rng)
+        assert state.n == 4 and state.m == 12
+
+    def test_compiled_setup_is_picklable(self):
+        sc = Scenario(protocol="resource", graph=torus_graph(3, 3), m=10)
+        clone = pickle.loads(pickle.dumps(sc.compile()))
+        a = clone(np.random.default_rng(0))[1]
+        b = sc.compile()(np.random.default_rng(0))[1]
+        assert np.array_equal(a.resource, b.resource)
+
+
+class TestValidation:
+    def test_unknown_protocol(self):
+        with pytest.raises(ValueError, match="protocol"):
+            Scenario(protocol="nonsense", n=4, m=8).compile()
+
+    def test_unknown_threshold(self):
+        with pytest.raises(ValueError, match="threshold"):
+            Scenario(n=4, m=8, threshold="nonsense").compile()
+
+    def test_unknown_placement(self):
+        with pytest.raises(ValueError, match="placement"):
+            Scenario(n=4, m=8, placement="nonsense").compile()
+
+    def test_unknown_arrival_order(self):
+        with pytest.raises(ValueError, match="arrival"):
+            Scenario(n=4, m=8, arrival_order="lifo").compile()
+
+    def test_user_needs_n(self):
+        with pytest.raises(ValueError, match="set n"):
+            Scenario(protocol="user", m=8).compile()
+
+    def test_resource_needs_graph(self):
+        with pytest.raises(ValueError, match="graph"):
+            Scenario(protocol="resource", m=8).compile()
+
+    def test_needs_tasks(self):
+        with pytest.raises(ValueError, match="m >= 1"):
+            Scenario(n=4, m=0).compile()
+
+    def test_hybrid_rejects_fifo(self):
+        sc = Scenario(
+            protocol="hybrid",
+            graph=complete_graph(4),
+            m=8,
+            arrival_order="fifo",
+        )
+        with pytest.raises(ValueError, match="arrival_order"):
+            sc.compile()
+
+    def test_hybrid_rejects_custom_atol(self):
+        """HybridSetup has no atol knob — a swept atol must not be
+        silently dropped."""
+        sc = Scenario(
+            protocol="hybrid", graph=complete_graph(4), m=8, atol=1e-3
+        )
+        with pytest.raises(ValueError, match="atol"):
+            sc.compile()
+
+    def test_unknown_hybrid_mode(self):
+        sc = Scenario(
+            protocol="hybrid",
+            graph=complete_graph(4),
+            m=8,
+            hybrid_mode="bogus",
+        )
+        with pytest.raises(ValueError, match="hybrid mode"):
+            sc.compile()
+
+    def test_user_rejects_stray_graph(self):
+        """A graph on the user protocol would be ignored — reject it so
+        describe()/rows never misreport the topology."""
+        sc = Scenario(protocol="user", n=8, m=16, graph=complete_graph(4))
+        with pytest.raises(ValueError, match="would be ignored"):
+            sc.compile()
+
+    def test_resource_rejects_stray_n(self):
+        """Symmetrically, n on a graph-based protocol would be ignored."""
+        sc = Scenario(
+            protocol="resource", n=8, m=16, graph=complete_graph(4)
+        )
+        with pytest.raises(ValueError, match="n axis would be ignored"):
+            sc.compile()
+
+
+class TestAxes:
+    def test_with_replaces_fields(self):
+        sc = Scenario(n=4, m=8).with_(m=16, eps=0.5)
+        assert sc.m == 16 and sc.eps == 0.5 and sc.n == 4
+
+    def test_with_rejects_unknown_axis(self):
+        with pytest.raises(ValueError, match="unknown scenario axis"):
+            Scenario(n=4, m=8).with_(tasks=12)
+
+    def test_axes_cover_all_fields(self):
+        axes = scenario_axes()
+        assert "protocol" in axes and "weights" in axes and "graph" in axes
+
+    def test_resources_property(self):
+        assert Scenario(n=4, m=8).resources == 4
+        assert Scenario(graph=torus_graph(3, 3), m=8).resources == 9
+        with pytest.raises(ValueError, match="neither"):
+            _ = Scenario(m=8).resources
+
+    def test_describe_mentions_every_knob(self):
+        text = Scenario(n=4, m=8).describe()
+        assert "protocol=user" in text
+        assert "complete(n=4)" in text
+        assert "threshold=above_average" in text

@@ -1,0 +1,209 @@
+"""Unit tests for Study execution: seeding, hooks, progress, export."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.study import Scenario, Study, run_study, sweep
+from repro.workloads import UniformWeights
+
+SCENARIO = Scenario(protocol="user", n=6, m=30, weights=UniformWeights(1.0))
+
+
+def tiny_study(**overrides) -> Study:
+    defaults = dict(
+        scenario=SCENARIO,
+        sweep=sweep("eps", (0.1, 0.4)),
+        trials=3,
+        seed=11,
+    )
+    defaults.update(overrides)
+    return Study(**defaults)
+
+
+class TestExecution:
+    def test_rows_and_summaries(self):
+        res = run_study(tiny_study())
+        assert len(res.rows) == 2
+        assert [r["eps"] for r in res.rows] == ["0.1", "0.4"]
+        assert all(s.trials == 3 for s in res.summaries)
+        assert all(r["mean_rounds"] > 0 for r in res.rows)
+
+    def test_deterministic_from_root_seed(self):
+        a = run_study(tiny_study()).rows
+        b = run_study(tiny_study()).rows
+        assert a == b
+
+    def test_backends_agree_bit_for_bit(self):
+        serial = run_study(tiny_study(backend="serial")).rows
+        batched = run_study(tiny_study(backend="batched")).rows
+        assert serial == batched
+
+    def test_study_run_method_matches_run_study(self):
+        assert tiny_study().run().rows == run_study(tiny_study()).rows
+
+    def test_needs_scenario_or_evaluate(self):
+        with pytest.raises(ValueError, match="scenario"):
+            run_study(Study(sweep=sweep("eps", (0.1,))))
+
+    def test_default_bind_rejects_unknown_axis(self):
+        study = tiny_study(sweep=sweep("bogus_axis", (1, 2)))
+        with pytest.raises(ValueError, match="unknown scenario axis"):
+            run_study(study)
+
+
+class TestSeedDiscipline:
+    def test_skipped_points_still_consume_seed_children(self):
+        """Filtering a grid point must not shift later points' seeds."""
+
+        def skip_first(scenario, point):
+            if point["eps"] == 0.1:
+                return None
+            return scenario.with_(eps=point["eps"])
+
+        full = run_study(tiny_study())
+        filtered = run_study(tiny_study(bind=skip_first))
+        assert len(filtered.rows) == 1
+        assert filtered.rows[0] == full.rows[1]
+
+    def test_skipped_unseeded_sibling_keeps_later_seeds_aligned(self):
+        """Filtering one value of an unseeded axis must not shift the
+        randomness of the siblings sharing its seed child."""
+        grid = sweep("eps", (0.2,)) * sweep("tag", ("a", "b"), seeded=False)
+
+        def keep_all(scenario, point):
+            return scenario.with_(eps=point["eps"])
+
+        def skip_a(scenario, point):
+            if point["tag"] == "a":
+                return None
+            return scenario.with_(eps=point["eps"])
+
+        full = run_study(tiny_study(sweep=grid, bind=keep_all))
+        filtered = run_study(tiny_study(sweep=grid, bind=skip_a))
+        assert len(filtered.rows) == 1
+        assert filtered.rows[0] == full.rows[1]
+
+    def test_unseeded_axis_continues_one_seed_stream(self):
+        """Unseeded siblings share their seed child: since
+        ``SeedSequence.spawn`` is stateful, they continue one stream in
+        point order — mirroring the legacy pattern of calling
+        ``run_trials`` twice on the same child."""
+        import numpy as np
+
+        from repro import run_trials, summarize_runs
+
+        study = tiny_study(
+            sweep=sweep("eps", (0.2,)) * sweep("tag", ("a", "b"), seeded=False),
+            bind=lambda scenario, point: scenario.with_(eps=point["eps"]),
+        )
+        res = run_study(study)
+        child = np.random.SeedSequence(11).spawn(1)[0]
+        setup = SCENARIO.with_(eps=0.2).compile()
+        first = summarize_runs(run_trials(setup, 3, seed=child))
+        second = summarize_runs(run_trials(setup, 3, seed=child))
+        assert res.rows[0]["mean_rounds"] == first.mean_rounds
+        assert res.rows[1]["mean_rounds"] == second.mean_rounds
+
+
+class TestHooks:
+    def test_custom_row_sees_scenario_and_summary(self):
+        def row(outcome):
+            return {
+                "eps": outcome.scenario.eps,
+                "rounds": outcome.summary.mean_rounds,
+            }
+
+        res = run_study(tiny_study(row=row))
+        assert set(res.rows[0]) == {"eps", "rounds"}
+        assert res.rows[0]["eps"] == 0.1
+
+    def test_row_returning_none_drops_the_row(self):
+        res = run_study(tiny_study(row=lambda outcome: None))
+        assert res.rows == []
+        assert len(res.outcomes) == 2
+
+    def test_record_traces_exposes_results(self):
+        def row(outcome):
+            assert outcome.results is not None
+            return {"traced": all(
+                r.potential_trace is not None for r in outcome.results
+            )}
+
+        res = run_study(tiny_study(record_traces=True, row=row))
+        assert all(r["traced"] for r in res.rows)
+
+    def test_results_dropped_without_keep(self):
+        res = run_study(tiny_study())
+        assert all(o.results is None for o in res.outcomes)
+        kept = run_study(tiny_study(keep_results=True))
+        assert all(len(o.results) == 3 for o in kept.outcomes)
+        # traces feed the row hook but are not pinned on the result
+        traced = run_study(tiny_study(record_traces=True))
+        assert all(o.results is None for o in traced.outcomes)
+
+    def test_evaluate_study_runs_no_trials(self):
+        study = Study(
+            sweep=sweep("x", (1, 2, 3)),
+            evaluate=lambda point: {"x": point["x"], "sq": point["x"] ** 2},
+        )
+        res = run_study(study)
+        assert [r["sq"] for r in res.rows] == [1, 4, 9]
+        assert res.summaries == [None, None, None]
+
+
+class TestProgress:
+    def test_progress_fires_once_per_point(self):
+        events = []
+        run_study(tiny_study(), progress=events.append)
+        assert [(e.done, e.total) for e in events] == [(1, 2), (2, 2)]
+        assert "eps=0.1" in str(events[0])
+
+    def test_skipped_point_reports_skip(self):
+        events = []
+        run_study(
+            tiny_study(bind=lambda s, p: None), progress=events.append
+        )
+        assert all("skipped" in str(e) for e in events)
+        assert not any(e.executed for e in events)
+
+    def test_filtered_row_is_not_reported_as_skipped(self):
+        """Trials ran; only the row was dropped — say so."""
+        events = []
+        run_study(
+            tiny_study(row=lambda outcome: None), progress=events.append
+        )
+        assert all(e.executed for e in events)
+        assert all("(no row)" in str(e) for e in events)
+        assert not any("skipped" in str(e) for e in events)
+
+
+class TestResultExport:
+    def test_format_table_and_column(self):
+        res = run_study(tiny_study())
+        table = res.format_table(columns=["eps", "mean_rounds"])
+        assert "eps" in table.splitlines()[0]
+        assert len(res.column("mean_rounds")) == 2
+
+    def test_write_csv_and_json(self, tmp_path):
+        res = run_study(tiny_study())
+        csv_path = res.write_csv(tmp_path / "rows.csv")
+        assert csv_path.read_text().splitlines()[0].startswith("eps,")
+        json_path = res.write_json(tmp_path / "rows.json")
+        assert '"rows"' in json_path.read_text()
+
+    def test_chart(self):
+        res = run_study(tiny_study())
+        chart = res.chart(x="eps", y="mean_rounds")
+        assert "legend:" in chart
+
+    def test_describe_mentions_axes_and_points(self):
+        text = tiny_study().describe()
+        assert "axis eps" in text
+        assert "points: 2" in text
+
+    def test_describe_reports_inferred_backend(self):
+        assert "backend serial" in tiny_study().describe()
+        assert "backend batched" in tiny_study(backend="batched").describe()
+        # backend=None + pooled workers selects the process backend
+        assert "backend process" in tiny_study(workers=4).describe()

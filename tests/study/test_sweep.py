@@ -1,0 +1,78 @@
+"""Unit tests for sweep grids and their seed discipline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.study import Axis, Sweep, sweep
+
+
+class TestAxis:
+    def test_values_coerced_to_tuple(self):
+        assert Axis("k", [1, 2]).values == (1, 2)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one value"):
+            Axis("k", [])
+        with pytest.raises(ValueError, match="name"):
+            Axis("", [1])
+
+
+class TestProduct:
+    def test_row_major_order_last_axis_fastest(self):
+        grid = sweep("a", [0, 1]) * sweep("b", ["x", "y", "z"])
+        pts = list(grid.points())
+        assert [(p["a"], p["b"]) for p in pts] == [
+            (0, "x"), (0, "y"), (0, "z"),
+            (1, "x"), (1, "y"), (1, "z"),
+        ]
+        assert [p.index for p in pts] == list(range(6))
+
+    def test_shapes(self):
+        grid = sweep("a", [0, 1]) * sweep("b", [1, 2, 3])
+        assert grid.shape == (2, 3)
+        assert grid.n_points == 6
+        assert grid.names == ("a", "b")
+
+    def test_duplicate_axis_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            sweep("a", [1]) * sweep("a", [2])
+
+    def test_multiply_by_axis(self):
+        grid = sweep("a", [1]) * Axis("b", (2,))
+        assert grid.names == ("a", "b")
+
+
+class TestSeeding:
+    def test_all_seeded_counts_every_point(self):
+        grid = sweep("a", [0, 1]) * sweep("b", [0, 1, 2])
+        assert grid.n_seeds == 6
+        assert [p.seed_index for p in grid.points()] == list(range(6))
+
+    def test_unseeded_axis_shares_children(self):
+        grid = sweep("a", [0, 1]) * sweep("b", ["x", "y"], seeded=False)
+        assert grid.n_seeds == 2
+        assert [p.seed_index for p in grid.points()] == [0, 0, 1, 1]
+
+    def test_unseeded_outer_axis(self):
+        grid = sweep("a", [0, 1], seeded=False) * sweep("b", ["x", "y"])
+        assert grid.n_seeds == 2
+        assert [p.seed_index for p in grid.points()] == [0, 1, 0, 1]
+
+
+class TestLabels:
+    def test_point_label_uses_g_format_and_names(self):
+        grid = sweep("eps", [0.25]) * sweep("k", [3])
+        (pt,) = grid.points()
+        assert pt.label() == "eps=0.25 k=3"
+
+    def test_composite_values_render_compactly(self):
+        from repro.graphs import complete_graph
+
+        grid = sweep("probe", [("user", complete_graph(4))])
+        (pt,) = grid.points()
+        assert pt.label() == "probe=user/complete(n=4)"
+
+    def test_empty_sweep_rejected(self):
+        with pytest.raises(ValueError, match="no axes"):
+            list(Sweep(axes=()).points())
