@@ -18,6 +18,18 @@ Three groups of measurements:
   ``W ∈ {2000, 6000, 10000}``, ``n = 1000``) with 1000 trials per
   point, serial vs batched.  The summary block reports the aggregate
   ``batched_speedup`` (total rounds / wall time, batched over serial).
+* ``e7_hybrid`` — the E7 ablation's mixed-protocol workload
+  (``hybrid(q=0.5)``, ``m = 2000``, ten heavy tasks of weight 50),
+  both mixing modes, serial vs batched, on two topologies: the
+  paper's complete graph (``n = 500``; one resource round globally
+  rebalances, so trials end in ~3 rounds and per-trial setup bounds
+  any backend gain) and a ``22x23`` torus — the
+  threshold-balancing-in-networks regime where hybrid runs go long
+  and the batched kernel pays off.  Before the hybrid kernel landed
+  this was the one protocol the batched backend could not vectorise
+  (it silently looped the dense path per trial);
+  ``summary.hybrid_batched_speedup`` (time-weighted over the group)
+  tracks the recovered gap.
 * ``study_api`` — the same E1 points executed through the declarative
   Scenario/Study layer vs hand-rolled ``run_trials`` calls, batched
   both ways.  ``overhead_frac`` is the Study layer's wall-clock tax;
@@ -42,8 +54,8 @@ from pathlib import Path
 
 import numpy as np
 
-from repro import run_trials, summarize_runs
-from repro.experiments import UserControlledSetup
+from repro import complete_graph, run_trials, summarize_runs, torus_graph
+from repro.experiments import HybridSetup, UserControlledSetup
 from repro.experiments.figure1 import Figure1Config, build_study
 from repro.study import run_study
 from repro.workloads import TwoPointWeights, UniformRangeWeights
@@ -67,7 +79,7 @@ def time_backend(setup, trials: int, seed: int, backend: str) -> dict:
     total_rounds = int(sum(r.rounds for r in results))
     return {
         "backend": backend,
-        "n": setup.n,
+        "n": setup.n if hasattr(setup, "n") else setup.graph.n,
         "m": setup.m,
         "trials": trials,
         "total_rounds": total_rounds,
@@ -120,6 +132,36 @@ def run_harness(quick: bool = False, seed: int = 2015) -> dict:
                 f"[e1_quick ] {entry['label']:>24} {backend:>8}: "
                 f"{entry['rounds_per_sec']:>9.1f} rounds/s"
             )
+
+    # ---- E7-shaped hybrid workload: the recovered vectorisation gap ---
+    hybrid_trials = 20 if quick else 200
+    report["e7_hybrid"] = []
+    hybrid_totals = {"serial": [0, 0.0], "batched": [0, 0.0]}
+    topologies = [
+        ("complete500", complete_graph(500)),
+        ("torus22x23", torus_graph(22, 23)),
+    ]
+    for graph_label, graph in topologies:
+        for mode in ("probabilistic", "alternate"):
+            setup = HybridSetup(
+                graph=graph,
+                m=2000,
+                distribution=TwoPointWeights(
+                    light=1.0, heavy=50.0, heavy_count=10
+                ),
+                resource_fraction=0.5,
+                mode=mode,
+            )
+            for backend in ("serial", "batched"):
+                entry = time_backend(setup, hybrid_trials, seed, backend)
+                entry["label"] = f"E7-hybrid({mode},q=0.5,{graph_label})"
+                report["e7_hybrid"].append(entry)
+                hybrid_totals[backend][0] += entry["total_rounds"]
+                hybrid_totals[backend][1] += entry["seconds"]
+                print(
+                    f"[e7_hybrid] {entry['label']:>38} {backend:>8}: "
+                    f"{entry['rounds_per_sec']:>9.1f} rounds/s"
+                )
 
     # ---- Study-API overhead vs direct run_trials ----------------------
     # warm the batched kernel and allocator so neither timed path pays
@@ -182,16 +224,32 @@ def run_harness(quick: bool = False, seed: int = 2015) -> dict:
 
     serial_rps = totals["serial"][0] / totals["serial"][1]
     batched_rps = totals["batched"][0] / totals["batched"][1]
+    hybrid_serial_rps = hybrid_totals["serial"][0] / hybrid_totals["serial"][1]
+    hybrid_batched_rps = (
+        hybrid_totals["batched"][0] / hybrid_totals["batched"][1]
+    )
     report["summary"] = {
         "e1_trials": e1_trials,
         "serial_rounds_per_sec": round(serial_rps, 1),
         "batched_rounds_per_sec": round(batched_rps, 1),
         "batched_speedup": round(batched_rps / serial_rps, 2),
+        "hybrid_trials": hybrid_trials,
+        "hybrid_serial_rounds_per_sec": round(hybrid_serial_rps, 1),
+        "hybrid_batched_rounds_per_sec": round(hybrid_batched_rps, 1),
+        "hybrid_batched_speedup": round(
+            hybrid_batched_rps / hybrid_serial_rps, 2
+        ),
     }
     print(
         f"[summary  ] E1 quick sweep x{e1_trials} trials: "
         f"serial {serial_rps:.0f} r/s, batched {batched_rps:.0f} r/s "
         f"-> {batched_rps / serial_rps:.2f}x"
+    )
+    print(
+        f"[summary  ] E7 hybrid x{hybrid_trials} trials: "
+        f"serial {hybrid_serial_rps:.0f} r/s, "
+        f"batched {hybrid_batched_rps:.0f} r/s "
+        f"-> {hybrid_batched_rps / hybrid_serial_rps:.2f}x"
     )
     return report
 

@@ -24,7 +24,7 @@ import argparse
 import sys
 import time
 
-from .core.backends import BACKEND_NAMES
+from .core.backends import BACKEND_NAMES, validate_workers
 from .experiments.io import write_csv
 from .experiments.registry import EXPERIMENTS
 from .study import (
@@ -180,7 +180,11 @@ def _check_pool_flags(args, parser: argparse.ArgumentParser) -> None:
     """
     workers = getattr(args, "workers", None)
     backend = getattr(args, "backend", None)
-    if workers not in (None, 0, 1) and backend not in (None, "process"):
+    try:
+        validate_workers(workers)
+    except ValueError as err:  # one source of truth for the rule + text
+        parser.error(f"--{err}")
+    if workers not in (None, 1) and backend not in (None, "process"):
         parser.error(
             f"--workers {workers} only applies to --backend process; "
             f"the {backend!r} backend cannot use a process pool"

@@ -16,8 +16,14 @@ from .backends import (
     ProcessBackend,
     SimulationBackend,
     get_backend,
+    validate_workers,
 )
-from .batch import BatchedBackend, BatchState, BatchStepStats
+from .batch import (
+    BatchedBackend,
+    BatchFallbackWarning,
+    BatchState,
+    BatchStepStats,
+)
 from .metrics import TrialSummary, normalized_balancing_time, summarize_runs
 from .potential import (
     active_count,
@@ -58,6 +64,7 @@ from .thresholds import (
 __all__ = [
     "AboveAverageThreshold",
     "BACKEND_NAMES",
+    "BatchFallbackWarning",
     "BatchState",
     "BatchStepStats",
     "BatchedBackend",
@@ -99,4 +106,5 @@ __all__ = [
     "theorem12_alpha",
     "total_potential",
     "user_potential",
+    "validate_workers",
 ]

@@ -47,10 +47,28 @@ __all__ = [
     "BACKEND_NAMES",
     "get_backend",
     "run_single_trial",
+    "validate_workers",
 ]
 
 #: Backend names accepted by :func:`get_backend` and the CLI.
 BACKEND_NAMES = ("serial", "process", "batched")
+
+
+def validate_workers(workers: int | None) -> None:
+    """Reject nonsensical pool sizes uniformly at the API boundary.
+
+    Accepted values: ``None`` (backend default), any positive integer,
+    or ``-1`` (all cores).  Everything else — in particular ``0``, which
+    historically meant "serial" to some layers and was an error to
+    others — raises one consistent ``ValueError`` from every entry
+    point (``run_trials``, :func:`get_backend`, ``ProcessBackend``).
+    """
+    if workers is None or workers == -1 or workers >= 1:
+        return
+    raise ValueError(
+        f"workers must be a positive integer or -1 (all cores); "
+        f"got {workers!r}"
+    )
 
 
 class TrialSetup(TypingProtocol):
@@ -138,8 +156,15 @@ class ProcessBackend(SimulationBackend):
     name = "process"
 
     def __init__(self, workers: int = -1) -> None:
-        if workers == 0 or workers < -1:
-            raise ValueError("workers must be positive or -1 (all cores)")
+        # None means "backend default" to the runner layers; a concrete
+        # pool needs a concrete size, so reject it here with the same
+        # message instead of crashing in int() below.
+        if workers is None:
+            raise ValueError(
+                "workers must be a positive integer or -1 (all cores); "
+                "got None (ProcessBackend needs an explicit pool size)"
+            )
+        validate_workers(workers)
         self.workers = int(workers)
 
     def run_trials(
@@ -175,11 +200,14 @@ def get_backend(
     ``None`` keeps the historical behaviour of the runner: serial unless
     ``workers`` asks for a pool.  ``workers`` only parameterises the
     process backend; the serial and batched backends ignore it.
+    ``workers`` values other than ``None``, positive ints and ``-1``
+    are rejected up front (see :func:`validate_workers`).
     """
+    validate_workers(workers)
     if isinstance(backend, SimulationBackend):
         return backend
     if backend is None:
-        backend = "serial" if workers in (None, 0, 1) else "process"
+        backend = "serial" if workers in (None, 1) else "process"
     if backend == "serial":
         return DenseBackend()
     if backend == "process":

@@ -39,15 +39,23 @@ reproduced exactly — property-tested in
 
 Protocols opt into vectorisation by overriding
 :meth:`~repro.core.protocols.base.Protocol.step_batch` to accept a
-:class:`BatchState` (``UserControlledProtocol`` and
-``ResourceControlledProtocol`` do); everything else — including the
-stateful ``HybridProtocol`` and third-party subclasses — falls back to
-the base implementation, which loops over ``step()`` per trial.
+:class:`BatchState` (``UserControlledProtocol``,
+``ResourceControlledProtocol`` and ``HybridProtocol`` all do — the
+hybrid draws each trial's round-type coin from that trial's own
+generator and routes the rows through the component kernels, see
+:func:`hybrid_step_batch`).  Everything else — third-party subclasses,
+mixed-signature chunks, ragged shapes — falls back to the base
+implementation, which loops over ``step()`` per trial; the first
+fallback of each kind emits a one-shot :class:`BatchFallbackWarning`
+naming the reason, so losing the vectorised path is visible instead of
+a silent perf cliff.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
+from typing import ClassVar
 
 import numpy as np
 
@@ -57,7 +65,23 @@ from .protocols.user_controlled import _ceil_lots
 from .simulator import RunResult, _TraceBuffer, simulate
 from .state import SystemState
 
-__all__ = ["BatchState", "BatchStepStats", "BatchedBackend"]
+__all__ = [
+    "BatchFallbackWarning",
+    "BatchState",
+    "BatchStepStats",
+    "BatchedBackend",
+]
+
+
+class BatchFallbackWarning(RuntimeWarning):
+    """A batched chunk degraded to per-trial dense stepping.
+
+    Results are unaffected (the fallback replays the dense semantics
+    exactly), but the chunk loses cross-trial vectorisation.  Emitted
+    once per distinct reason per process by
+    :meth:`BatchedBackend._vectorizable`.
+    """
+
 
 #: Target number of stacked task slots (``trials * m``) per chunk.  The
 #: per-round work streams over a handful of flat arrays of this size, so
@@ -247,6 +271,30 @@ class BatchState:
         return loads_after
 
     # ------------------------------------------------------------------
+    def _rebase_rows_onto(self, target: "BatchState", rows: np.ndarray) -> None:
+        """Copy the per-trial fields of ``rows`` onto ``target``, re-based
+        onto row numbers ``0..k-1`` (keys and order slots embed the trial
+        index).  Shared by :meth:`compact` (``target`` is ``self``) and
+        :meth:`extract` (``target`` is a fresh sub-batch) so every
+        per-trial field is re-based in exactly one place.
+        """
+        shift = rows - np.arange(rows.shape[0], dtype=np.int64)
+        target.w_task = np.ascontiguousarray(self.w_task[rows])
+        target.key_task = np.ascontiguousarray(
+            self.key_task[rows] - (shift * self.n)[:, None]
+        )
+        target.counts = np.ascontiguousarray(self.counts[rows])
+        target.order = (
+            self.order.reshape(self.A, self.m)[rows]
+            - (shift * self.m)[:, None]
+        ).ravel()
+        target.t_res = np.ascontiguousarray(self.t_res[rows])
+        target.atol = self.atol[rows]
+        target.bound = np.ascontiguousarray(self.bound[rows])
+        target.wmax = self.wmax[rows]
+        target.thresholds = [self.thresholds[r] for r in rows]
+        target.A = rows.shape[0]  # last: self.A is read above
+
     def compact(self, keep: np.ndarray) -> None:
         """Drop finished trials (rows where ``keep`` is False).
 
@@ -256,28 +304,56 @@ class BatchState:
         rows = np.flatnonzero(keep)
         if rows.shape[0] == self.A:
             return
-        shift = rows - np.arange(rows.shape[0], dtype=np.int64)
-        self.w_task = np.ascontiguousarray(self.w_task[rows])
-        self.key_task = np.ascontiguousarray(
-            self.key_task[rows] - (shift * self.n)[:, None]
-        )
-        self.counts = np.ascontiguousarray(self.counts[rows])
-        self.order = (
-            self.order.reshape(self.A, self.m)[rows]
-            - (shift * self.m)[:, None]
-        ).ravel()
-        self.t_res = np.ascontiguousarray(self.t_res[rows])
-        self.atol = self.atol[rows]
-        self.bound = np.ascontiguousarray(self.bound[rows])
-        self.wmax = self.wmax[rows]
-        self.thresholds = [self.thresholds[r] for r in rows]
-        self.A = rows.shape[0]
+        self._rebase_rows_onto(self, rows)
         size = self.A * self.m
         self._scratch_keep = self._scratch_keep[:size]
         self._scratch_u = self._scratch_u[: self.A]
         self._scratch_indptr = np.ascontiguousarray(
             self._scratch_indptr[: self.A]
         )
+
+    # ------------------------------------------------------------------
+    def extract(self, rows: np.ndarray) -> "BatchState":
+        """Sub-batch of the given rows, re-based onto rows ``0..k-1``.
+
+        Trials are independent — keys, order slots and every per-trial
+        reduction only ever combine elements of one trial — so a kernel
+        stepped on the extracted sub-batch produces bit-identical
+        per-trial results to the same kernel on the full batch.  Used by
+        the hybrid kernel to run different component kernels on disjoint
+        row subsets within one round; write mutated placement state back
+        with :meth:`scatter`.
+
+        The sub-batch *borrows* the parent's scratch buffers (prefix
+        views — the kernels leave them in their rest state after every
+        round), so step one extracted sub-batch at a time and do not
+        interleave it with stepping the parent.
+        """
+        sub = BatchState.__new__(BatchState)
+        sub.n, sub.m = self.n, self.m
+        self._rebase_rows_onto(sub, rows)
+        sub.record_stats = self.record_stats
+        k = sub.A
+        size = k * self.m
+        sub._scratch_arange = self._scratch_arange[:size]
+        sub._scratch_keep = self._scratch_keep[:size]
+        sub._scratch_u = self._scratch_u[:k]
+        sub._scratch_indptr = self._scratch_indptr[:k]
+        return sub
+
+    def scatter(self, sub: "BatchState", rows: np.ndarray) -> None:
+        """Write a stepped :meth:`extract` sub-batch back into ``rows``.
+
+        Only the mutable placement state (task keys, counts, stack
+        order) flows back; weights, thresholds and bounds never change
+        during a round.
+        """
+        shift = rows - np.arange(rows.shape[0], dtype=np.int64)
+        self.key_task[rows] = sub.key_task + (shift * self.n)[:, None]
+        self.counts[rows] = sub.counts
+        self.order.reshape(self.A, self.m)[rows] = sub.order.reshape(
+            sub.A, self.m
+        ) + (shift * self.m)[:, None]
 
 
 # ----------------------------------------------------------------------
@@ -298,13 +374,18 @@ class BatchedBackend(SimulationBackend):
     Vectorised stepping requires every trial in a chunk to share the
     protocol type and
     :meth:`~repro.core.protocols.base.Protocol.batch_signature`, plus
-    identical ``(n, m)``.  Anything else (hybrid protocols, ragged
-    sweeps, third-party protocols) transparently degrades to the
-    base-class ``step_batch``, which loops the dense ``step()`` per
-    trial — same results, no cross-trial vectorisation.
+    identical ``(n, m)``.  Anything else (third-party protocols,
+    mixed-configuration chunks, ragged sweeps) transparently degrades
+    to the base-class ``step_batch``, which loops the dense ``step()``
+    per trial — same results, no cross-trial vectorisation — and emits
+    a one-shot :class:`BatchFallbackWarning` naming the reason.
     """
 
     name = "batched"
+
+    #: Fallback reasons already warned about in this process (one-shot
+    #: per reason, shared by all instances; tests may clear it).
+    _warned_fallbacks: ClassVar[set[str]] = set()
 
     def __init__(self, max_batch: int | None = None) -> None:
         if max_batch is not None and max_batch <= 0:
@@ -374,23 +455,59 @@ class BatchedBackend(SimulationBackend):
             protocols, states, rngs, max_rounds, record_traces
         )
 
-    @staticmethod
+    @classmethod
+    def _warn_fallback(cls, reason: str, detail: str) -> None:
+        """One-shot (per reason, per process) fallback diagnostic."""
+        if reason in cls._warned_fallbacks:
+            return
+        cls._warned_fallbacks.add(reason)
+        warnings.warn(
+            f"batched backend fell back to per-trial dense stepping: "
+            f"{detail} — results are identical, but the chunk loses "
+            "cross-trial vectorisation (warned once per reason)",
+            BatchFallbackWarning,
+            stacklevel=4,
+        )
+
+    @classmethod
     def _vectorizable(
-        protocols: list[Protocol], states: list[SystemState]
+        cls, protocols: list[Protocol], states: list[SystemState]
     ) -> bool:
         lead = protocols[0]
         if type(lead).step_batch is Protocol.step_batch:
+            cls._warn_fallback(
+                "non-batch-protocol",
+                f"protocol {type(lead).__name__!r} does not override "
+                "step_batch",
+            )
             return False
         signature = lead.batch_signature()
         if signature is None:
+            cls._warn_fallback(
+                "no-signature",
+                f"protocol {type(lead).__name__!r} opted out via "
+                "batch_signature() = None",
+            )
             return False
         if any(
             type(p) is not type(lead) or p.batch_signature() != signature
             for p in protocols[1:]
         ):
+            cls._warn_fallback(
+                "mixed-signatures",
+                "trials in the chunk mix protocol types or "
+                "configurations (batch signatures differ)",
+            )
             return False
         n, m = states[0].n, states[0].m
-        return m > 0 and all(s.n == n and s.m == m for s in states)
+        if m == 0 or any(s.n != n or s.m != m for s in states):
+            cls._warn_fallback(
+                "heterogeneous-shapes",
+                "trials in the chunk disagree on (n, m) or have no "
+                "tasks",
+            )
+            return False
+        return True
 
     # ------------------------------------------------------------------
     def _run_vectorized(
@@ -718,6 +835,80 @@ def resource_step_batch(
     loads_after = batch.apply_moves(mov_abs, mov_pos, dest, arrival, loads)
     return BatchStepStats(
         movers=k.astype(np.int64),
+        moved_weight=moved_weight,
+        overloaded_before=overloaded_before,
+        potential_before=potential_before,
+        max_load_before=max_load_before,
+        loads_after=loads_after,
+    )
+
+
+def hybrid_step_batch(
+    proto, batch: BatchState, rngs: list[np.random.Generator]
+) -> BatchStepStats:
+    """One vectorised hybrid round for every trial in ``batch``.
+
+    Mirrors ``HybridProtocol.step`` per trial.  In probabilistic mode
+    each trial's round-type coin is drawn from that trial's own
+    generator *before* any kernel draws — exactly the dense
+    ``_pick_resource_round`` → component ``step`` call order, so trial
+    streams stay aligned.  The live rows are then partitioned into a
+    resource-round subset and a user-round subset, each stepped by its
+    component kernel on an extracted sub-batch (trials are independent,
+    so sub-batch stepping is bit-identical to full-batch stepping), and
+    the per-subset stats are merged back into trial order.  Alternate
+    mode is lockstep — all live trials have executed the same number of
+    rounds, so one shared parity decides the round type and no coin is
+    drawn (the dense path draws none either).
+    """
+    if proto.mode == "alternate":
+        use_resource = proto._round % 2 == 0
+        proto._round += 1
+        if use_resource:
+            return resource_step_batch(proto.resource_protocol, batch, rngs)
+        return user_step_batch(proto.user_protocol, batch, rngs)
+
+    coin = np.fromiter(
+        (rng.random() < proto.resource_fraction for rng in rngs),
+        dtype=bool,
+        count=batch.A,
+    )
+    proto._round += 1
+    if coin.all():
+        return resource_step_batch(proto.resource_protocol, batch, rngs)
+    if not coin.any():
+        return user_step_batch(proto.user_protocol, batch, rngs)
+
+    subsets = []
+    for rows, kernel, component in (
+        (np.flatnonzero(coin), resource_step_batch, proto.resource_protocol),
+        (np.flatnonzero(~coin), user_step_batch, proto.user_protocol),
+    ):
+        sub = batch.extract(rows)
+        stats = kernel(component, sub, [rngs[r] for r in rows])
+        batch.scatter(sub, rows)
+        subsets.append((rows, stats))
+
+    A, n = batch.A, batch.n
+    movers = np.empty(A, dtype=np.int64)
+    moved_weight = np.empty(A)
+    loads_after = np.empty((A, n))
+    if batch.record_stats:
+        overloaded_before = np.empty(A, dtype=np.int64)
+        potential_before = np.empty(A)
+        max_load_before = np.empty(A)
+    else:
+        overloaded_before = potential_before = max_load_before = None
+    for rows, stats in subsets:
+        movers[rows] = stats.movers
+        moved_weight[rows] = stats.moved_weight
+        loads_after[rows] = stats.loads_after
+        if batch.record_stats:
+            overloaded_before[rows] = stats.overloaded_before
+            potential_before[rows] = stats.potential_before
+            max_load_before[rows] = stats.max_load_before
+    return BatchStepStats(
+        movers=movers,
         moved_weight=moved_weight,
         overloaded_before=overloaded_before,
         potential_before=potential_before,

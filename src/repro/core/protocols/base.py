@@ -102,8 +102,8 @@ class Protocol(ABC):
         signature, so one instance can safely drive all trials.  The
         base implementation returns ``None`` — per-trial instances are
         kept and :meth:`step_batch` falls back to looping over
-        :meth:`step`, which keeps stateful protocols (e.g. the hybrid
-        protocol's round counter) and third-party subclasses correct.
+        :meth:`step`, which keeps third-party subclasses and
+        mixed-configuration sweeps correct.
         """
         return None
 
@@ -118,11 +118,9 @@ class Protocol(ABC):
         objects (the batched backend's fallback hands protocols views of
         its stacked arrays).  The base implementation loops over
         :meth:`step`, so every protocol works under the batched backend;
-        :class:`~repro.core.protocols.user_controlled.UserControlledProtocol`
-        and
-        :class:`~repro.core.protocols.resource_controlled.ResourceControlledProtocol`
-        override it with vectorised kernels that take a
-        :class:`~repro.core.batch.BatchState` instead and return a
+        ``UserControlledProtocol``, ``ResourceControlledProtocol`` and
+        ``HybridProtocol`` override it with vectorised kernels that take
+        a :class:`~repro.core.batch.BatchState` instead and return a
         :class:`~repro.core.batch.BatchStepStats`.
         """
         return [self.step(state, rng) for state, rng in zip(trials, rngs)]

@@ -16,6 +16,13 @@ Both inherit termination from their components: a resource round never
 increases ``Phi`` (Observation 4) and a user round drives ``Phi`` down
 in expectation (Lemma 10), so the mixture still balances; benchmark E7's
 ablation shows where each mode shines.
+
+The hybrid participates in the batched engine
+(:mod:`repro.core.batch`): homogeneous hybrid sweeps are vectorised by
+drawing each trial's round-type coin from that trial's own generator
+*before* any kernel draws (the dense ``_pick_resource_round`` →
+``step`` call order) and routing the trial rows through the component
+kernels — see :func:`repro.core.batch.hybrid_step_batch`.
 """
 
 from __future__ import annotations
@@ -57,6 +64,11 @@ class HybridProtocol(Protocol):
     def validate_state(self, state: SystemState) -> None:
         self.resource_protocol.validate_state(state)
         self.user_protocol.validate_state(state)
+        # Every run begins with validate_state (the simulator and the
+        # batched backend both call it before round one), so the
+        # alternate-mode schedule restarts at a resource round even when
+        # one protocol instance drives several runs back to back.
+        self._round = 0
 
     def _pick_resource_round(self, rng: np.random.Generator) -> bool:
         if self.mode == "alternate":
@@ -69,3 +81,30 @@ class HybridProtocol(Protocol):
         if use_resource:
             return self.resource_protocol.step(state, rng)
         return self.user_protocol.step(state, rng)
+
+    # ------------------------------------------------------------------
+    # Batched execution
+    # ------------------------------------------------------------------
+    def batch_signature(self) -> tuple | None:
+        if type(self) is not HybridProtocol:
+            return None  # a subclass may change the round semantics
+        resource_sig = self.resource_protocol.batch_signature()
+        user_sig = self.user_protocol.batch_signature()
+        if resource_sig is None or user_sig is None:
+            # Heterogeneous hybrids (subclassed components) keep their
+            # per-trial instances and fall back to dense stepping.
+            return None
+        return (
+            "hybrid",
+            self.mode,
+            self.resource_fraction,
+            resource_sig,
+            user_sig,
+        )
+
+    def step_batch(self, trials, rngs):
+        from ..batch import BatchState, hybrid_step_batch
+
+        if isinstance(trials, BatchState):
+            return hybrid_step_batch(self, trials, rngs)
+        return super().step_batch(trials, rngs)

@@ -127,7 +127,11 @@ class UserControlledProtocol(Protocol):
         1 (with ``alpha = 1`` and a badly overloaded resource the raw
         expression can exceed 1).
         """
-        wmax = self.wmax_estimate if self.wmax_estimate is not None else state.wmax
+        wmax = (
+            self.wmax_estimate
+            if self.wmax_estimate is not None
+            else state.wmax
+        )
         if wmax <= 0:
             return np.zeros(state.n)
         return self._rates(state.partition(), wmax)
@@ -145,7 +149,11 @@ class UserControlledProtocol(Protocol):
         if not part.overloaded.any():
             return stats
 
-        wmax = self.wmax_estimate if self.wmax_estimate is not None else state.wmax
+        wmax = (
+            self.wmax_estimate
+            if self.wmax_estimate is not None
+            else state.wmax
+        )
         p_res = self._rates(part, wmax)
         p_task = p_res[state.resource]
         movers = np.flatnonzero(rng.random(state.m) < p_task)

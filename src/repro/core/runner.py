@@ -18,7 +18,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from .backends import SimulationBackend, TrialSetup, get_backend, run_single_trial
+from .backends import (
+    SimulationBackend,
+    TrialSetup,
+    get_backend,
+    run_single_trial,
+    validate_workers,
+)
 from .metrics import TrialSummary, summarize_runs
 from .simulator import RunResult
 
@@ -44,8 +50,9 @@ def run_trials(
         are reproducible given the root and independent of the backend
         or ``workers``.
     workers:
-        ``None``/``0``/``1`` = serial.  Otherwise a process pool of that
-        many workers (capped at ``os.cpu_count()``); ``-1`` = all cores.
+        ``None``/``1`` = serial.  Otherwise a process pool of that many
+        workers (capped at ``os.cpu_count()``); ``-1`` = all cores.
+        ``0`` and values below ``-1`` are rejected.
     backend:
         ``"serial"``, ``"process"``, ``"batched"``, a
         :class:`~repro.core.backends.SimulationBackend` instance, or
@@ -61,7 +68,8 @@ def run_trials(
     """
     if trials <= 0:
         raise ValueError("trials must be positive")
-    if workers not in (None, 0, 1) and backend is not None and backend != "process":
+    validate_workers(workers)
+    if workers not in (None, 1) and backend is not None and backend != "process":
         label = (
             f"backend {backend.name!r} (instance)"
             if isinstance(backend, SimulationBackend)

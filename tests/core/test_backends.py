@@ -201,6 +201,60 @@ class TestThirdPartyFallback:
         )
 
 
+class TestFallbackWarning:
+    """_vectorizable names *why* a chunk fell back, once per reason."""
+
+    @pytest.fixture(autouse=True)
+    def _fresh_warning_state(self):
+        saved = set(BatchedBackend._warned_fallbacks)
+        BatchedBackend._warned_fallbacks.clear()
+        yield
+        BatchedBackend._warned_fallbacks.clear()
+        BatchedBackend._warned_fallbacks.update(saved)
+
+    def test_non_batch_protocol_warns(self):
+        from repro.core.batch import BatchFallbackWarning
+
+        with pytest.warns(BatchFallbackWarning, match="step_batch"):
+            run_trials(_CountingSetup(), trials=2, seed=0, backend="batched")
+
+    def test_no_signature_warns(self):
+        from repro import UserControlledProtocol
+        from repro.core.batch import BatchFallbackWarning
+
+        class Damped(UserControlledProtocol):
+            pass
+
+        class DampedSetup:
+            def __call__(self, rng):
+                _, state = SETUP(rng)
+                return Damped(), state
+
+        with pytest.warns(BatchFallbackWarning, match="opted out"):
+            run_trials(DampedSetup(), trials=2, seed=0, backend="batched")
+
+    def test_ragged_shapes_warn(self):
+        from repro.core.batch import BatchFallbackWarning
+
+        with pytest.warns(BatchFallbackWarning, match="disagree"):
+            run_trials(_RaggedSetup(), trials=6, seed=0, backend="batched")
+
+    def test_one_shot_per_reason(self):
+        import warnings as _warnings
+
+        run_trials(_CountingSetup(), trials=2, seed=0, backend="batched")
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error")
+            run_trials(_CountingSetup(), trials=2, seed=1, backend="batched")
+
+    def test_vectorized_path_does_not_warn(self):
+        import warnings as _warnings
+
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error")
+            run_trials(SETUP, trials=2, seed=0, backend="batched")
+
+
 class TestRegistryBackend:
     def test_experiment_run_accepts_backend(self):
         from repro.experiments.registry import EXPERIMENTS

@@ -76,6 +76,49 @@ class TestScheduling:
         assert all(proto._pick_resource_round(rng) for _ in range(100))
 
 
+class TestBatchSignature:
+    def test_homogeneous_instances_share_signature(self):
+        assert mk_protocol().batch_signature() == mk_protocol().batch_signature()
+        assert mk_protocol().batch_signature() is not None
+
+    def test_mode_and_fraction_distinguish(self):
+        assert (
+            mk_protocol(mode="alternate").batch_signature()
+            != mk_protocol(mode="probabilistic").batch_signature()
+        )
+        assert (
+            mk_protocol(q=0.3).batch_signature()
+            != mk_protocol(q=0.7).batch_signature()
+        )
+
+    def test_component_signatures_included(self):
+        sig = mk_protocol(n=8).batch_signature()
+        other = mk_protocol(n=9).batch_signature()
+        assert sig != other  # different graphs -> different component keys
+
+    def test_heterogeneous_components_opt_out(self):
+        """A hybrid wrapping a subclassed component (signature None)
+        must itself fall back rather than share a vectorised kernel."""
+
+        class Damped(UserControlledProtocol):
+            pass
+
+        proto = HybridProtocol(
+            ResourceControlledProtocol(complete_graph(8)), Damped()
+        )
+        assert proto.batch_signature() is None
+
+    def test_subclass_opts_out(self):
+        class Tweaked(HybridProtocol):
+            pass
+
+        proto = Tweaked(
+            ResourceControlledProtocol(complete_graph(8)),
+            UserControlledProtocol(),
+        )
+        assert proto.batch_signature() is None
+
+
 class TestBehaviour:
     def test_balances(self):
         proto = mk_protocol()
@@ -102,3 +145,26 @@ class TestBehaviour:
         for _ in range(10):
             proto.step(st, rng)
         assert st.loads().sum() == pytest.approx(40.0)
+
+    def test_round_counter_resets_between_runs(self):
+        """Regression: a reused instance must restart the alternate
+        schedule at a resource round.  The first run ends after an odd
+        number of rounds, so a leaked counter would flip the second
+        run's round types."""
+        proto = mk_protocol(mode="alternate")
+        first = simulate(proto, mk_state(), np.random.default_rng(1))
+        assert first.rounds % 2 == 1  # the leak would be invisible otherwise
+        reused = simulate(proto, mk_state(), np.random.default_rng(0))
+        fresh = simulate(
+            mk_protocol(mode="alternate"), mk_state(), np.random.default_rng(0)
+        )
+        assert reused.rounds == fresh.rounds
+        assert np.array_equal(reused.final_loads, fresh.final_loads)
+        assert reused.total_migrations == fresh.total_migrations
+
+    def test_validate_state_resets_round_counter(self, rng):
+        proto = mk_protocol(mode="alternate")
+        proto.step(mk_state(), rng)
+        assert proto._round == 1
+        proto.validate_state(mk_state())
+        assert proto._round == 0

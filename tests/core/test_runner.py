@@ -100,11 +100,57 @@ class TestWorkersBackendPrecedence:
         assert len(results) == 2
 
     def test_serial_workers_values_compatible_everywhere(self):
-        for workers in (None, 0, 1):
+        for workers in (None, 1):
             results = run_trials(
                 SETUP, trials=2, seed=0, workers=workers, backend="batched"
             )
             assert len(results) == 2
+
+
+class TestWorkersValidation:
+    """workers <= 0 (except -1) is rejected uniformly at the boundary:
+    run_trials, get_backend and ProcessBackend all raise the same
+    message instead of the historical mix of 'serial' / ValueError."""
+
+    MATCH = "positive integer or -1"
+
+    @pytest.mark.parametrize("workers", [0, -2, -17])
+    @pytest.mark.parametrize(
+        "backend", [None, "serial", "process", "batched"]
+    )
+    def test_run_trials_rejects(self, workers, backend):
+        with pytest.raises(ValueError, match=self.MATCH):
+            run_trials(
+                SETUP, trials=2, seed=0, workers=workers, backend=backend
+            )
+
+    @pytest.mark.parametrize("workers", [0, -2])
+    @pytest.mark.parametrize("backend", [None, "serial", "process"])
+    def test_get_backend_rejects(self, workers, backend):
+        from repro.core.backends import get_backend
+
+        with pytest.raises(ValueError, match=self.MATCH):
+            get_backend(backend, workers=workers)
+
+    @pytest.mark.parametrize("workers", [0, -2])
+    def test_process_backend_rejects(self, workers):
+        from repro import ProcessBackend
+
+        with pytest.raises(ValueError, match=self.MATCH):
+            ProcessBackend(workers=workers)
+
+    def test_summary_path_rejects(self):
+        with pytest.raises(ValueError, match=self.MATCH):
+            run_trial_summary(SETUP, trials=2, seed=0, workers=0)
+
+    def test_all_cores_and_positive_still_accepted(self):
+        from repro import ProcessBackend
+        from repro.core.backends import get_backend
+
+        assert ProcessBackend(workers=-1).workers == -1
+        assert ProcessBackend(workers=3).workers == 3
+        assert get_backend(None, workers=-1).name == "process"
+        assert get_backend(None, workers=None).name == "serial"
 
 
 class TestSummary:

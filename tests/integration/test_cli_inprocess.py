@@ -152,6 +152,17 @@ class TestSweepCommand:
                 main(argv)
             assert "--backend process" in capsys.readouterr().err
 
+    def test_workers_zero_rejected(self, capsys):
+        # workers <= 0 (except -1) is invalid with every backend
+        for argv in (
+            ["run", "figure1", "--quick", "--workers", "0"],
+            ["sweep", "--n", "10", "--m", "20", "--axis", "eps=0.1,0.2",
+             "--workers", "-3"],
+        ):
+            with pytest.raises(SystemExit):
+                main(argv)
+            assert "positive integer or -1" in capsys.readouterr().err
+
     def test_sweep_incomplete_scenario_rejected(self, capsys):
         # user protocol without --n cannot compile
         with pytest.raises(SystemExit):

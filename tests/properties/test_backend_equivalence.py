@@ -6,13 +6,17 @@ order, so from a shared root seed the batched engine must reproduce the
 dense engine's per-trial ``rounds``, ``final_loads`` and migration
 totals *exactly* — including the float accumulation, which the batched
 kernels mirror operation for operation (same ``bincount`` segment
-orders, same row-wise reductions).  Random instances over both
-protocols, thresholds, graphs and arrival orders pin that contract.
+orders, same row-wise reductions).  Random instances over all three
+protocols (user, resource, hybrid in both mixing modes), thresholds,
+graphs and arrival orders pin that contract, plus the vectorize/
+fallback boundary itself (homogeneous hybrid chunks vectorise,
+mixed-mode chunks fall back — identical results either way).
 """
 
 from __future__ import annotations
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -24,6 +28,20 @@ from repro.experiments import (
 )
 from repro.graphs import complete_graph, cycle_graph, grid_graph
 from repro.workloads import TwoPointWeights, UniformRangeWeights, UniformWeights
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _fresh_fallback_warning_state():
+    """The fallback tests below exercise _vectorizable, which records
+    one-shot warning reasons process-wide; save/clear/restore so this
+    module leaves no order-dependence behind.  Module-scoped: a
+    function-scoped autouse fixture would trip hypothesis's
+    function_scoped_fixture health check on the @given tests."""
+    saved = set(BatchedBackend._warned_fallbacks)
+    BatchedBackend._warned_fallbacks.clear()
+    yield
+    BatchedBackend._warned_fallbacks.clear()
+    BatchedBackend._warned_fallbacks.update(saved)
 
 
 def runs_equal(dense, batched) -> bool:
@@ -218,21 +236,111 @@ def test_user_walk_extension_matches(n, seed):
     assert traces_equal(dense, batched)
 
 
+@st.composite
+def hybrid_instance(draw):
+    graph_kind = draw(st.sampled_from(["complete", "cycle"]))
+    n = draw(st.integers(min_value=3, max_value=8))
+    graph = complete_graph(n) if graph_kind == "complete" else cycle_graph(n)
+    m = draw(st.integers(min_value=n, max_value=50))
+    return {
+        "setup": HybridSetup(
+            graph=graph,
+            m=m,
+            distribution=distribution(draw),
+            alpha=draw(st.sampled_from([1.0, 0.5])),
+            resource_fraction=draw(st.sampled_from([0.0, 0.3, 0.5, 1.0])),
+            mode=draw(st.sampled_from(["probabilistic", "alternate"])),
+            placement_kind=draw(
+                st.sampled_from(["single_source", "uniform"])
+            ),
+        ),
+        "trials": draw(st.integers(min_value=1, max_value=8)),
+        "seed": draw(st.integers(min_value=0, max_value=2**31)),
+    }
+
+
+@given(hybrid_instance())
+@settings(max_examples=30, deadline=None)
+def test_hybrid_batched_matches_dense(inst):
+    """Homogeneous hybrid chunks take the vectorised path (both mixing
+    modes, any fraction) and must reproduce the dense results exactly,
+    traces included."""
+    dense = run_trials(
+        inst["setup"], inst["trials"], seed=inst["seed"], record_traces=True
+    )
+    batched = run_trials(
+        inst["setup"],
+        inst["trials"],
+        seed=inst["seed"],
+        record_traces=True,
+        backend="batched",
+    )
+    assert runs_equal(dense, batched)
+    assert traces_equal(dense, batched)
+
+
+@given(hybrid_instance(), st.integers(min_value=1, max_value=3))
+@settings(max_examples=10, deadline=None)
+def test_hybrid_chunking_does_not_change_results(inst, max_batch):
+    dense = run_trials(inst["setup"], inst["trials"], seed=inst["seed"])
+    batched = run_trials(
+        inst["setup"],
+        inst["trials"],
+        seed=inst["seed"],
+        backend=BatchedBackend(max_batch=max_batch),
+    )
+    assert runs_equal(dense, batched)
+
+
+class _MixedModeHybridSetup:
+    """Hybrid setup whose trials draw their mixing mode from the trial's
+    own setup stream — chunks mixing modes have differing batch
+    signatures and must fall back to per-trial stepping."""
+
+    def __call__(self, rng):
+        mode = "alternate" if rng.random() < 0.5 else "probabilistic"
+        return HybridSetup(
+            graph=cycle_graph(6),
+            m=40,
+            distribution=UniformRangeWeights(1.0, 4.0),
+            resource_fraction=0.5,
+            mode=mode,
+        )(rng)
+
+
 @given(st.integers(min_value=0, max_value=2**31))
 @settings(max_examples=10, deadline=None)
-def test_hybrid_falls_back_and_matches(seed):
-    """The stateful hybrid protocol takes the per-trial fallback path
-    and must still reproduce the dense results exactly."""
-    setup = HybridSetup(
+def test_hybrid_mixed_modes_fall_back_and_match(seed):
+    """A chunk mixing hybrid modes cannot share a kernel; the fallback
+    must still reproduce the dense results exactly."""
+    setup = _MixedModeHybridSetup()
+    dense = run_trials(setup, 6, seed=seed)
+    batched = run_trials(setup, 6, seed=seed, backend="batched")
+    assert runs_equal(dense, batched)
+
+
+def test_hybrid_fallback_boundary():
+    """The boundary itself: identical hybrids vectorise, mixed modes
+    fall back (pinned via _vectorizable, not just end results)."""
+    mk = HybridSetup(
         graph=cycle_graph(6),
         m=40,
         distribution=UniformRangeWeights(1.0, 4.0),
         resource_fraction=0.5,
         mode="probabilistic",
     )
-    dense = run_trials(setup, 5, seed=seed)
-    batched = run_trials(setup, 5, seed=seed, backend="batched")
-    assert runs_equal(dense, batched)
+    same = [mk(np.random.default_rng(s)) for s in range(3)]
+    assert BatchedBackend._vectorizable(
+        [p for p, _ in same], [s for _, s in same]
+    )
+
+    mixed_setup = _MixedModeHybridSetup()
+    mixed = [mixed_setup(np.random.default_rng(s)) for s in range(8)]
+    modes = {p.mode for p, _ in mixed}
+    assert modes == {"probabilistic", "alternate"}  # both present
+    assert not BatchedBackend._vectorizable(
+        [p for p, _ in mixed], [s for _, s in mixed]
+    )
 
 
 @given(user_instance())
