@@ -18,6 +18,14 @@ Three groups of measurements:
   ``W ∈ {2000, 6000, 10000}``, ``n = 1000``) with 1000 trials per
   point, serial vs batched.  The summary block reports the aggregate
   ``batched_speedup`` (total rounds / wall time, batched over serial).
+* ``e_speeds`` — heterogeneous two-class resource speeds (a quarter of
+  the machines 4x faster), the first-class speed axis: the E1-shaped
+  user-controlled workload on the complete graph plus the
+  resource-controlled protocol on a torus, serial vs batched.  Speeds
+  are per-trial *state* (stacked into the capacity matrix), so the
+  batched kernels must keep their full cross-trial vectorisation;
+  ``summary.speeds_batched_speedup`` (time-weighted over the group)
+  guards that — the acceptance bar is **at least 3x** over serial.
 * ``e7_hybrid`` — the E7 ablation's mixed-protocol workload
   (``hybrid(q=0.5)``, ``m = 2000``, ten heavy tasks of weight 50),
   both mixing modes, serial vs batched, on two topologies: the
@@ -55,10 +63,18 @@ from pathlib import Path
 import numpy as np
 
 from repro import complete_graph, run_trials, summarize_runs, torus_graph
-from repro.experiments import HybridSetup, UserControlledSetup
+from repro.experiments import (
+    HybridSetup,
+    ResourceControlledSetup,
+    UserControlledSetup,
+)
 from repro.experiments.figure1 import Figure1Config, build_study
 from repro.study import run_study
-from repro.workloads import TwoPointWeights, UniformRangeWeights
+from repro.workloads import (
+    TwoClassSpeeds,
+    TwoPointWeights,
+    UniformRangeWeights,
+)
 
 
 def _e1_setup(total_weight: int, n: int = 1000) -> UserControlledSetup:
@@ -163,6 +179,46 @@ def run_harness(quick: bool = False, seed: int = 2015) -> dict:
                     f"{entry['rounds_per_sec']:>9.1f} rounds/s"
                 )
 
+    # ---- heterogeneous speeds: the first-class axis stays vectorised --
+    speeds_trials = 20 if quick else 200
+    report["e_speeds"] = []
+    speeds_totals = {"serial": [0, 0.0], "batched": [0, 0.0]}
+    speed_setups = [
+        (
+            "E1-speeds(complete1000)",
+            UserControlledSetup(
+                n=1000,
+                m=2000,
+                distribution=TwoPointWeights(
+                    light=1.0, heavy=50.0, heavy_count=1
+                ),
+                speeds=TwoClassSpeeds(slow=1.0, fast=4.0, fast_count=250),
+            ),
+        ),
+        (
+            "resource-speeds(torus22x23)",
+            ResourceControlledSetup(
+                graph=torus_graph(22, 23),
+                m=2000,
+                distribution=TwoPointWeights(
+                    light=1.0, heavy=50.0, heavy_count=10
+                ),
+                speeds=TwoClassSpeeds(slow=1.0, fast=4.0, fast_count=126),
+            ),
+        ),
+    ]
+    for label, setup in speed_setups:
+        for backend in ("serial", "batched"):
+            entry = time_backend(setup, speeds_trials, seed, backend)
+            entry["label"] = label
+            report["e_speeds"].append(entry)
+            speeds_totals[backend][0] += entry["total_rounds"]
+            speeds_totals[backend][1] += entry["seconds"]
+            print(
+                f"[e_speeds ] {entry['label']:>38} {backend:>8}: "
+                f"{entry['rounds_per_sec']:>9.1f} rounds/s"
+            )
+
     # ---- Study-API overhead vs direct run_trials ----------------------
     # warm the batched kernel and allocator so neither timed path pays
     # first-touch costs (run-to-run noise on one core is ~5%)
@@ -228,6 +284,10 @@ def run_harness(quick: bool = False, seed: int = 2015) -> dict:
     hybrid_batched_rps = (
         hybrid_totals["batched"][0] / hybrid_totals["batched"][1]
     )
+    speeds_serial_rps = speeds_totals["serial"][0] / speeds_totals["serial"][1]
+    speeds_batched_rps = (
+        speeds_totals["batched"][0] / speeds_totals["batched"][1]
+    )
     report["summary"] = {
         "e1_trials": e1_trials,
         "serial_rounds_per_sec": round(serial_rps, 1),
@@ -238,6 +298,12 @@ def run_harness(quick: bool = False, seed: int = 2015) -> dict:
         "hybrid_batched_rounds_per_sec": round(hybrid_batched_rps, 1),
         "hybrid_batched_speedup": round(
             hybrid_batched_rps / hybrid_serial_rps, 2
+        ),
+        "speeds_trials": speeds_trials,
+        "speeds_serial_rounds_per_sec": round(speeds_serial_rps, 1),
+        "speeds_batched_rounds_per_sec": round(speeds_batched_rps, 1),
+        "speeds_batched_speedup": round(
+            speeds_batched_rps / speeds_serial_rps, 2
         ),
     }
     print(
@@ -250,6 +316,17 @@ def run_harness(quick: bool = False, seed: int = 2015) -> dict:
         f"serial {hybrid_serial_rps:.0f} r/s, "
         f"batched {hybrid_batched_rps:.0f} r/s "
         f"-> {hybrid_batched_rps / hybrid_serial_rps:.2f}x"
+    )
+    print(
+        f"[summary  ] speeds x{speeds_trials} trials: "
+        f"serial {speeds_serial_rps:.0f} r/s, "
+        f"batched {speeds_batched_rps:.0f} r/s "
+        f"-> {speeds_batched_rps / speeds_serial_rps:.2f}x"
+        + (
+            "  ** below 3x acceptance bar **"
+            if speeds_batched_rps < 3.0 * speeds_serial_rps
+            else ""
+        )
     )
     return report
 

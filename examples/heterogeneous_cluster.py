@@ -27,6 +27,7 @@ from repro import (
     ProportionalThresholds,
     SystemState,
     UserControlledProtocol,
+    normalize_min_speed,
     simulate,
     single_source_placement,
 )
@@ -50,16 +51,30 @@ def main() -> None:
     weights = rng.uniform(1.0, 6.0, size=M)
 
     scenarios = [
-        ("uniform thresholds", AboveAverageThreshold(eps=EPS)),
+        ("uniform thresholds", AboveAverageThreshold(eps=EPS), None),
         (
             "speed-proportional thresholds",
             ProportionalThresholds(speeds=tuple(speeds), eps=EPS),
+            None,
+        ),
+        (
+            # the first-class model: give the *state* the speeds and a
+            # plain scalar policy — thresholds move to normalised-load
+            # units (anchored at W / sum(s)) and every comparison runs
+            # against the effective capacity s_r * T
+            "first-class speeds",
+            AboveAverageThreshold(eps=EPS),
+            normalize_min_speed(speeds),
         ),
     ]
     rows = []
-    for label, policy in scenarios:
+    for label, policy, state_speeds in scenarios:
         state = SystemState.from_workload(
-            weights, single_source_placement(M, n), n, policy
+            weights,
+            single_source_placement(M, n),
+            n,
+            policy,
+            speeds=state_speeds,
         )
         result = simulate(
             UserControlledProtocol(alpha=1.0),
@@ -90,7 +105,7 @@ def main() -> None:
             ),
         )
     )
-    uniform, proportional = rows
+    uniform, proportional, first_class = rows
     print(
         "\nreading: proportional thresholds route "
         f"{proportional['mean load fast'] / proportional['mean load slow']:.1f}x "
@@ -98,7 +113,9 @@ def main() -> None:
         f"{uniform['mean load fast'] / uniform['mean load slow']:.1f}x), "
         "cutting the speed-adjusted makespan from "
         f"{uniform['makespan (load/speed)']:.0f} to "
-        f"{proportional['makespan (load/speed)']:.0f}."
+        f"{proportional['makespan (load/speed)']:.0f}; first-class "
+        "speeds reach the same place\nwith a scalar policy "
+        f"(makespan {first_class['makespan (load/speed)']:.0f})."
     )
 
 

@@ -33,6 +33,7 @@ from .study import (
     Sweep,
     parse_axis_values,
     parse_graph,
+    parse_speeds,
     parse_weights,
     scenario_axes,
     sweep as make_sweep,
@@ -115,7 +116,8 @@ def build_parser() -> argparse.ArgumentParser:
             "the last flag varies fastest).  Graphs use family:args "
             "specs (complete:64, torus:8x8, expander:64:3); weight "
             "distributions use kind:args (unit, two_point:1:50:5, "
-            "pareto:2.5)."
+            "pareto:2.5); resource speeds use kind:args too "
+            "(two_class:1:4:8, pareto:2.5, explicit:1:2:4)."
         ),
     )
     swp.add_argument(
@@ -136,6 +138,14 @@ def build_parser() -> argparse.ArgumentParser:
     swp.add_argument(
         "--weights", type=str, default="unit",
         help="weight distribution spec (default: unit)",
+    )
+    swp.add_argument(
+        "--speeds", type=str, default=None,
+        help=(
+            "resource speed distribution spec for heterogeneous "
+            "machines, e.g. two_class:1:4:8 or pareto:2.5 "
+            "(default: homogeneous)"
+        ),
     )
     swp.add_argument(
         "--threshold", type=str, default="above_average",
@@ -253,6 +263,7 @@ def _build_sweep_study(args, parser: argparse.ArgumentParser) -> Study:
             graph=parse_graph(args.graph) if args.graph else None,
             m=args.m,
             weights=parse_weights(args.weights),
+            speeds=parse_speeds(args.speeds) if args.speeds else None,
             threshold=args.threshold,
             placement=args.placement,
             arrival_order=args.arrival_order,

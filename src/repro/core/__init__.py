@@ -58,7 +58,9 @@ from .thresholds import (
     ThresholdPolicy,
     TightResourceThreshold,
     TightUserThreshold,
+    effective_capacity,
     feasible_threshold,
+    validate_speeds,
 )
 
 __all__ = [
@@ -89,6 +91,7 @@ __all__ = [
     "active_count",
     "active_weight",
     "build_stacks",
+    "effective_capacity",
     "feasible_threshold",
     "get_backend",
     "normalized_balancing_time",
@@ -106,5 +109,6 @@ __all__ = [
     "theorem12_alpha",
     "total_potential",
     "user_potential",
+    "validate_speeds",
     "validate_workers",
 ]

@@ -37,6 +37,14 @@ calls), so ``rounds``, ``final_loads`` and migration totals are
 reproduced exactly — property-tested in
 ``tests/properties/test_backend_equivalence.py``.
 
+Resource speeds (the heterogeneous extension, see
+:mod:`repro.core.thresholds`) are per-trial *state*, not protocol
+configuration: ``BatchState`` stacks each trial's effective capacity
+``c_r = s_r * T_r`` into the shared ``bound`` matrix every kernel
+compares against, so chunks with heterogeneous (or mixed
+uniform/heterogeneous) speed vectors vectorise exactly like uniform
+ones and need no signature change.
+
 Protocols opt into vectorisation by overriding
 :meth:`~repro.core.protocols.base.Protocol.step_batch` to accept a
 :class:`BatchState` (``UserControlledProtocol``,
@@ -141,6 +149,9 @@ class BatchState:
                 "BatchState requires homogeneous trials (same n and m); "
                 "use the serial or process backend for ragged sweeps"
             )
+        # Heterogeneous resource *speeds* are fine, though: they are
+        # per-trial state, not protocol configuration, so the chunk
+        # stays vectorised — ``cap``/``bound`` below absorb them.
         A = len(states)
         self.n, self.m, self.A = n, m, A
         self.w_task = np.stack([s.weights for s in states])
@@ -153,11 +164,25 @@ class BatchState:
         # One full sort at construction; every later round merges instead.
         self.order = np.lexsort((seq.ravel(), self.key_task.ravel()))
         self.t_res = np.stack([s.threshold_vector() for s in states])
+        #: Per-trial speed vectors as handed in (``None`` for uniform
+        #: trials) — reported back on each trial's ``RunResult``.
+        self.speeds_rows = [s.speeds for s in states]
+        if any(sp is not None for sp in self.speeds_rows):
+            # Mixed uniform/heterogeneous chunks stay vectorised: a
+            # uniform row's capacity is t * 1.0, bit-equal to t.
+            self.speeds = np.stack(
+                [
+                    sp if sp is not None else np.ones(n)
+                    for sp in self.speeds_rows
+                ]
+            )
+            self.cap = self.speeds * self.t_res
+        else:
+            self.speeds = None
+            self.cap = self.t_res
         self.atol = np.array([s.atol for s in states])
-        self.bound = self.t_res + self.atol[:, None]
-        self.wmax = (
-            self.w_task.max(axis=1) if m else np.zeros(A)
-        )
+        self.bound = self.cap + self.atol[:, None]
+        self.wmax = self.w_task.max(axis=1) if m else np.zeros(A)
         self.thresholds = [s.threshold for s in states]
         #: When False, kernels may skip the stats reductions that only
         #: feed traces (potential / overload count / max load).
@@ -241,8 +266,12 @@ class BatchState:
 
         loads_after = (
             loads
-            - np.bincount(key_old, weights=w_mov, minlength=A * n).reshape(A, n)
-            + np.bincount(key_new, weights=w_mov, minlength=A * n).reshape(A, n)
+            - np.bincount(key_old, weights=w_mov, minlength=A * n).reshape(
+                A, n
+            )
+            + np.bincount(key_new, weights=w_mov, minlength=A * n).reshape(
+                A, n
+            )
         )
 
         # --- merge the movers back into the maintained stack order ---
@@ -271,7 +300,9 @@ class BatchState:
         return loads_after
 
     # ------------------------------------------------------------------
-    def _rebase_rows_onto(self, target: "BatchState", rows: np.ndarray) -> None:
+    def _rebase_rows_onto(
+        self, target: "BatchState", rows: np.ndarray
+    ) -> None:
         """Copy the per-trial fields of ``rows`` onto ``target``, re-based
         onto row numbers ``0..k-1`` (keys and order slots embed the trial
         index).  Shared by :meth:`compact` (``target`` is ``self``) and
@@ -289,6 +320,13 @@ class BatchState:
             - (shift * self.m)[:, None]
         ).ravel()
         target.t_res = np.ascontiguousarray(self.t_res[rows])
+        if self.speeds is None:
+            target.speeds = None
+            target.cap = target.t_res
+        else:
+            target.speeds = np.ascontiguousarray(self.speeds[rows])
+            target.cap = np.ascontiguousarray(self.cap[rows])
+        target.speeds_rows = [self.speeds_rows[r] for r in rows]
         target.atol = self.atol[rows]
         target.bound = np.ascontiguousarray(self.bound[rows])
         target.wmax = self.wmax[rows]
@@ -532,7 +570,12 @@ class BatchedBackend(SimulationBackend):
         rounds = np.zeros(B, dtype=np.int64)
         traces = (
             [
-                [_TraceBuffer(), _TraceBuffer(), _TraceBuffer(), _TraceBuffer()]
+                [
+                    _TraceBuffer(),
+                    _TraceBuffer(),
+                    _TraceBuffer(),
+                    _TraceBuffer(),
+                ]
                 for _ in range(B)
             ]
             if record_traces
@@ -543,7 +586,9 @@ class BatchedBackend(SimulationBackend):
         loads = batch.fresh_loads()
         live = np.arange(B)
 
-        def finish(chunk_rows: np.ndarray, loads_now: np.ndarray, balanced: bool):
+        def finish(
+            chunk_rows: np.ndarray, loads_now: np.ndarray, balanced: bool
+        ):
             for row in chunk_rows:
                 trial = int(live[row])
                 bufs = traces[trial] if record_traces else None
@@ -559,6 +604,7 @@ class BatchedBackend(SimulationBackend):
                     movers_trace=bufs[2].array() if bufs else None,
                     max_load_trace=bufs[3].array() if bufs else None,
                     protocol_name=names[trial],
+                    speeds=batch.speeds_rows[row],
                 )
 
         done = batch.balanced_mask(loads)

@@ -65,7 +65,9 @@ def summarize_runs(results: list[RunResult]) -> TrialSummary:
         raise ValueError("no results to summarise")
     rounds = np.array([r.rounds for r in results], dtype=np.float64)
     balanced = np.array([r.balanced for r in results], dtype=bool)
-    migrations = np.array([r.total_migrations for r in results], dtype=np.float64)
+    migrations = np.array(
+        [r.total_migrations for r in results], dtype=np.float64
+    )
     weight = np.array([r.total_migrated_weight for r in results])
     std = float(rounds.std(ddof=1)) if rounds.shape[0] > 1 else 0.0
     return TrialSummary(

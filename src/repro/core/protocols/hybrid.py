@@ -17,6 +17,11 @@ increases ``Phi`` (Observation 4) and a user round drives ``Phi`` down
 in expectation (Lemma 10), so the mixture still balances; benchmark E7's
 ablation shows where each mode shines.
 
+Both component protocols are speed-agnostic (overload tests run
+against the effective capacity ``s_r * T_r`` inside the stack
+partition), so the hybrid supports heterogeneous resource speeds for
+free.
+
 The hybrid participates in the batched engine
 (:mod:`repro.core.batch`): homogeneous hybrid sweeps are vectorised by
 drawing each trial's round-type coin from that trial's own generator

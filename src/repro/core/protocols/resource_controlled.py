@@ -20,6 +20,12 @@ Guarantees reproduced in the experiment suite:
   (Theorem 7);
 * ``Phi`` is non-increasing round over round (Observation 4) — enforced
   as a property test.
+
+Heterogeneous resource speeds (normalised loads ``x_r / s_r``, see
+:mod:`repro.core.thresholds`) are handled entirely by the stack
+partition's effective-capacity comparison, so the round logic here is
+speed-agnostic — Hoefer & Sauerwald show the threshold framework
+tolerates exactly this kind of per-resource capacity.
 """
 
 from __future__ import annotations

@@ -20,6 +20,13 @@ so the conservative analysis constant is not needed in practice.
 As an extension (clearly marked), the destination can be drawn from a
 random-walk step on an arbitrary graph instead of uniformly; on the
 complete graph the two coincide up to the self-loop.
+
+Heterogeneous resource speeds need no protocol-level changes: every
+overload/threshold comparison goes through the state's stack partition,
+which tests raw loads against the effective capacity ``s_r * T_r``
+(see :mod:`repro.core.thresholds`), so a speed-aware
+:class:`~repro.core.state.SystemState` runs unmodified — tasks still
+only read local quantities.
 """
 
 from __future__ import annotations

@@ -33,10 +33,20 @@ __all__ = ["build_stacks", "reference_resource_step", "reference_user_step"]
 
 
 def build_stacks(state: SystemState) -> list[ResourceStack]:
-    """Materialise the per-resource stacks of a state (bottom-up order)."""
+    """Materialise the per-resource stacks of a state (bottom-up order).
+
+    Heterogeneous speeds carry over: each stack compares against its
+    own effective capacity ``s_r * T_r``, exactly like the vectorised
+    partition.
+    """
     thresholds = state.threshold_vector()
+    speeds = state.speed_vector()
     stacks = [
-        ResourceStack(threshold=float(thresholds[r]), atol=state.atol)
+        ResourceStack(
+            threshold=float(thresholds[r]),
+            atol=state.atol,
+            speed=float(speeds[r]),
+        )
         for r in range(state.n)
     ]
     for task in np.argsort(state.seq, kind="stable"):

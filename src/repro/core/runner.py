@@ -69,7 +69,11 @@ def run_trials(
     if trials <= 0:
         raise ValueError("trials must be positive")
     validate_workers(workers)
-    if workers not in (None, 1) and backend is not None and backend != "process":
+    if (
+        workers not in (None, 1)
+        and backend is not None
+        and backend != "process"
+    ):
         label = (
             f"backend {backend.name!r} (instance)"
             if isinstance(backend, SimulationBackend)

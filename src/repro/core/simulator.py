@@ -43,6 +43,10 @@ class RunResult:
     movers_trace: np.ndarray | None = None
     max_load_trace: np.ndarray | None = None
     protocol_name: str = ""
+    #: Per-resource speeds of the simulated state (``None`` when the
+    #: system was homogeneous) — carried so downstream metrics can
+    #: normalise loads without re-plumbing the setup.
+    speeds: np.ndarray | None = None
 
     @property
     def balancing_time(self) -> float:
@@ -52,6 +56,19 @@ class RunResult:
     @property
     def final_max_load(self) -> float:
         return float(self.final_loads.max())
+
+    @property
+    def final_normalized_loads(self) -> np.ndarray:
+        """``x_r / s_r`` at the end of the run (= raw loads when
+        homogeneous)."""
+        if self.speeds is None:
+            return self.final_loads
+        return self.final_loads / self.speeds
+
+    @property
+    def final_makespan(self) -> float:
+        """Maximum normalised load — the heterogeneous makespan."""
+        return float(self.final_normalized_loads.max())
 
     def summary(self) -> dict[str, float | int | bool | str]:
         """Flat dict for tables / CSV export."""
@@ -126,8 +143,9 @@ def simulate(
     rounds = 0
     # The protocols carry post-round load vectors in StepStats, so the
     # balance test only recomputes loads from scratch before round one
-    # and for protocols that do not provide the aggregate.
-    bound = state.threshold_vector() + state.atol
+    # and for protocols that do not provide the aggregate.  The bound is
+    # the effective capacity s_r * T_r (= the threshold when uniform).
+    bound = state.capacity_vector() + state.atol
     loads = state.loads()
     balanced = bool(np.all(loads <= bound))
 
@@ -144,7 +162,9 @@ def simulate(
         if check_invariants:
             state.check_invariants()
         loads = (
-            stats.loads_after if stats.loads_after is not None else state.loads()
+            stats.loads_after
+            if stats.loads_after is not None
+            else state.loads()
         )
         balanced = bool(np.all(loads <= bound))
         if on_round is not None and on_round(rounds, state, stats) is False:
@@ -162,4 +182,5 @@ def simulate(
         movers_trace=move.array() if record_traces else None,
         max_load_trace=peak.array() if record_traces else None,
         protocol_name=protocol.name,
+        speeds=state.speeds,
     )

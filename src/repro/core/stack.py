@@ -30,6 +30,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .thresholds import effective_capacity
+
 __all__ = ["ResourceStack", "StackPartition", "partition_stacks"]
 
 
@@ -39,12 +41,24 @@ class ResourceStack:
     Tasks are pushed on top; heights are the weights of everything
     beneath.  Mirrors the vectorised engine one resource at a time and
     is cross-validated against it in the property tests.
+
+    ``speed`` is the resource's service speed in the heterogeneous
+    model (see :mod:`repro.core.thresholds`): the stack accepts raw
+    load up to the effective capacity ``speed * threshold``.  The
+    default ``speed = 1`` is the paper's homogeneous model.
     """
 
-    def __init__(self, threshold: float, atol: float = 1e-9) -> None:
+    def __init__(
+        self, threshold: float, atol: float = 1e-9, speed: float = 1.0
+    ) -> None:
         if threshold <= 0:
             raise ValueError("threshold must be positive")
+        if speed <= 0:
+            raise ValueError("speed must be positive")
         self.threshold = float(threshold)
+        self.speed = float(speed)
+        #: Raw-load bound: every threshold comparison uses this.
+        self.capacity = float(threshold) * float(speed)
         self.atol = float(atol)
         self._task_ids: list[int] = []
         self._weights: list[float] = []
@@ -83,8 +97,13 @@ class ResourceStack:
         return float(sum(self._weights))
 
     @property
+    def normalized_load(self) -> float:
+        """Raw load divided by the resource's speed (``x_r / s_r``)."""
+        return self.load / self.speed
+
+    @property
     def overloaded(self) -> bool:
-        return self.load > self.threshold + self.atol
+        return self.load > self.capacity + self.atol
 
     def heights(self) -> np.ndarray:
         """Exclusive heights ``h_i`` of the stacked tasks, bottom-up."""
@@ -94,8 +113,9 @@ class ResourceStack:
     def below_prefix_length(self) -> int:
         """Number of tasks completely below the threshold (a prefix)."""
         inclusive = np.cumsum(self._weights)
-        return int(np.searchsorted(inclusive, self.threshold + self.atol,
-                                   side="right"))
+        return int(
+            np.searchsorted(inclusive, self.capacity + self.atol, side="right")
+        )
 
     def partition(self) -> tuple[list[int], int | None, list[int]]:
         """``(below_ids, cutting_id_or_None, above_ids)`` bottom-up."""
@@ -105,8 +125,8 @@ class ResourceStack:
         if not rest:
             return below, None, []
         heights = self.heights()
-        # the first non-below task is cutting iff its height is < T
-        if heights[k] < self.threshold - self.atol:
+        # the first non-below task is cutting iff its height is < c_r
+        if heights[k] < self.capacity - self.atol:
             return below, rest[0], rest[1:]
         return below, None, rest
 
@@ -143,7 +163,8 @@ class StackPartition:
         ``phi_r`` (weight cutting or above the threshold, 0 when the
         resource is not overloaded).
     overloaded:
-        Per-resource mask ``x_r > T_r``.
+        Per-resource mask ``x_r > c_r`` (``c_r = s_r T_r`` is the
+        effective capacity; with uniform speeds it *is* ``T_r``).
     """
 
     order: np.ndarray
@@ -181,6 +202,7 @@ def partition_stacks(
     n: int,
     threshold: float | np.ndarray,
     atol: float = 1e-9,
+    speeds: np.ndarray | None = None,
 ) -> StackPartition:
     """Vectorised stack partition across all resources.
 
@@ -196,11 +218,19 @@ def partition_stacks(
     n:
         Number of resources.
     threshold:
-        Scalar threshold or per-resource vector of shape ``(n,)``.
+        Scalar threshold or per-resource vector of shape ``(n,)``.  In
+        the heterogeneous model this is the *normalised* threshold.
     atol:
         Absolute tolerance for all ``<=`` threshold comparisons, shared
         with the simulator's termination check.
+    speeds:
+        Optional per-resource speed vector; every comparison then uses
+        the effective capacity ``s_r * T_r`` (see
+        :func:`repro.core.thresholds.effective_capacity`).  ``None``
+        (the default) is the paper's homogeneous model and leaves the
+        threshold untouched.
     """
+    threshold = effective_capacity(threshold, speeds, n)
     resource = np.asarray(resource, dtype=np.int64)
     seq = np.asarray(seq, dtype=np.int64)
     weights = np.asarray(weights, dtype=np.float64)

@@ -2,9 +2,12 @@
 
 ``SystemState`` is the single mutable object the protocols operate on.
 It tracks, for each of the ``m`` tasks, its current resource and its
-stack-order key, plus the (immutable) weights and the threshold.  Every
+stack-order key, plus the (immutable) weights, the threshold and —
+in the heterogeneous extension — the per-resource speeds.  Every
 quantity of the paper's model — load vector ``x(t)``, ball counts
-``b_r(t)``, stack heights, the potential — derives from these arrays.
+``b_r(t)``, stack heights, the potential — derives from these arrays;
+with speeds, every threshold comparison runs against the effective
+capacity ``s_r * T_r`` (see :mod:`repro.core.thresholds`).
 
 Stack order is encoded by a monotone global counter: when tasks arrive
 at a resource they receive fresh, increasing ``seq`` values, so "later
@@ -21,7 +24,12 @@ import numpy as np
 
 from ..workloads.placement import loads_from_placement
 from .stack import StackPartition, partition_stacks
-from .thresholds import ThresholdPolicy, feasible_threshold
+from .thresholds import (
+    ThresholdPolicy,
+    effective_capacity,
+    feasible_threshold,
+    validate_speeds,
+)
 
 __all__ = ["SystemState"]
 
@@ -42,8 +50,16 @@ class SystemState:
         Stack-order key of each task (globally unique ints).
     threshold:
         Scalar threshold ``T`` or per-resource vector (shape ``(n,)``).
+        With ``speeds`` set, thresholds are in *normalised-load* units.
     atol:
         Absolute tolerance used for *every* threshold comparison.
+    speeds:
+        Optional per-resource service speeds, shape ``(n,)`` — never
+        mutated after construction.  ``None`` (the default) is the
+        paper's homogeneous model; a vector switches every threshold
+        comparison to normalised loads ``x_r / s_r``, implemented as
+        the effective raw-load capacity ``c_r = s_r * T_r`` (see
+        :mod:`repro.core.thresholds`).
     """
 
     n: int
@@ -52,9 +68,12 @@ class SystemState:
     seq: np.ndarray
     threshold: float | np.ndarray
     atol: float = 1e-9
+    speeds: np.ndarray | None = None
     _next_seq: int = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
+        if self.speeds is not None:
+            self.speeds = validate_speeds(self.speeds, self.n)
         self.weights = np.ascontiguousarray(self.weights, dtype=np.float64)
         self.resource = np.ascontiguousarray(self.resource, dtype=np.int64)
         self.seq = np.ascontiguousarray(self.seq, dtype=np.int64)
@@ -74,8 +93,13 @@ class SystemState:
             raise ValueError(f"vector threshold must have shape ({self.n},)")
         if np.any(t <= 0):
             raise ValueError("thresholds must be positive")
-        if m and not feasible_threshold(self.threshold, float(self.weights.sum()),
-                                        self.n, self.atol):
+        if m and not feasible_threshold(
+            self.threshold,
+            float(self.weights.sum()),
+            self.n,
+            self.atol,
+            speeds=self.speeds,
+        ):
             raise ValueError(
                 "infeasible threshold: total capacity below total weight"
             )
@@ -92,19 +116,27 @@ class SystemState:
         n: int,
         threshold: float | np.ndarray | ThresholdPolicy,
         atol: float = 1e-9,
+        speeds: np.ndarray | None = None,
     ) -> "SystemState":
         """Build a state from a weight vector and an initial placement.
 
         ``threshold`` may be a number, a per-resource vector, or a
         :class:`~repro.core.thresholds.ThresholdPolicy` (in which case
-        it is evaluated against this workload's ``W`` and ``wmax``).
+        it is evaluated against this workload's ``W`` and ``wmax``,
+        and — when ``speeds`` is given — against the speed vector, so
+        scalar policies anchor to the average normalised load ``W/S``).
         """
         weights = np.asarray(weights, dtype=np.float64)
         placement = np.asarray(placement, dtype=np.int64)
+        if speeds is not None:
+            speeds = validate_speeds(speeds, n)
         if isinstance(threshold, ThresholdPolicy) or hasattr(
             threshold, "compute_for"
         ):
-            threshold = threshold.compute_for(weights, n)
+            if speeds is None:
+                threshold = threshold.compute_for(weights, n)
+            else:
+                threshold = threshold.compute_for(weights, n, speeds=speeds)
         return cls(
             n=n,
             weights=weights,
@@ -112,10 +144,11 @@ class SystemState:
             seq=np.arange(weights.shape[0], dtype=np.int64),
             threshold=threshold,
             atol=atol,
+            speeds=speeds,
         )
 
     def copy(self) -> "SystemState":
-        """Deep copy (weights are shared — they are immutable)."""
+        """Deep copy (weights and speeds are shared — both immutable)."""
         dup = SystemState(
             n=self.n,
             weights=self.weights,
@@ -127,6 +160,7 @@ class SystemState:
                 else self.threshold
             ),
             atol=self.atol,
+            speeds=self.speeds,
         )
         dup._next_seq = self._next_seq
         return dup
@@ -173,22 +207,47 @@ class SystemState:
         t = np.asarray(self.threshold, dtype=np.float64)
         return np.full(self.n, float(t)) if t.ndim == 0 else t
 
+    def speed_vector(self) -> np.ndarray:
+        """The speeds as a vector (ones when the system is homogeneous)."""
+        return np.ones(self.n) if self.speeds is None else self.speeds
+
+    def capacity_vector(self) -> np.ndarray:
+        """Effective raw-load bound per resource, ``c_r = s_r * T_r``.
+
+        Every overload / termination comparison in the engine tests raw
+        loads against this vector; with ``speeds=None`` it *is* the
+        threshold vector, so the homogeneous path is unchanged.
+        """
+        return np.asarray(
+            effective_capacity(self.threshold_vector(), self.speeds, self.n)
+        )
+
+    def normalized_loads(self) -> np.ndarray:
+        """Normalised load vector ``x_r / s_r`` (the makespan metric)."""
+        loads = self.loads()
+        return loads if self.speeds is None else loads / self.speeds
+
     def partition(self) -> StackPartition:
         """The below/cutting/above stack partition (see
         :func:`repro.core.stack.partition_stacks`)."""
         return partition_stacks(
-            self.resource, self.seq, self.weights, self.n, self.threshold,
+            self.resource,
+            self.seq,
+            self.weights,
+            self.n,
+            self.threshold,
             self.atol,
+            speeds=self.speeds,
         )
 
     def overloaded_resources(self) -> np.ndarray:
-        """Indices of resources with ``x_r > T_r``."""
-        mask = self.loads() > self.threshold_vector() + self.atol
+        """Indices of resources with ``x_r > s_r T_r``."""
+        mask = self.loads() > self.capacity_vector() + self.atol
         return np.flatnonzero(mask)
 
     def is_balanced(self) -> bool:
-        """Termination predicate: every load at or below its threshold."""
-        return bool(np.all(self.loads() <= self.threshold_vector() + self.atol))
+        """Termination predicate: every load at or below its capacity."""
+        return bool(np.all(self.loads() <= self.capacity_vector() + self.atol))
 
     # ------------------------------------------------------------------
     # Mutation

@@ -1,4 +1,4 @@
-"""Threshold policies (Section 4).
+"""Threshold policies (Section 4) and the heterogeneous-speed model.
 
 Every resource has a threshold — the maximum load it can accept.  The
 paper distinguishes:
@@ -15,12 +15,42 @@ Thresholds must be at least the average load or balancing is infeasible
 per-resource threshold *vectors* — the paper's "non-uniform thresholds"
 future-work direction — which is what the decentralised diffusion
 estimator in :mod:`repro.analysis.averaging` produces.
+
+Resource speeds — the first-class model
+---------------------------------------
+
+Following Adolphs & Berenbrink (*Distributed Selfish Load Balancing
+with Weights and Speeds*), the engine models machines of unequal
+capacity through a per-resource speed vector ``s`` and the *normalised
+load* ``x_r / s_r``.  Thresholds are expressed in normalised units: a
+resource is overloaded iff its normalised load exceeds its threshold,
+i.e. iff its raw load exceeds the **effective capacity**
+
+    c_r = s_r * T_r
+
+(:func:`effective_capacity`).  Every threshold comparison in the engine
+— stack partitions, overload masks, termination — goes through that one
+mapping, so ``speeds=None`` (the homogeneous paper model) is the
+identity and costs nothing.  Scalar policies evaluated against a
+heterogeneous system anchor to the average *normalised* load ``W / S``
+(``S = sum(s)``) instead of ``W/n`` — pass ``speeds=`` to
+:meth:`ThresholdPolicy.compute_for`.  Speeds carry the same convention
+as task weights: rescale so the slowest machine has speed 1 (see
+:func:`repro.workloads.speeds.normalize_min_speed`), which keeps
+``c_r >= T_r`` and preserves the ``wmax`` headroom argument on every
+machine.
+
+:class:`ProportionalThresholds` predates the first-class model (speeds
+used to exist only inside this policy) and is now implemented on top of
+it: the raw-load threshold vector it produces is exactly the effective
+capacity of the per-resource normalised thresholds
+``T_r = (1 + eps) W/S + wmax/s_r``.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -31,18 +61,60 @@ __all__ = [
     "TightResourceThreshold",
     "FixedThreshold",
     "ProportionalThresholds",
+    "effective_capacity",
     "feasible_threshold",
+    "validate_speeds",
 ]
 
 
-def feasible_threshold(threshold: float | np.ndarray, total_weight: float,
-                       n: int, atol: float = 1e-9) -> bool:
+def validate_speeds(speeds: np.ndarray, n: int) -> np.ndarray:
+    """Coerce a speed vector to contiguous float64 and validate it."""
+    s = np.ascontiguousarray(speeds, dtype=np.float64)
+    if s.shape != (n,):
+        raise ValueError(f"speeds must have shape ({n},), got {s.shape}")
+    if s.size and s.min() <= 0:
+        raise ValueError("resource speeds must be strictly positive")
+    return s
+
+
+def effective_capacity(
+    threshold: float | np.ndarray,
+    speeds: np.ndarray | None,
+    n: int,
+) -> float | np.ndarray:
+    """Raw-load bound per resource: ``c_r = s_r * T_r``.
+
+    The single mapping between normalised thresholds and raw loads.
+    With ``speeds=None`` (homogeneous resources) the threshold is
+    returned unchanged — scalar stays scalar, and the uniform path pays
+    nothing.  With speeds, the result is always a vector of shape
+    ``(n,)``.
+    """
+    if speeds is None:
+        return threshold
+    t = np.asarray(threshold, dtype=np.float64)
+    if t.ndim == 0:
+        return speeds * float(t)
+    if t.shape != (n,):
+        raise ValueError(f"vector threshold must have shape ({n},)")
+    return speeds * t
+
+
+def feasible_threshold(
+    threshold: float | np.ndarray,
+    total_weight: float,
+    n: int,
+    atol: float = 1e-9,
+    speeds: np.ndarray | None = None,
+) -> bool:
     """A threshold is feasible iff balancing below it is possible at all.
 
     A scalar threshold needs ``T >= W/n``; a vector threshold needs
-    ``sum(T) >= W`` (total capacity covers total weight).
+    ``sum(T) >= W`` (total capacity covers total weight).  With resource
+    speeds the same test applies to the effective capacities
+    ``c_r = s_r * T_r``: total capacity ``sum(c) >= W``.
     """
-    t = np.asarray(threshold, dtype=np.float64)
+    t = np.asarray(effective_capacity(threshold, speeds, n), dtype=np.float64)
     if t.ndim == 0:
         return bool(float(t) * n >= total_weight - atol)
     if t.shape != (n,):
@@ -57,12 +129,30 @@ class ThresholdPolicy(ABC):
     def compute(self, total_weight: float, n: int, wmax: float) -> float:
         """The scalar threshold for a system with these statistics."""
 
-    def compute_for(self, weights: np.ndarray, n: int) -> float:
-        """Convenience: compute from a raw weight vector."""
+    def compute_for(
+        self,
+        weights: np.ndarray,
+        n: int,
+        speeds: np.ndarray | None = None,
+    ) -> float:
+        """Convenience: compute from a raw weight vector.
+
+        With ``speeds`` the scalar formula is anchored to the average
+        *normalised* load ``W / S`` instead of ``W/n`` (the homogeneous
+        case is ``S = n``), so the resulting threshold lives in
+        normalised-load units and pairs with a speed-aware
+        :class:`~repro.core.state.SystemState`.
+        """
         w = np.asarray(weights, dtype=np.float64)
         if w.size == 0:
             raise ValueError("empty weight vector")
-        return self.compute(float(w.sum()), n, float(w.max()))
+        total = float(w.sum())
+        if speeds is not None:
+            s = validate_speeds(speeds, n)
+            # scalar policies are all of the form a * W/n + b * wmax;
+            # rescaling W by n/S turns the W/n anchor into W/S
+            total = total * (n / float(s.sum()))
+        return self.compute(total, n, float(w.max()))
 
 
 @dataclass(frozen=True)
@@ -127,19 +217,28 @@ class FixedThreshold(ThresholdPolicy):
 
 @dataclass(frozen=True)
 class ProportionalThresholds:
-    """Per-resource thresholds proportional to resource *speeds*.
+    """Per-resource raw-load thresholds proportional to resource speeds.
 
-    The paper's conclusion names non-uniform thresholds as an open
-    direction, and its related work (Adolphs & Berenbrink [14]) studies
-    weighted tasks on resources with speeds.  This policy produces the
-    natural threshold vector for heterogeneous resources:
+    This policy predates first-class speeds (they used to exist only
+    here) and remains the back-compatible way to run a *speed-less*
+    :class:`~repro.core.state.SystemState` against heterogeneous
+    capacities: it bakes the speeds into a raw-load threshold vector
 
         T_r = (1 + eps) * W * s_r / sum(s) + wmax,
 
     i.e. faster resources shoulder proportionally more load while every
-    resource keeps the ``wmax`` headroom that makes acceptance of any
-    single task possible.  Total capacity exceeds ``W`` for any
+    resource keeps the full ``wmax`` headroom that makes acceptance of
+    any single task possible.  Total capacity exceeds ``W`` for any
     ``eps >= 0``, so the threshold vector is always feasible.
+
+    Since the first-class model landed, the policy is implemented on
+    top of it: the vector above is exactly the
+    :func:`effective_capacity` of the per-resource *normalised*
+    thresholds ``T_r = (1 + eps) W/S + wmax/s_r``.  New code should
+    prefer first-class speeds (``SystemState(speeds=...)`` with a
+    scalar policy), which keep loads in normalised units end to end;
+    combining this policy with a speed-aware state double-counts the
+    speeds and is rejected.
 
     Unlike the scalar policies this returns a vector; use
     :meth:`compute_for` and pass the result directly as the
@@ -148,14 +247,21 @@ class ProportionalThresholds:
 
     speeds: tuple[float, ...]
     eps: float = 0.2
+    #: Cached float64 view of ``speeds`` (tuples re-converted on every
+    #: call measurably slowed sweeps that rebuild thresholds per trial).
+    _speeds_arr: np.ndarray = field(
+        init=False, repr=False, compare=False, default=None
+    )
 
     def __post_init__(self) -> None:
-        if not self.speeds:
+        if not len(self.speeds):
             raise ValueError("need at least one resource speed")
-        if any(s <= 0 for s in self.speeds):
+        arr = np.asarray(self.speeds, dtype=np.float64)
+        if arr.min() <= 0:
             raise ValueError("speeds must be positive")
         if self.eps < 0:
             raise ValueError("eps must be non-negative")
+        object.__setattr__(self, "_speeds_arr", arr)
 
     def compute(self, total_weight: float, n: int, wmax: float) -> np.ndarray:
         if n != len(self.speeds):
@@ -164,10 +270,27 @@ class ProportionalThresholds:
             )
         if total_weight < 0 or wmax < 0:
             raise ValueError("invalid workload statistics")
-        s = np.asarray(self.speeds, dtype=np.float64)
+        s = self._speeds_arr
+        # Mathematically this is effective_capacity(T, s, n) for the
+        # normalised thresholds T_r = (1+eps) W/S + wmax/s_r, but it is
+        # kept in the historical association order so pre-speeds seeded
+        # runs of this policy reproduce bit for bit (s * (wmax/s) would
+        # drift by ~1 ulp).
         return (1.0 + self.eps) * total_weight * s / s.sum() + wmax
 
-    def compute_for(self, weights: np.ndarray, n: int) -> np.ndarray:
+    def compute_for(
+        self,
+        weights: np.ndarray,
+        n: int,
+        speeds: np.ndarray | None = None,
+    ) -> np.ndarray:
+        if speeds is not None:
+            raise ValueError(
+                "ProportionalThresholds already encodes speeds in its "
+                "raw-load threshold vector; give the SystemState "
+                "first-class speeds with a scalar policy instead of "
+                "combining the two (that would double-count the speeds)"
+            )
         w = np.asarray(weights, dtype=np.float64)
         if w.size == 0:
             raise ValueError("empty weight vector")

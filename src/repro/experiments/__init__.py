@@ -34,7 +34,14 @@ from .resource_tight import (
     ResourceTightResult,
     run_resource_tight,
 )
-from .setups import HybridSetup, ResourceControlledSetup, UserControlledSetup
+# canonical home of the setups; repro.experiments.setups is a
+# deprecated shim that warns on import
+from ..study.setups import (
+    HybridSetup,
+    ResourceControlledSetup,
+    UserControlledSetup,
+)
+from .speed_ablation import SpeedAblationConfig, SpeedAblationResult
 from .table1 import Table1Config, Table1Result, run_table1
 from .tight_scaling import (
     TightScalingConfig,
@@ -63,6 +70,8 @@ __all__ = [
     "ResourceControlledSetup",
     "ResourceTightConfig",
     "ResourceTightResult",
+    "SpeedAblationConfig",
+    "SpeedAblationResult",
     "Table1Config",
     "Table1Result",
     "TightScalingConfig",

@@ -33,6 +33,7 @@ from . import (
     lower_bound,
     resource_above,
     resource_tight,
+    speed_ablation,
     table1,
     tight_scaling,
 )
@@ -208,6 +209,18 @@ EXPERIMENTS: dict[str, Experiment] = {
             study_builder=arrival_order.build_study,
             result_adapter=arrival_order.arrival_order_result,
             presets={"quick": arrival_order.QUICK},
+        ),
+        Experiment(
+            key="speed_ablation",
+            paper_artifact="Extension (Adolphs & Berenbrink)",
+            description=(
+                "heterogeneous two-class machine speeds: makespan vs "
+                "speed skew, complete graph vs torus"
+            ),
+            config_factory=speed_ablation.SpeedAblationConfig,
+            study_builder=speed_ablation.build_study,
+            result_adapter=speed_ablation.speed_ablation_result,
+            presets={"quick": speed_ablation.QUICK},
         ),
         Experiment(
             key="drift_check",

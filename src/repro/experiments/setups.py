@@ -1,13 +1,17 @@
-"""Compatibility re-export of the trial setups.
+"""Deprecated compatibility re-export of the trial setups.
 
 The picklable per-trial setup dataclasses moved to
 :mod:`repro.study.setups` when the declarative Scenario/Study API became
 the package's public surface (a :class:`~repro.study.Scenario` compiles
-to one of these).  Importing them from here keeps old driver-era code
-working.
+to one of these).  Importing this module keeps old driver-era code
+working but emits a :class:`DeprecationWarning`; import from
+:mod:`repro.study.setups` (or :mod:`repro.experiments`, which re-exports
+the classes without the warning) instead.
 """
 
 from __future__ import annotations
+
+import warnings
 
 from ..study.setups import (
     PLACEMENT_KINDS,
@@ -24,3 +28,10 @@ __all__ = [
     "ResourceControlledSetup",
     "HybridSetup",
 ]
+
+warnings.warn(
+    "repro.experiments.setups is deprecated; import the trial setups "
+    "from repro.study.setups instead",
+    DeprecationWarning,
+    stacklevel=2,
+)

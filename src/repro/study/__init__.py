@@ -27,7 +27,7 @@ Every paper artefact in :mod:`repro.experiments` is itself a Study
 definition; the registry exposes them by key.
 """
 
-from .parse import parse_axis_values, parse_graph, parse_weights
+from .parse import parse_axis_values, parse_graph, parse_speeds, parse_weights
 from .scenario import PROTOCOL_KINDS, Scenario, scenario_axes
 from .setups import (
     PLACEMENT_KINDS,
@@ -56,6 +56,7 @@ __all__ = [
     "UserControlledSetup",
     "parse_axis_values",
     "parse_graph",
+    "parse_speeds",
     "parse_weights",
     "run_study",
     "scenario_axes",

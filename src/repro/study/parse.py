@@ -9,10 +9,13 @@ flags, so graphs and weight distributions need a flag-sized syntax:
 * weights — ``unit``, ``uniform:2``, ``two_point:1:50:5``,
   ``uniform_range:1:10``, ``exponential:2``, ``pareto:2.5`` (optional
   ``:cap``).
+* speeds — ``unit``, ``uniform:2``, ``two_class:1:4:8``
+  (slow:fast:fast_count), ``pareto:2.5`` (optional ``:cap``),
+  ``explicit:1:2:4``.
 
 :func:`parse_axis_values` coerces a comma-separated ``--axis``
 grid onto the right type for any scenario axis, using these parsers
-for the ``graph`` and ``weights`` axes.
+for the ``graph``, ``weights`` and ``speeds`` axes.
 """
 
 from __future__ import annotations
@@ -21,6 +24,13 @@ import numpy as np
 
 from ..graphs import builders
 from ..graphs.topology import Graph
+from ..workloads.speeds import (
+    ExplicitSpeeds,
+    ParetoSpeeds,
+    SpeedDistribution,
+    TwoClassSpeeds,
+    UniformSpeeds,
+)
 from ..workloads.weights import (
     ExponentialWeights,
     ParetoWeights,
@@ -31,7 +41,12 @@ from ..workloads.weights import (
 )
 from .scenario import scenario_axes
 
-__all__ = ["parse_axis_values", "parse_graph", "parse_weights"]
+__all__ = [
+    "parse_axis_values",
+    "parse_graph",
+    "parse_speeds",
+    "parse_weights",
+]
 
 
 def _split(spec: str) -> tuple[str, list[str]]:
@@ -147,6 +162,39 @@ def parse_weights(spec: str) -> WeightDistribution:
     )
 
 
+def parse_speeds(spec: str) -> SpeedDistribution:
+    """Build a speed distribution from a ``kind:args`` spec string."""
+    head, args = _split(spec)
+    try:
+        floats = [float(a) for a in args]
+    except ValueError as exc:
+        raise ValueError(f"bad numeric argument in spec {spec!r}") from exc
+    try:
+        if head in ("unit", "uniform"):
+            return UniformSpeeds(*floats)
+        if head == "two_class":
+            if len(floats) != 3:
+                raise ValueError(
+                    "two_class spec needs slow:fast:fast_count, "
+                    "e.g. two_class:1:4:8"
+                )
+            return TwoClassSpeeds(
+                slow=floats[0], fast=floats[1], fast_count=int(floats[2])
+            )
+        if head == "pareto":
+            return ParetoSpeeds(*floats)
+        if head == "explicit":
+            return ExplicitSpeeds(tuple(floats))
+    except TypeError as exc:
+        raise ValueError(
+            f"wrong argument count in speeds spec {spec!r}"
+        ) from exc
+    raise ValueError(
+        f"unknown speed distribution {head!r} in spec {spec!r}; expected "
+        "one of unit, uniform, two_class, pareto, explicit"
+    )
+
+
 #: How each scenario axis coerces one ``--axis`` grid entry.
 _AXIS_PARSERS = {
     "m": int,
@@ -157,6 +205,7 @@ _AXIS_PARSERS = {
     "atol": float,
     "graph": parse_graph,
     "weights": parse_weights,
+    "speeds": parse_speeds,
 }
 
 

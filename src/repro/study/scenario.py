@@ -22,6 +22,7 @@ from typing import Any
 
 from ..core.backends import TrialSetup
 from ..graphs.topology import Graph
+from ..workloads.speeds import SpeedDistribution
 from ..workloads.weights import UniformWeights, WeightDistribution
 from .setups import (
     PLACEMENT_KINDS,
@@ -63,6 +64,7 @@ class Scenario:
     n: int | None = None
     graph: Graph | None = None
     weights: WeightDistribution = UniformWeights(1.0)
+    speeds: SpeedDistribution | None = None
     threshold: str = "above_average"
     placement: str = "single_source"
     arrival_order: str = "random"
@@ -119,6 +121,14 @@ class Scenario:
             )
         if self.m < 1:
             raise ValueError(f"scenario needs m >= 1 task, got m={self.m}")
+        if self.speeds is not None and not isinstance(
+            self.speeds, SpeedDistribution
+        ):
+            raise ValueError(
+                "scenario speeds must be a SpeedDistribution (per-trial "
+                "vectors are sampled from it); wrap a fixed vector in "
+                "ExplicitSpeeds"
+            )
         if self.hybrid_mode not in HYBRID_MODES:
             raise ValueError(
                 f"unknown hybrid mode {self.hybrid_mode!r}; "
@@ -146,6 +156,18 @@ class Scenario:
                     f"the {self.protocol} protocol takes its resource "
                     "count from the graph; an n axis would be ignored — "
                     "unset it"
+                )
+        if self.speeds is not None:
+            # an explicit vector must fit the resource count; catch it
+            # here (compile time) instead of mid-sweep at sample time
+            from ..workloads.speeds import ExplicitSpeeds
+
+            if isinstance(self.speeds, ExplicitSpeeds) and len(
+                self.speeds.speeds
+            ) != self.resources:
+                raise ValueError(
+                    f"speeds vector has {len(self.speeds.speeds)} entries "
+                    f"but the scenario has {self.resources} resources"
                 )
         if self.protocol == "hybrid":
             if self.arrival_order != "random":
@@ -178,6 +200,7 @@ class Scenario:
                 placement_kind=self.placement,
                 arrival_order=self.arrival_order,
                 atol=self.atol,
+                speeds=self.speeds,
             )
         if self.protocol == "resource":
             return ResourceControlledSetup(
@@ -189,6 +212,7 @@ class Scenario:
                 placement_kind=self.placement,
                 arrival_order=self.arrival_order,
                 atol=self.atol,
+                speeds=self.speeds,
             )
         return HybridSetup(
             graph=self.graph,
@@ -200,21 +224,27 @@ class Scenario:
             mode=self.hybrid_mode,
             threshold_kind=self.threshold,
             placement_kind=self.placement,
+            speeds=self.speeds,
         )
 
     def describe(self) -> str:
         """One-line human-readable summary (CLI ``describe``/``sweep``)."""
-        where = (
-            self.graph.name
-            if self.graph is not None
-            else f"complete(n={self.n})"
-        )
+        if self.graph is not None:
+            where = self.graph.name
+        elif self.n is not None:
+            where = f"complete(n={self.n})"
+        else:
+            where = "(bound per sweep point)"
         parts = [
             f"protocol={self.protocol}",
             f"graph={where}",
             f"m={self.m}",
             f"weights={self.weights.describe()}",
             f"threshold={self.threshold}",
+        ]
+        if self.speeds is not None:
+            parts.append(f"speeds={self.speeds.describe()}")
+        parts += [
             f"placement={self.placement}",
             f"arrival_order={self.arrival_order}",
             f"alpha={self.alpha:g}",

@@ -37,6 +37,7 @@ from ..workloads.placement import (
     single_source_placement,
     uniform_random_placement,
 )
+from ..workloads.speeds import SpeedDistribution
 from ..workloads.weights import WeightDistribution
 
 __all__ = [
@@ -64,6 +65,20 @@ def _threshold_policy(kind: str, eps: float) -> ThresholdPolicy:
     raise ValueError(
         f"unknown threshold kind {kind!r}; expected one of {THRESHOLD_KINDS}"
     )
+
+
+def _speeds(
+    distribution: SpeedDistribution | None,
+    n: int,
+    rng: np.random.Generator,
+) -> np.ndarray | None:
+    """Sample resource speeds, or ``None`` for the homogeneous model.
+
+    Drawn *after* weights and placement so ``speeds=None`` setups
+    consume exactly the pre-speeds randomness (bit-for-bit trial
+    equivalence with older revisions on shared seeds).
+    """
+    return None if distribution is None else distribution.sample(n, rng)
 
 
 def _placement(
@@ -99,6 +114,7 @@ class UserControlledSetup:
     placement_kind: str = "single_source"
     arrival_order: str = "random"
     atol: float = 1e-9
+    speeds: SpeedDistribution | None = None
 
     def __call__(
         self, rng: np.random.Generator
@@ -113,6 +129,7 @@ class UserControlledSetup:
             self.n,
             _threshold_policy(self.threshold_kind, self.eps),
             atol=self.atol,
+            speeds=_speeds(self.speeds, self.n, rng),
         )
         protocol = UserControlledProtocol(
             alpha=self.alpha, arrival_order=self.arrival_order
@@ -132,6 +149,7 @@ class ResourceControlledSetup:
     placement_kind: str = "single_source"
     arrival_order: str = "random"
     atol: float = 1e-9
+    speeds: SpeedDistribution | None = None
 
     def __call__(
         self, rng: np.random.Generator
@@ -146,6 +164,7 @@ class ResourceControlledSetup:
             self.graph.n,
             _threshold_policy(self.threshold_kind, self.eps),
             atol=self.atol,
+            speeds=_speeds(self.speeds, self.graph.n, rng),
         )
         protocol = ResourceControlledProtocol(
             self.graph, arrival_order=self.arrival_order
@@ -166,6 +185,7 @@ class HybridSetup:
     mode: str = "probabilistic"
     threshold_kind: str = "above_average"
     placement_kind: str = "single_source"
+    speeds: SpeedDistribution | None = None
 
     def __call__(
         self, rng: np.random.Generator
@@ -179,6 +199,7 @@ class HybridSetup:
             placement,
             self.graph.n,
             _threshold_policy(self.threshold_kind, self.eps),
+            speeds=_speeds(self.speeds, self.graph.n, rng),
         )
         protocol = HybridProtocol(
             ResourceControlledProtocol(self.graph),

@@ -1,4 +1,5 @@
-"""Workload substrate: task weights, initial placements, assignments."""
+"""Workload substrate: task weights, resource speeds, placements,
+assignments."""
 
 from .assignment import (
     first_fit_assignment,
@@ -13,6 +14,15 @@ from .placement import (
     round_robin_placement,
     single_source_placement,
     uniform_random_placement,
+)
+from .speeds import (
+    ExplicitSpeeds,
+    ParetoSpeeds,
+    SpeedDistribution,
+    TwoClassSpeeds,
+    UniformSpeeds,
+    normalize_min_speed,
+    speed_stats,
 )
 from .weights import (
     ExplicitWeights,
@@ -29,11 +39,16 @@ from .weights import (
 )
 
 __all__ = [
+    "ExplicitSpeeds",
     "ExplicitWeights",
     "ExponentialWeights",
+    "ParetoSpeeds",
     "ParetoWeights",
+    "SpeedDistribution",
+    "TwoClassSpeeds",
     "TwoPointWeights",
     "UniformRangeWeights",
+    "UniformSpeeds",
     "UniformWeights",
     "WeightDistribution",
     "adversarial_clique_placement",
@@ -43,6 +58,7 @@ __all__ = [
     "is_proper_assignment",
     "loads_from_placement",
     "lpt_assignment",
+    "normalize_min_speed",
     "normalize_min_weight",
     "proper_capacity",
     "round_robin_placement",

@@ -209,8 +209,9 @@ class ExplicitWeights(WeightDistribution):
         return f"explicit(m={len(self.weights)})"
 
 
-def figure1_weights(total_weight: float, heavy_count: int, heavy: float = 50.0
-                    ) -> np.ndarray:
+def figure1_weights(
+    total_weight: float, heavy_count: int, heavy: float = 50.0
+) -> np.ndarray:
     """Figure 1's workload: ``heavy_count`` tasks of weight ``heavy`` and
     ``total_weight - heavy * heavy_count`` unit tasks.
 
@@ -224,7 +225,9 @@ def figure1_weights(total_weight: float, heavy_count: int, heavy: float = 50.0
             f"total weight {total_weight} is less than {heavy_count} x {heavy}"
         )
     if abs(light_weight - light_count) > 1e-9:
-        raise ValueError("W - k * heavy must be an integer number of unit tasks")
+        raise ValueError(
+            "W - k * heavy must be an integer number of unit tasks"
+        )
     w = np.ones(heavy_count + light_count)
     w[:heavy_count] = heavy
     return w

@@ -1,0 +1,241 @@
+"""Unit tests for the first-class speed model in state / stack /
+thresholds."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    AboveAverageThreshold,
+    ProportionalThresholds,
+    ResourceStack,
+    SystemState,
+    TightUserThreshold,
+    UserControlledProtocol,
+    effective_capacity,
+    feasible_threshold,
+    simulate,
+    single_source_placement,
+    validate_speeds,
+)
+from repro.core.reference import build_stacks, reference_user_step
+
+
+class TestEffectiveCapacity:
+    def test_none_is_identity(self):
+        assert effective_capacity(3.5, None, 4) == 3.5
+        t = np.array([1.0, 2.0])
+        assert effective_capacity(t, None, 2) is t
+
+    def test_scalar_threshold_scales(self):
+        s = np.array([1.0, 2.0, 4.0])
+        assert np.array_equal(
+            effective_capacity(3.0, s, 3), [3.0, 6.0, 12.0]
+        )
+
+    def test_vector_threshold_scales_elementwise(self):
+        s = np.array([1.0, 2.0])
+        t = np.array([5.0, 5.0])
+        assert np.array_equal(effective_capacity(t, s, 2), [5.0, 10.0])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            effective_capacity(np.array([1.0, 2.0]), np.ones(3), 3)
+
+
+class TestValidateSpeeds:
+    def test_coerces_to_float64(self):
+        s = validate_speeds([1, 2], 2)
+        assert s.dtype == np.float64
+
+    def test_rejects_bad_shape_and_values(self):
+        with pytest.raises(ValueError):
+            validate_speeds(np.ones(3), 2)
+        with pytest.raises(ValueError):
+            validate_speeds(np.array([1.0, 0.0]), 2)
+
+
+class TestFeasibility:
+    def test_scalar_with_speeds(self):
+        # capacity 1*2 + 3*2 = 8 >= W = 7
+        assert feasible_threshold(
+            2.0, 7.0, 2, speeds=np.array([1.0, 3.0])
+        )
+        assert not feasible_threshold(
+            2.0, 9.0, 2, speeds=np.array([1.0, 3.0])
+        )
+
+    def test_vector_with_speeds(self):
+        t = np.array([2.0, 2.0])
+        assert feasible_threshold(t, 7.0, 2, speeds=np.array([1.0, 3.0]))
+
+
+class TestSystemStateSpeeds:
+    def make(self, speeds, threshold=5.0, m=12, n=3):
+        return SystemState.from_workload(
+            np.ones(m),
+            single_source_placement(m, n),
+            n,
+            threshold,
+            speeds=speeds,
+        )
+
+    def test_validation_runs_on_construction(self):
+        with pytest.raises(ValueError, match="positive"):
+            self.make(np.array([1.0, -1.0, 1.0]))
+        with pytest.raises(ValueError, match="shape"):
+            self.make(np.ones(4))
+
+    def test_speeds_make_tight_states_feasible(self):
+        # W=12 over capacity 3*5=15 uniform; but threshold 3.0 is
+        # infeasible uniform (9 < 12) and feasible with a fast machine
+        with pytest.raises(ValueError, match="infeasible"):
+            self.make(None, threshold=3.0)
+        state = self.make(np.array([1.0, 1.0, 4.0]), threshold=3.0)
+        assert np.array_equal(state.capacity_vector(), [3.0, 3.0, 12.0])
+
+    def test_capacity_and_normalized_loads(self):
+        state = self.make(np.array([1.0, 2.0, 4.0]))
+        assert np.array_equal(state.capacity_vector(), [5.0, 10.0, 20.0])
+        # all 12 unit tasks on resource 0
+        assert np.array_equal(state.normalized_loads(), [12.0, 0.0, 0.0])
+        assert np.array_equal(state.speed_vector(), [1.0, 2.0, 4.0])
+
+    def test_uniform_state_speed_vector_is_ones(self):
+        state = self.make(None)
+        assert np.array_equal(state.speed_vector(), np.ones(3))
+        assert state.capacity_vector() is not None
+        assert np.array_equal(
+            state.capacity_vector(), state.threshold_vector()
+        )
+
+    def test_overload_uses_capacity(self):
+        state = self.make(np.array([1.0, 2.0, 4.0]))
+        assert list(state.overloaded_resources()) == [0]
+        state.move_tasks(
+            np.arange(12), np.full(12, 2, dtype=np.int64)
+        )
+        # 12 <= 20 capacity on the fast machine: balanced
+        assert state.is_balanced()
+
+    def test_copy_shares_speeds(self):
+        state = self.make(np.array([1.0, 2.0, 4.0]))
+        dup = state.copy()
+        assert dup.speeds is state.speeds
+
+    def test_policy_anchors_to_normalized_average(self):
+        # S = 6, W = 12: tight-user threshold = W/S + wmax = 3
+        state = SystemState.from_workload(
+            np.ones(12),
+            single_source_placement(12, 3),
+            3,
+            TightUserThreshold(),
+            speeds=np.array([1.0, 2.0, 3.0]),
+        )
+        assert state.threshold == pytest.approx(12.0 / 6.0 + 1.0)
+
+    def test_balanced_run_respects_capacities(self):
+        speeds = np.array([1.0, 1.0, 2.0, 4.0])
+        state = SystemState.from_workload(
+            np.ones(48),
+            single_source_placement(48, 4),
+            4,
+            AboveAverageThreshold(0.2),
+            speeds=speeds,
+        )
+        result = simulate(
+            UserControlledProtocol(),
+            state,
+            np.random.default_rng(0),
+            max_rounds=50_000,
+        )
+        assert result.balanced
+        assert np.all(state.loads() <= state.capacity_vector() + 1e-9)
+        assert result.final_makespan <= float(state.threshold) + 1e-9
+
+
+class TestResourceStackSpeed:
+    def test_capacity_scales_with_speed(self):
+        stack = ResourceStack(threshold=4.0, speed=2.0)
+        for i in range(6):
+            stack.push(i, 1.0)
+        assert not stack.overloaded  # load 6 <= capacity 8
+        assert stack.below_prefix_length() == 6
+        assert stack.normalized_load == pytest.approx(3.0)
+        stack.push(6, 3.0)
+        assert stack.overloaded  # load 9 > 8
+
+    def test_default_speed_matches_old_behaviour(self):
+        a = ResourceStack(threshold=4.0)
+        b = ResourceStack(threshold=4.0, speed=1.0)
+        for i in range(7):
+            a.push(i, 1.0)
+            b.push(i, 1.0)
+        assert a.below_prefix_length() == b.below_prefix_length() == 4
+        assert a.partition() == b.partition()
+
+    def test_rejects_bad_speed(self):
+        with pytest.raises(ValueError):
+            ResourceStack(threshold=1.0, speed=0.0)
+
+
+class TestReferenceOracleSpeeds:
+    def test_build_stacks_carries_speeds(self):
+        state = SystemState.from_workload(
+            np.ones(10),
+            single_source_placement(10, 2),
+            2,
+            5.0,
+            speeds=np.array([1.0, 3.0]),
+        )
+        stacks = build_stacks(state)
+        assert stacks[0].capacity == 5.0
+        assert stacks[1].capacity == 15.0
+
+    def test_reference_step_matches_engine_with_speeds(self):
+        speeds = np.array([1.0, 1.0, 4.0])
+        mk = lambda: SystemState.from_workload(  # noqa: E731
+            np.ones(18),
+            single_source_placement(18, 3),
+            3,
+            AboveAverageThreshold(0.2),
+            speeds=speeds,
+        )
+        proto = UserControlledProtocol()
+        s_engine, s_ref = mk(), mk()
+        rng_a, rng_b = (np.random.default_rng(5) for _ in range(2))
+        for _ in range(5):
+            proto.step(s_engine, rng_a)
+            reference_user_step(s_ref, 1.0, rng_b)
+        assert np.array_equal(s_engine.resource, s_ref.resource)
+        assert np.array_equal(s_engine.seq, s_ref.seq)
+
+
+class TestProportionalThresholdsReimplementation:
+    def test_formula_unchanged(self):
+        pol = ProportionalThresholds(speeds=(1.0, 3.0), eps=0.0)
+        t = pol.compute(8.0, 2, 1.0)
+        assert t[0] == pytest.approx(8.0 * 0.25 + 1.0)
+        assert t[1] == pytest.approx(8.0 * 0.75 + 1.0)
+
+    def test_speeds_array_cached(self):
+        pol = ProportionalThresholds(speeds=(1.0, 2.0))
+        assert pol._speeds_arr is pol._speeds_arr
+        assert pol._speeds_arr.dtype == np.float64
+        # frozen dataclass equality/hashing ignores the cache
+        assert pol == ProportionalThresholds(speeds=(1.0, 2.0))
+        assert hash(pol) == hash(ProportionalThresholds(speeds=(1.0, 2.0)))
+
+    def test_rejects_first_class_speeds_combination(self):
+        pol = ProportionalThresholds(speeds=(1.0, 2.0))
+        with pytest.raises(ValueError, match="double-count"):
+            pol.compute_for(np.ones(4), 2, speeds=np.array([1.0, 2.0]))
+        with pytest.raises(ValueError, match="double-count"):
+            SystemState.from_workload(
+                np.ones(4),
+                single_source_placement(4, 2),
+                2,
+                pol,
+                speeds=np.array([1.0, 2.0]),
+            )

@@ -31,6 +31,20 @@ class TestRunCommand:
         assert "legend:" in text          # the ASCII chart rendered
         assert "wmax=" in text
 
+    def test_run_speed_ablation_quick(self, capsys, tmp_path):
+        out = tmp_path / "speeds.csv"
+        rc = main([
+            "run", "speed_ablation", "--quick", "--trials", "2",
+            "--backend", "batched", "--out", str(out),
+        ])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "speed ablation" in text
+        assert "mean_makespan" in text
+        assert "legend:" in text  # the makespan-vs-skew chart rendered
+        header = out.read_text().splitlines()[0]
+        assert "topology" in header and "mean_makespan" in header
+
     def test_run_progress_lines(self, capsys):
         rc = main([
             "run", "lower_bound", "--quick", "--trials", "2", "--progress",
@@ -82,6 +96,32 @@ class TestSweepCommand:
         assert "mean_rounds" in text
         header = out.read_text().splitlines()[0]
         assert header.startswith("eps,")
+
+    def test_sweep_speeds_flag(self, capsys):
+        rc = main([
+            "sweep", "--protocol", "user", "--n", "12", "--m", "48",
+            "--speeds", "two_class:1:4:3", "--axis", "eps=0.1,0.3",
+            "--trials", "2", "--backend", "batched",
+        ])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "speeds=two_class(slow=1, fast=4, k=3)" in text
+
+    def test_sweep_speeds_axis_grid(self, capsys):
+        rc = main([
+            "sweep", "--n", "10", "--m", "40",
+            "--axis", "speeds=unit,two_class:1:4:2", "--trials", "2",
+        ])
+        assert rc == 0
+        assert "axis speeds:" in capsys.readouterr().out
+
+    def test_sweep_bad_speeds_spec(self, capsys):
+        with pytest.raises(SystemExit):
+            main([
+                "sweep", "--n", "10", "--m", "20",
+                "--speeds", "warp:9", "--axis", "m=10,20", "--trials", "2",
+            ])
+        assert "unknown speed distribution" in capsys.readouterr().err
 
     def test_sweep_resource_protocol_graph_spec(self, capsys):
         rc = main([

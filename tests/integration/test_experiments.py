@@ -125,7 +125,7 @@ class TestRegistry:
         assert set(EXPERIMENTS) == {
             "figure1", "figure2", "table1", "resource_above",
             "resource_tight", "lower_bound", "alpha_ablation", "drift_check",
-            "arrival_order", "tight_scaling",
+            "arrival_order", "tight_scaling", "speed_ablation",
         }
 
     def test_every_config_has_quick(self):

@@ -1,0 +1,125 @@
+"""Unit tests for the resource speed distributions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    ExplicitSpeeds,
+    ParetoSpeeds,
+    TwoClassSpeeds,
+    UniformSpeeds,
+    normalize_min_speed,
+    speed_stats,
+)
+
+
+class TestUniformSpeeds:
+    def test_constant_and_no_rng_draws(self):
+        rng = np.random.default_rng(0)
+        before = rng.bit_generator.state
+        s = UniformSpeeds(2.0).sample(5, rng)
+        assert np.array_equal(s, np.full(5, 2.0))
+        assert rng.bit_generator.state == before  # consumed nothing
+
+    def test_default_is_unit(self):
+        s = UniformSpeeds().sample(3, np.random.default_rng(0))
+        assert np.array_equal(s, np.ones(3))
+
+    def test_rejects_sub_unit_speed(self):
+        with pytest.raises(ValueError):
+            UniformSpeeds(0.5)
+
+    def test_describe(self):
+        assert UniformSpeeds(2.0).describe() == "uniform(s=2)"
+
+
+class TestTwoClassSpeeds:
+    def test_fast_machines_occupy_last_indices(self):
+        s = TwoClassSpeeds(slow=1.0, fast=4.0, fast_count=2).sample(
+            6, np.random.default_rng(0)
+        )
+        assert np.array_equal(s, [1.0, 1.0, 1.0, 1.0, 4.0, 4.0])
+
+    def test_no_rng_draws(self):
+        rng = np.random.default_rng(3)
+        before = rng.bit_generator.state
+        TwoClassSpeeds(fast=8.0, fast_count=1).sample(4, rng)
+        assert rng.bit_generator.state == before
+
+    def test_skew_one_is_homogeneous(self):
+        s = TwoClassSpeeds(slow=1.0, fast=1.0, fast_count=3).sample(
+            5, np.random.default_rng(0)
+        )
+        assert np.array_equal(s, np.ones(5))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TwoClassSpeeds(slow=0.5)
+        with pytest.raises(ValueError):
+            TwoClassSpeeds(slow=2.0, fast=1.0)
+        with pytest.raises(ValueError):
+            TwoClassSpeeds(fast_count=-1)
+        with pytest.raises(ValueError):
+            TwoClassSpeeds(fast_count=5).sample(3, np.random.default_rng(0))
+
+    def test_describe(self):
+        d = TwoClassSpeeds(slow=1.0, fast=4.0, fast_count=8).describe()
+        assert d == "two_class(slow=1, fast=4, k=8)"
+
+
+class TestParetoSpeeds:
+    def test_minimum_one_and_cap(self):
+        s = ParetoSpeeds(alpha=2.5, cap=6.0).sample(
+            500, np.random.default_rng(0)
+        )
+        assert s.min() >= 1.0
+        assert s.max() <= 6.0
+
+    def test_deterministic_given_rng(self):
+        a = ParetoSpeeds(alpha=2.0).sample(10, np.random.default_rng(7))
+        b = ParetoSpeeds(alpha=2.0).sample(10, np.random.default_rng(7))
+        assert np.array_equal(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ParetoSpeeds(alpha=0.0)
+        with pytest.raises(ValueError):
+            ParetoSpeeds(cap=0.5)
+
+
+class TestExplicitSpeeds:
+    def test_exact_vector(self):
+        s = ExplicitSpeeds((1.0, 2.0, 4.0)).sample(
+            3, np.random.default_rng(0)
+        )
+        assert np.array_equal(s, [1.0, 2.0, 4.0])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            ExplicitSpeeds((1.0, 2.0)).sample(3, np.random.default_rng(0))
+
+    def test_sub_unit_rejected(self):
+        with pytest.raises(ValueError):
+            ExplicitSpeeds((0.5, 1.0))
+
+
+def test_normalize_min_speed():
+    s = normalize_min_speed(np.array([2.0, 4.0, 8.0]))
+    assert np.array_equal(s, [1.0, 2.0, 4.0])
+    with pytest.raises(ValueError):
+        normalize_min_speed(np.array([0.0, 1.0]))
+    assert normalize_min_speed(np.empty(0)).shape == (0,)
+
+
+def test_speed_stats():
+    stats = speed_stats(np.array([1.0, 1.0, 4.0]))
+    assert stats["S"] == 6.0
+    assert stats["smin"] == 1.0
+    assert stats["smax"] == 4.0
+    assert stats["skew"] == 4.0
+    with pytest.raises(ValueError):
+        speed_stats(np.empty(0))
+    with pytest.raises(ValueError):
+        speed_stats(np.array([-1.0]))
