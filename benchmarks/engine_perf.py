@@ -38,6 +38,13 @@ Three groups of measurements:
   (it silently looped the dense path per trial);
   ``summary.hybrid_batched_speedup`` (time-weighted over the group)
   tracks the recovered gap.
+* ``e_dynamics`` — the online regime: Poisson arrival streams with
+  exponential lifetimes on the complete graph (user-controlled) and a
+  torus (resource-controlled), serial vs batched.  Dynamic batched
+  trials pay per-round population bookkeeping (departure scans,
+  parking-column merges, per-trial live masks), so
+  ``summary.dynamics_batched_speedup`` tracks how much of the static
+  cross-trial win survives the stream.
 * ``study_api`` — the same E1 points executed through the declarative
   Scenario/Study layer vs hand-rolled ``run_trials`` calls, batched
   both ways.  ``overhead_frac`` is the Study layer's wall-clock tax;
@@ -50,6 +57,14 @@ Three groups of measurements:
 All sweeps are seeded, and every backend replays identical trials
 (bit-for-bit — see ``tests/properties/test_backend_equivalence.py``),
 so the timed work is the same per backend by construction.
+
+``--check-against BASELINE.json`` turns the harness into a regression
+gate: after timing, every ``*_speedup`` key in the fresh summary is
+compared against the recorded baseline (its ``quick_summary`` block
+when present, else ``summary``) and the process exits non-zero if any
+ratio fell below ``--check-floor`` (default 0.8) times the recorded
+value.  CI runs ``--quick --check-against BENCH_engine.json`` so a PR
+that quietly serialises a batched kernel fails the build.
 """
 
 from __future__ import annotations
@@ -71,6 +86,8 @@ from repro.experiments import (
 from repro.experiments.figure1 import Figure1Config, build_study
 from repro.study import run_study
 from repro.workloads import (
+    ExponentialLifetimes,
+    PoissonDynamics,
     TwoClassSpeeds,
     TwoPointWeights,
     UniformRangeWeights,
@@ -219,6 +236,45 @@ def run_harness(quick: bool = False, seed: int = 2015) -> dict:
                 f"{entry['rounds_per_sec']:>9.1f} rounds/s"
             )
 
+    # ---- online regime: arrival/departure streams stay vectorised -----
+    dynamics_trials = 20 if quick else 100
+    report["e_dynamics"] = []
+    dynamics_totals = {"serial": [0, 0.0], "batched": [0, 0.0]}
+    stream = PoissonDynamics(
+        rate=4.0, horizon=150, lifetimes=ExponentialLifetimes(80.0)
+    )
+    dynamic_setups = [
+        (
+            "dyn-user(complete200)",
+            UserControlledSetup(
+                n=200,
+                m=400,
+                distribution=UniformRangeWeights(1.0, 10.0),
+                dynamics=stream,
+            ),
+        ),
+        (
+            "dyn-resource(torus10x10)",
+            ResourceControlledSetup(
+                graph=torus_graph(10, 10),
+                m=400,
+                distribution=UniformRangeWeights(1.0, 10.0),
+                dynamics=stream,
+            ),
+        ),
+    ]
+    for label, setup in dynamic_setups:
+        for backend in ("serial", "batched"):
+            entry = time_backend(setup, dynamics_trials, seed, backend)
+            entry["label"] = label
+            report["e_dynamics"].append(entry)
+            dynamics_totals[backend][0] += entry["total_rounds"]
+            dynamics_totals[backend][1] += entry["seconds"]
+            print(
+                f"[e_dynamic] {entry['label']:>38} {backend:>8}: "
+                f"{entry['rounds_per_sec']:>9.1f} rounds/s"
+            )
+
     # ---- Study-API overhead vs direct run_trials ----------------------
     # warm the batched kernel and allocator so neither timed path pays
     # first-touch costs (run-to-run noise on one core is ~5%)
@@ -288,6 +344,12 @@ def run_harness(quick: bool = False, seed: int = 2015) -> dict:
     speeds_batched_rps = (
         speeds_totals["batched"][0] / speeds_totals["batched"][1]
     )
+    dynamics_serial_rps = (
+        dynamics_totals["serial"][0] / dynamics_totals["serial"][1]
+    )
+    dynamics_batched_rps = (
+        dynamics_totals["batched"][0] / dynamics_totals["batched"][1]
+    )
     report["summary"] = {
         "e1_trials": e1_trials,
         "serial_rounds_per_sec": round(serial_rps, 1),
@@ -304,6 +366,12 @@ def run_harness(quick: bool = False, seed: int = 2015) -> dict:
         "speeds_batched_rounds_per_sec": round(speeds_batched_rps, 1),
         "speeds_batched_speedup": round(
             speeds_batched_rps / speeds_serial_rps, 2
+        ),
+        "dynamics_trials": dynamics_trials,
+        "dynamics_serial_rounds_per_sec": round(dynamics_serial_rps, 1),
+        "dynamics_batched_rounds_per_sec": round(dynamics_batched_rps, 1),
+        "dynamics_batched_speedup": round(
+            dynamics_batched_rps / dynamics_serial_rps, 2
         ),
     }
     print(
@@ -328,7 +396,54 @@ def run_harness(quick: bool = False, seed: int = 2015) -> dict:
             else ""
         )
     )
+    print(
+        f"[summary  ] dynamics x{dynamics_trials} trials: "
+        f"serial {dynamics_serial_rps:.0f} r/s, "
+        f"batched {dynamics_batched_rps:.0f} r/s "
+        f"-> {dynamics_batched_rps / dynamics_serial_rps:.2f}x"
+    )
     return report
+
+
+def check_against(report: dict, baseline_path: Path, floor: float) -> int:
+    """Gate a fresh report against a recorded baseline's speedups.
+
+    Compares every ``*_speedup`` key the fresh summary shares with the
+    baseline (the baseline's ``quick_summary`` block when present, so a
+    quick CI run is compared against quick-scale numbers).  Returns 0
+    if every fresh speedup is at least ``floor`` times the recorded
+    one, 1 otherwise.
+    """
+    baseline = json.loads(baseline_path.read_text())
+    recorded = baseline.get("quick_summary") or baseline["summary"]
+    fresh = report["summary"]
+    keys = sorted(
+        k
+        for k in recorded
+        if k.endswith("_speedup") and k in fresh
+    )
+    if not keys:
+        print(f"[check    ] no shared *_speedup keys in {baseline_path}")
+        return 1
+    failures = 0
+    for key in keys:
+        want = floor * recorded[key]
+        got = fresh[key]
+        ok = got >= want
+        failures += not ok
+        print(
+            f"[check    ] {key:>28}: {got:.2f}x vs recorded "
+            f"{recorded[key]:.2f}x (floor {want:.2f}x) "
+            f"{'ok' if ok else '** REGRESSION **'}"
+        )
+    if failures:
+        print(
+            f"[check    ] FAIL: {failures}/{len(keys)} speedups fell below "
+            f"{floor:.2f}x of {baseline_path}"
+        )
+        return 1
+    print(f"[check    ] PASS: {len(keys)} speedups within floor")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -344,12 +459,34 @@ def main(argv: list[str] | None = None) -> int:
         help="output JSON path (default: repo root BENCH_engine.json)",
     )
     parser.add_argument("--seed", type=int, default=2015)
+    parser.add_argument(
+        "--check-against",
+        default=None,
+        metavar="BASELINE.json",
+        help=(
+            "after running, compare every *_speedup in the fresh summary "
+            "against this recorded baseline and exit 1 on a regression"
+        ),
+    )
+    parser.add_argument(
+        "--check-floor",
+        type=float,
+        default=0.8,
+        help=(
+            "fraction of each recorded speedup the fresh run must reach "
+            "(default: 0.8)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     report = run_harness(quick=args.quick, seed=args.seed)
     out = Path(args.out)
     out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {out}")
+    if args.check_against is not None:
+        return check_against(
+            report, Path(args.check_against), args.check_floor
+        )
     return 0
 
 

@@ -15,7 +15,12 @@ from .bounds import (
     theorem11_rounds,
     theorem12_rounds,
 )
-from .drift import DriftEstimate, drift_time_bound, estimate_drift, lemma10_delta
+from .drift import (
+    DriftEstimate,
+    drift_time_bound,
+    estimate_drift,
+    lemma10_delta,
+)
 from .phases import (
     PhaseReport,
     analyze_phases,

@@ -56,8 +56,9 @@ def theorem3_success_probability(n: int, c: float = 1.0) -> float:
     return 1.0 - float(n) ** (-c)
 
 
-def theorem7_rounds(hitting_time: float, total_weight: float,
-                    wmin: float = 1.0) -> float:
+def theorem7_rounds(
+    hitting_time: float, total_weight: float, wmin: float = 1.0
+) -> float:
     """Theorem 7's expected balancing time under ``T = W/n + 2 wmax``.
 
     The proof applies the drift theorem with ``delta = 1/4``,
@@ -69,8 +70,9 @@ def theorem7_rounds(hitting_time: float, total_weight: float,
     return 2.0 * hitting_time * (1.0 + np.log(total_weight / wmin)) * 4.0
 
 
-def theorem11_rounds(m: int, eps: float, alpha: float, wmax: float,
-                     wmin: float = 1.0) -> float:
+def theorem11_rounds(
+    m: int, eps: float, alpha: float, wmax: float, wmin: float = 1.0
+) -> float:
     """Theorem 11: ``E[T] = 2 (1+eps)/(alpha eps) * wmax/wmin * log m``
     for the user-controlled protocol, above-average threshold."""
     if m < 2:
@@ -80,8 +82,9 @@ def theorem11_rounds(m: int, eps: float, alpha: float, wmax: float,
     return 2.0 * (1.0 + eps) / (alpha * eps) * (wmax / wmin) * np.log(m)
 
 
-def theorem12_rounds(m: int, n: int, alpha: float, wmax: float,
-                     wmin: float = 1.0) -> float:
+def theorem12_rounds(
+    m: int, n: int, alpha: float, wmax: float, wmin: float = 1.0
+) -> float:
     """Theorem 12: ``E[T] = 2 n/alpha * wmax/wmin * log m`` for the
     user-controlled protocol under the tight threshold ``W/n + wmax``."""
     if m < 2 or n < 1:

@@ -44,7 +44,10 @@ def drift_time_bound(s0: float, smin: float, delta: float) -> float:
 
 
 def lemma10_delta(
-    eps: float, alpha: float | None = None, wmax: float = 1.0, wmin: float = 1.0
+    eps: float,
+    alpha: float | None = None,
+    wmax: float = 1.0,
+    wmin: float = 1.0,
 ) -> float:
     """Lemma 10's per-round expected potential-drop factor.
 

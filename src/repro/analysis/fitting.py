@@ -54,7 +54,10 @@ def _fit(basis: np.ndarray, y: np.ndarray, model: str) -> FitResult:
     ss_tot = float(((y - y.mean()) ** 2).sum())
     r2 = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
     return FitResult(
-        slope=float(slope), intercept=float(intercept), r_squared=r2, model=model
+        slope=float(slope),
+        intercept=float(intercept),
+        r_squared=r2,
+        model=model,
     )
 
 

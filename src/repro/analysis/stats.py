@@ -47,12 +47,14 @@ def mean_confidence_interval(
         raise ValueError("confidence must be in (0, 1)")
     mean = float(v.mean())
     if v.size == 1:
-        return MeanCI(mean=mean, halfwidth=float("inf"),
-                      confidence=confidence, n=1)
+        return MeanCI(
+            mean=mean, halfwidth=float("inf"), confidence=confidence, n=1
+        )
     sem = float(v.std(ddof=1) / np.sqrt(v.size))
     tq = float(_sps.t.ppf(0.5 + confidence / 2.0, df=v.size - 1))
-    return MeanCI(mean=mean, halfwidth=tq * sem, confidence=confidence,
-                  n=int(v.size))
+    return MeanCI(
+        mean=mean, halfwidth=tq * sem, confidence=confidence, n=int(v.size)
+    )
 
 
 def bootstrap_mean_ci(

@@ -109,10 +109,12 @@ def summarize_trajectory(result: RunResult) -> TrajectorySummary:
     Requires the run to have been simulated with ``record_traces=True``.
     """
     if result.potential_trace is None or result.overloaded_trace is None:
-        raise ValueError(
-            "run has no traces; simulate with record_traces=True"
-        )
-    initial = float(result.potential_trace[0]) if result.potential_trace.size else 0.0
+        raise ValueError("run has no traces; simulate with record_traces=True")
+    initial = (
+        float(result.potential_trace[0])
+        if result.potential_trace.size
+        else 0.0
+    )
     return TrajectorySummary(
         rounds=result.rounds,
         balanced=result.balanced,

@@ -32,6 +32,7 @@ from .study import (
     Study,
     Sweep,
     parse_axis_values,
+    parse_dynamics,
     parse_graph,
     parse_speeds,
     parse_weights,
@@ -117,7 +118,9 @@ def build_parser() -> argparse.ArgumentParser:
             "specs (complete:64, torus:8x8, expander:64:3); weight "
             "distributions use kind:args (unit, two_point:1:50:5, "
             "pareto:2.5); resource speeds use kind:args too "
-            "(two_class:1:4:8, pareto:2.5, explicit:1:2:4)."
+            "(two_class:1:4:8, pareto:2.5, explicit:1:2:4); dynamics "
+            "use poisson:RATE:HORIZON with an optional :LIFETIME tail "
+            "(poisson:2:200:50, or 'none' for the one-shot model)."
         ),
     )
     swp.add_argument(
@@ -145,6 +148,14 @@ def build_parser() -> argparse.ArgumentParser:
             "resource speed distribution spec for heterogeneous "
             "machines, e.g. two_class:1:4:8 or pareto:2.5 "
             "(default: homogeneous)"
+        ),
+    )
+    swp.add_argument(
+        "--dynamics", type=str, default=None,
+        help=(
+            "arrival/departure stream spec for the online regime, "
+            "e.g. poisson:2:200 or poisson:2:200:50 "
+            "(default: one-shot model)"
         ),
     )
     swp.add_argument(
@@ -264,6 +275,9 @@ def _build_sweep_study(args, parser: argparse.ArgumentParser) -> Study:
             m=args.m,
             weights=parse_weights(args.weights),
             speeds=parse_speeds(args.speeds) if args.speeds else None,
+            dynamics=(
+                parse_dynamics(args.dynamics) if args.dynamics else None
+            ),
             threshold=args.threshold,
             placement=args.placement,
             arrival_order=args.arrival_order,

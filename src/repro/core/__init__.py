@@ -24,7 +24,13 @@ from .batch import (
     BatchState,
     BatchStepStats,
 )
-from .metrics import TrialSummary, normalized_balancing_time, summarize_runs
+from .metrics import (
+    DynamicSummary,
+    TrialSummary,
+    normalized_balancing_time,
+    summarize_dynamics,
+    summarize_runs,
+)
 from .potential import (
     active_count,
     active_weight,
@@ -71,6 +77,7 @@ __all__ = [
     "BatchStepStats",
     "BatchedBackend",
     "DenseBackend",
+    "DynamicSummary",
     "FixedThreshold",
     "HybridProtocol",
     "ProcessBackend",
@@ -104,6 +111,7 @@ __all__ = [
     "run_trial_summary",
     "run_trials",
     "simulate",
+    "summarize_dynamics",
     "summarize_runs",
     "theorem11_alpha",
     "theorem12_alpha",

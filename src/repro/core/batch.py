@@ -45,6 +45,22 @@ compares against, so chunks with heterogeneous (or mixed
 uniform/heterogeneous) speed vectors vectorise exactly like uniform
 ones and need no signature change.
 
+Dynamic (online-regime) chunks — trials whose states carry a compiled
+:class:`~repro.workloads.dynamics.DynamicsSchedule` — vectorise too.
+The batch allocates one *slot* per task that will ever exist (initial
+population plus the largest per-trial arrival count) and one extra
+*parking column* per trial (local resource index ``n``, stride
+``n + 1``): unborn and departed slots sit in the parking column with
+weight ``0.0`` and an infinite bound, so they never overload, never
+move, contribute exactly ``0.0`` to every load bin they never touch,
+and sort to the end of their trial's stack segment.  Each round first
+applies the schedule's departures and arrivals through the same
+order-merge the protocol movers use (disjoint destination keys, so one
+merge call equals the dense remove-then-add), then steps the kernels
+unchanged — every per-trial reduction sees exactly the dense operand
+lengths, which preserves the bit-for-bit contract.  Static chunks have
+``stride == n`` and zero parked slots, so their arithmetic is untouched.
+
 Protocols opt into vectorisation by overriding
 :meth:`~repro.core.protocols.base.Protocol.step_batch` to accept a
 :class:`BatchState` (``UserControlledProtocol``,
@@ -52,18 +68,18 @@ Protocols opt into vectorisation by overriding
 hybrid draws each trial's round-type coin from that trial's own
 generator and routes the rows through the component kernels, see
 :func:`hybrid_step_batch`).  Everything else — third-party subclasses,
-mixed-signature chunks, ragged shapes — falls back to the base
-implementation, which loops over ``step()`` per trial; the first
-fallback of each kind emits a one-shot :class:`BatchFallbackWarning`
-naming the reason, so losing the vectorised path is visible instead of
-a silent perf cliff.
+mixed-signature chunks, ragged shapes, chunks mixing dynamic and
+one-shot trials — falls back to the base implementation, which loops
+over ``step()`` per trial; the first fallback of each kind (per
+``run_trials`` call) emits a :class:`BatchFallbackWarning` naming the
+reason, so losing the vectorised path is visible instead of a silent
+perf cliff.
 """
 
 from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass
-from typing import ClassVar
 
 import numpy as np
 
@@ -86,7 +102,7 @@ class BatchFallbackWarning(RuntimeWarning):
 
     Results are unaffected (the fallback replays the dense semantics
     exactly), but the chunk loses cross-trial vectorisation.  Emitted
-    once per distinct reason per process by
+    once per distinct reason per ``run_trials`` call by
     :meth:`BatchedBackend._vectorizable`.
     """
 
@@ -132,19 +148,28 @@ def _segmented_arange(lengths: np.ndarray) -> np.ndarray:
 class BatchState:
     """Stacked mutable state of ``A`` homogeneous live trials.
 
-    All trials share ``n`` resources and ``m`` tasks; per-task arrays
-    are ``(A, m)``, per-resource arrays ``(A, n)``.  Task placement is
-    stored as *keys* ``trial * n + resource`` so one flat ``bincount``
-    aggregates every trial at once, and the stack order is one flat
-    permutation ``order`` of absolute task slots (``trial * m + task``)
-    whose ``A`` contiguous segments each sort one trial by
-    ``(resource, stack height)``.
+    All trials share ``n`` resources and ``m`` task *slots*; per-task
+    arrays are ``(A, m)``, per-resource arrays ``(A, n)``.  Task
+    placement is stored as *keys* ``trial * stride + resource`` so one
+    flat ``bincount`` aggregates every trial at once, and the stack
+    order is one flat permutation ``order`` of absolute task slots
+    (``trial * m + task``) whose ``A`` contiguous segments each sort one
+    trial by ``(resource, stack height)``.
+
+    Static (one-shot) chunks have ``stride == n`` and every slot live —
+    exactly the pre-dynamics layout.  Dynamic chunks (all states carry a
+    compiled schedule) get ``stride == n + 1``: local resource index
+    ``n`` is the *parking column* holding unborn and departed slots at
+    weight ``0.0`` under an infinite bound.  Slot ``m0 + j`` of a trial
+    is permanently assigned to that trial's ``j``-th scheduled arrival,
+    so live slots in ascending slot order always correspond one-to-one
+    to the dense engine's task order.
     """
 
     def __init__(self, states: list[SystemState]) -> None:
         first = states[0]
-        n, m = first.n, first.m
-        if any(s.n != n or s.m != m for s in states):
+        n, m0 = first.n, first.m
+        if any(s.n != n or s.m != m0 for s in states):
             raise ValueError(
                 "BatchState requires homogeneous trials (same n and m); "
                 "use the serial or process backend for ragged sweeps"
@@ -153,14 +178,61 @@ class BatchState:
         # per-trial state, not protocol configuration, so the chunk
         # stays vectorised — ``cap``/``bound`` below absorb them.
         A = len(states)
+        scheds = [s.dynamics for s in states]
+        self.dynamic = scheds[0] is not None
+        if any((sc is not None) != self.dynamic for sc in scheds):
+            raise ValueError(
+                "BatchState requires all-dynamic or all-static trials; "
+                "mixed chunks must fall back to dense stepping"
+            )
+        if self.dynamic:
+            m = m0 + max(sc.total_arrivals for sc in scheds)
+            stride = n + 1
+        else:
+            m = m0
+            stride = n
         self.n, self.m, self.A = n, m, A
-        self.w_task = np.stack([s.weights for s in states])
-        resource = np.stack([s.resource for s in states])
-        seq = np.stack([s.seq for s in states])
-        self.key_task = resource + (np.arange(A, dtype=np.int64) * n)[:, None]
+        self.m0 = m0
+        self.stride = stride
+        trial_base = (np.arange(A, dtype=np.int64) * stride)[:, None]
+        if self.dynamic:
+            self.w_task = np.zeros((A, m))
+            self.w_task[:, :m0] = np.stack([s.weights for s in states])
+            key_local = np.full((A, m), n, dtype=np.int64)
+            key_local[:, :m0] = np.stack([s.resource for s in states])
+            self.key_task = key_local + trial_base
+            seq = np.empty((A, m), dtype=np.int64)
+            seq0 = np.stack([s.seq for s in states])
+            seq[:, :m0] = seq0
+            # parked slots carry the largest keys so they sort after
+            # every live task; fresh ascending seqs keep their relative
+            # order deterministic (ascending slot index)
+            base = int(seq0.max()) + 1 if m0 else 0
+            seq[:, m0:] = base + np.arange(m - m0, dtype=np.int64)
+            # Per-slot departure rounds can be pre-filled: a slot's
+            # departure strictly follows its arrival (lifetimes >= 1),
+            # so a parked slot never matches the current round.
+            self.depart_slot = np.zeros((A, m), dtype=np.int64)
+            self.depart_slot[:, :m0] = np.stack(
+                [sc.initial_depart for sc in scheds]
+            )
+            for row, sc in enumerate(scheds):
+                k = sc.total_arrivals
+                self.depart_slot[row, m0 : m0 + k] = sc.arrive_depart
+            self.live_mask = np.zeros((A, m), dtype=bool)
+            self.live_mask[:, :m0] = True
+            self.m_live = np.full(A, m0, dtype=np.int64)
+        else:
+            self.w_task = np.stack([s.weights for s in states])
+            resource = np.stack([s.resource for s in states])
+            seq = np.stack([s.seq for s in states])
+            self.key_task = resource + trial_base
+            self.depart_slot = None
+            self.live_mask = None
+            self.m_live = None
         self.counts = np.bincount(
-            self.key_task.ravel(), minlength=A * n
-        ).reshape(A, n)
+            self.key_task.ravel(), minlength=A * stride
+        ).reshape(A, stride)
         # One full sort at construction; every later round merges instead.
         self.order = np.lexsort((seq.ravel(), self.key_task.ravel()))
         self.t_res = np.stack([s.threshold_vector() for s in states])
@@ -181,7 +253,14 @@ class BatchState:
             self.speeds = None
             self.cap = self.t_res
         self.atol = np.array([s.atol for s in states])
-        self.bound = self.cap + self.atol[:, None]
+        if self.dynamic:
+            # the parking column never overloads and never terminates a
+            # trial: give it an infinite bound
+            self.bound = np.empty((A, stride))
+            self.bound[:, :n] = self.cap + self.atol[:, None]
+            self.bound[:, n] = np.inf
+        else:
+            self.bound = self.cap + self.atol[:, None]
         self.wmax = self.w_task.max(axis=1) if m else np.zeros(A)
         self.thresholds = [s.threshold for s in states]
         #: When False, kernels may skip the stats reductions that only
@@ -190,17 +269,18 @@ class BatchState:
         self._scratch_arange = np.arange(A * m, dtype=np.int64)
         self._scratch_keep = np.ones(A * m, dtype=bool)
         self._scratch_u = np.empty((A, m))
-        self._scratch_indptr = np.zeros((A, n + 1), dtype=np.int64)
+        self._scratch_indptr = np.zeros((A, stride + 1), dtype=np.int64)
 
     # ------------------------------------------------------------------
     def fresh_loads(self) -> np.ndarray:
-        """Load matrix ``(A, n)`` recomputed exactly like the dense
-        partition (one weighted ``bincount`` in task-index order)."""
+        """Load matrix ``(A, stride)`` recomputed exactly like the dense
+        partition (one weighted ``bincount`` in task-index order; the
+        dynamic parking column only ever accumulates zeros)."""
         return np.bincount(
             self.key_task.ravel(),
             weights=self.w_task.ravel(),
-            minlength=self.A * self.n,
-        ).reshape(self.A, self.n)
+            minlength=self.A * self.stride,
+        ).reshape(self.A, self.stride)
 
     def balanced_mask(self, loads: np.ndarray) -> np.ndarray:
         """Per-trial termination predicate on a load matrix."""
@@ -215,7 +295,10 @@ class BatchState:
         return w_s, cum
 
     def indptr(self) -> np.ndarray:
-        """Per-trial CSR pointers into the stack order, ``(A, n + 1)``."""
+        """Per-trial CSR pointers into the stack order,
+        ``(A, stride + 1)``.  The parking column is last, so the
+        pointers of the real resources are unaffected by parked slots.
+        """
         out = self._scratch_indptr
         np.cumsum(self.counts, axis=1, out=out[:, 1:])
         return out
@@ -250,31 +333,51 @@ class BatchState:
             Pre-move load matrix; returns the post-move matrix via the
             same two-``bincount`` delta as the dense protocols.
         """
-        A, n, m = self.A, self.n, self.m
+        A, stride, m = self.A, self.stride, self.m
         key_flat = self.key_task.ravel()
-        w_flat = self.w_task.ravel()
         key_old = key_flat[mov_abs]
         trial = mov_abs // m
-        key_new = trial * n + dest
-        w_mov = w_flat[mov_abs]
-
-        key_flat[mov_abs] = key_new
-        self.counts += (
-            np.bincount(key_new, minlength=A * n)
-            - np.bincount(key_old, minlength=A * n)
-        ).reshape(A, n)
+        key_new = trial * stride + dest
+        w_mov = self.w_task.ravel()[mov_abs]
 
         loads_after = (
             loads
-            - np.bincount(key_old, weights=w_mov, minlength=A * n).reshape(
-                A, n
-            )
-            + np.bincount(key_new, weights=w_mov, minlength=A * n).reshape(
-                A, n
-            )
+            - np.bincount(
+                key_old, weights=w_mov, minlength=A * stride
+            ).reshape(A, stride)
+            + np.bincount(
+                key_new, weights=w_mov, minlength=A * stride
+            ).reshape(A, stride)
         )
+        self._merge_movers(mov_abs, mov_pos, key_new, arrival)
+        return loads_after
 
-        # --- merge the movers back into the maintained stack order ---
+    def _merge_movers(
+        self,
+        mov_abs: np.ndarray,
+        mov_pos: np.ndarray,
+        key_new: np.ndarray,
+        arrival: np.ndarray,
+    ) -> None:
+        """Re-key movers and splice them back into the stack order.
+
+        Shared by :meth:`apply_moves` (protocol migrations) and
+        :meth:`apply_population_events` (dynamic arrivals/departures):
+        update ``key_task`` and ``counts``, delete the movers from the
+        maintained order and re-insert each after the last survivor of
+        its destination stack, ordered among themselves by ``arrival``
+        rank within equal keys.
+        """
+        A, m = self.A, self.m
+        stride = self.stride
+        key_flat = self.key_task.ravel()
+        key_old = key_flat[mov_abs]
+        key_flat[mov_abs] = key_new
+        self.counts += (
+            np.bincount(key_new, minlength=A * stride)
+            - np.bincount(key_old, minlength=A * stride)
+        ).reshape(A, stride)
+
         keep = self._scratch_keep
         keep[mov_pos] = False
         stay = self.order[keep]
@@ -284,7 +387,7 @@ class BatchState:
         # Movers stack on top of their destination in arrival order:
         # sort them by (destination key, arrival rank) and insert each
         # after every surviving task with the same key.  Arrival ranks
-        # are < m, so one fused integer key replaces a two-key lexsort.
+        # are <= m, so one fused integer key replaces a two-key lexsort.
         mov_sort = np.argsort(key_new * np.int64(m + 1) + arrival)
         n_mov = mov_sort.shape[0]
         n_stay = stay.shape[0]
@@ -297,7 +400,63 @@ class BatchState:
         merged[self._scratch_arange[:n_stay] + shift] = stay
         merged[ins + self._scratch_arange[:n_mov]] = mov_abs[mov_sort]
         self.order = merged
-        return loads_after
+
+    # ------------------------------------------------------------------
+    def apply_population_events(
+        self,
+        dep_abs: np.ndarray,
+        arr_abs: np.ndarray,
+        arr_place: np.ndarray,
+        arr_weight: np.ndarray,
+    ) -> np.ndarray:
+        """Apply one round's departures and arrivals (dynamic mode).
+
+        ``dep_abs`` / ``arr_abs`` are absolute slots (``trial * m +
+        slot``), each ascending (trial-major) like the dense engine's
+        remove-then-add order.  Departures move to the parking column
+        with their weight zeroed; arrivals move from parking onto
+        ``arr_place`` with ``arr_weight`` set.  Destination keys of the
+        two groups are disjoint, so a single order-merge reproduces the
+        dense sequential remove-then-add exactly.  Returns the boolean
+        per-row mask of trials whose population changed.
+        """
+        A, m = self.A, self.m
+        w_flat = self.w_task.ravel()
+        dep_trial = dep_abs // m
+        arr_trial = arr_abs // m
+        # weights change before the merge: parked slots must weigh 0.0
+        w_flat[dep_abs] = 0.0
+        w_flat[arr_abs] = arr_weight
+
+        inv = np.empty(A * m, dtype=np.int64)
+        inv[self.order] = self._scratch_arange[: A * m]
+        mov_abs = np.concatenate([dep_abs, arr_abs])
+        mov_pos = inv[mov_abs]
+        key_new = np.concatenate(
+            [
+                dep_trial * self.stride + self.n,
+                arr_trial * self.stride + arr_place,
+            ]
+        )
+        dep_counts = np.bincount(dep_trial, minlength=A)
+        arr_counts = np.bincount(arr_trial, minlength=A)
+        arrival = np.concatenate(
+            [_segmented_arange(dep_counts), _segmented_arange(arr_counts)]
+        )
+        self._merge_movers(mov_abs, mov_pos, key_new, arrival)
+
+        lm = self.live_mask.ravel()
+        lm[dep_abs] = False
+        lm[arr_abs] = True
+        self.m_live += arr_counts - dep_counts
+        # the dense engine re-reads state.wmax every step; population
+        # changes are the only thing that can alter it (parked weights
+        # are 0.0, so the slot-wide max equals the live max)
+        self.wmax = self.w_task.max(axis=1)
+        changed = np.zeros(A, dtype=bool)
+        changed[dep_trial] = True
+        changed[arr_trial] = True
+        return changed
 
     # ------------------------------------------------------------------
     def _rebase_rows_onto(
@@ -310,15 +469,27 @@ class BatchState:
         per-trial field is re-based in exactly one place.
         """
         shift = rows - np.arange(rows.shape[0], dtype=np.int64)
+        target.stride = self.stride
+        target.dynamic = self.dynamic
         target.w_task = np.ascontiguousarray(self.w_task[rows])
         target.key_task = np.ascontiguousarray(
-            self.key_task[rows] - (shift * self.n)[:, None]
+            self.key_task[rows] - (shift * self.stride)[:, None]
         )
         target.counts = np.ascontiguousarray(self.counts[rows])
         target.order = (
             self.order.reshape(self.A, self.m)[rows]
             - (shift * self.m)[:, None]
         ).ravel()
+        if self.dynamic:
+            target.live_mask = np.ascontiguousarray(self.live_mask[rows])
+            target.m_live = self.m_live[rows]
+            target.depart_slot = np.ascontiguousarray(
+                self.depart_slot[rows]
+            )
+        else:
+            target.live_mask = None
+            target.m_live = None
+            target.depart_slot = None
         target.t_res = np.ascontiguousarray(self.t_res[rows])
         if self.speeds is None:
             target.speeds = None
@@ -369,6 +540,7 @@ class BatchState:
         """
         sub = BatchState.__new__(BatchState)
         sub.n, sub.m = self.n, self.m
+        sub.m0 = self.m0
         self._rebase_rows_onto(sub, rows)
         sub.record_stats = self.record_stats
         k = sub.A
@@ -387,7 +559,7 @@ class BatchState:
         during a round.
         """
         shift = rows - np.arange(rows.shape[0], dtype=np.int64)
-        self.key_task[rows] = sub.key_task + (shift * self.n)[:, None]
+        self.key_task[rows] = sub.key_task + (shift * self.stride)[:, None]
         self.counts[rows] = sub.counts
         self.order.reshape(self.A, self.m)[rows] = sub.order.reshape(
             sub.A, self.m
@@ -416,19 +588,20 @@ class BatchedBackend(SimulationBackend):
     mixed-configuration chunks, ragged sweeps) transparently degrades
     to the base-class ``step_batch``, which loops the dense ``step()``
     per trial — same results, no cross-trial vectorisation — and emits
-    a one-shot :class:`BatchFallbackWarning` naming the reason.
+    a :class:`BatchFallbackWarning` naming the reason, once per reason
+    per ``run_trials`` call (so a fallback in one study never silences
+    the warning for a later study in the same process).
     """
 
     name = "batched"
-
-    #: Fallback reasons already warned about in this process (one-shot
-    #: per reason, shared by all instances; tests may clear it).
-    _warned_fallbacks: ClassVar[set[str]] = set()
 
     def __init__(self, max_batch: int | None = None) -> None:
         if max_batch is not None and max_batch <= 0:
             raise ValueError("max_batch must be positive")
         self.max_batch = max_batch
+        #: Fallback reasons already warned about in the current
+        #: ``run_trials`` call (reset at each entry).
+        self._warned_fallbacks: set[str] = set()
 
     # ------------------------------------------------------------------
     def run_trials(
@@ -438,6 +611,7 @@ class BatchedBackend(SimulationBackend):
         max_rounds: int = 100_000,
         record_traces: bool = False,
     ) -> list[RunResult]:
+        self._warned_fallbacks = set()  # fresh one-shot latch per call
         results: list[RunResult | None] = [None] * len(seed_seqs)
         protocols: list[Protocol] = []
         states: list[SystemState] = []
@@ -486,6 +660,10 @@ class BatchedBackend(SimulationBackend):
         for protocol, state in zip(protocols, states):
             protocol.validate_state(state)
         if self._vectorizable(protocols, states):
+            if states[0].dynamics is not None:
+                return self._run_vectorized_dynamic(
+                    protocols, states, rngs, max_rounds, record_traces
+                )
             return self._run_vectorized(
                 protocols, states, rngs, max_rounds, record_traces
             )
@@ -493,12 +671,11 @@ class BatchedBackend(SimulationBackend):
             protocols, states, rngs, max_rounds, record_traces
         )
 
-    @classmethod
-    def _warn_fallback(cls, reason: str, detail: str) -> None:
-        """One-shot (per reason, per process) fallback diagnostic."""
-        if reason in cls._warned_fallbacks:
+    def _warn_fallback(self, reason: str, detail: str) -> None:
+        """One-shot (per reason, per ``run_trials`` call) diagnostic."""
+        if reason in self._warned_fallbacks:
             return
-        cls._warned_fallbacks.add(reason)
+        self._warned_fallbacks.add(reason)
         warnings.warn(
             f"batched backend fell back to per-trial dense stepping: "
             f"{detail} — results are identical, but the chunk loses "
@@ -507,13 +684,12 @@ class BatchedBackend(SimulationBackend):
             stacklevel=4,
         )
 
-    @classmethod
     def _vectorizable(
-        cls, protocols: list[Protocol], states: list[SystemState]
+        self, protocols: list[Protocol], states: list[SystemState]
     ) -> bool:
         lead = protocols[0]
         if type(lead).step_batch is Protocol.step_batch:
-            cls._warn_fallback(
+            self._warn_fallback(
                 "non-batch-protocol",
                 f"protocol {type(lead).__name__!r} does not override "
                 "step_batch",
@@ -521,7 +697,7 @@ class BatchedBackend(SimulationBackend):
             return False
         signature = lead.batch_signature()
         if signature is None:
-            cls._warn_fallback(
+            self._warn_fallback(
                 "no-signature",
                 f"protocol {type(lead).__name__!r} opted out via "
                 "batch_signature() = None",
@@ -531,7 +707,7 @@ class BatchedBackend(SimulationBackend):
             type(p) is not type(lead) or p.batch_signature() != signature
             for p in protocols[1:]
         ):
-            cls._warn_fallback(
+            self._warn_fallback(
                 "mixed-signatures",
                 "trials in the chunk mix protocol types or "
                 "configurations (batch signatures differ)",
@@ -539,10 +715,17 @@ class BatchedBackend(SimulationBackend):
             return False
         n, m = states[0].n, states[0].m
         if m == 0 or any(s.n != n or s.m != m for s in states):
-            cls._warn_fallback(
+            self._warn_fallback(
                 "heterogeneous-shapes",
                 "trials in the chunk disagree on (n, m) or have no "
                 "tasks",
+            )
+            return False
+        dynamic = states[0].dynamics is not None
+        if any((s.dynamics is not None) != dynamic for s in states):
+            self._warn_fallback(
+                "mixed-dynamics",
+                "trials in the chunk mix dynamic and one-shot setups",
             )
             return False
         return True
@@ -557,7 +740,7 @@ class BatchedBackend(SimulationBackend):
         record_traces: bool,
     ) -> list[RunResult]:
         B = len(states)
-        protocol = protocols[0]  # signature-checked interchangeable for stepping
+        protocol = protocols[0]  # signature-checked interchangeable
         # ... but names may differ cosmetically (e.g. per-trial graph
         # names), so report each trial under its own.
         names = [p.name for p in protocols]
@@ -642,6 +825,207 @@ class BatchedBackend(SimulationBackend):
 
         if live.size:  # round budget exhausted: censored, like the dense path
             finish(np.arange(live.size), loads, balanced=False)
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    def _run_vectorized_dynamic(
+        self,
+        protocols: list[Protocol],
+        states: list[SystemState],
+        rngs: list[np.random.Generator],
+        max_rounds: int,
+        record_traces: bool,
+    ) -> list[RunResult]:
+        """The online-regime twin of :meth:`_run_vectorized`.
+
+        Mirrors ``simulator._simulate_dynamic`` in lockstep across the
+        chunk: each round applies the schedules' departures/arrivals to
+        the batch (parking-column slot moves), re-evaluates per-trial
+        thresholds where the population changed, steps the shared
+        kernel, then records the online time series and retires trials
+        whose schedule is exhausted and whose loads are in bound.  All
+        per-trial arithmetic matches the dense loop operation for
+        operation, so results are bit-for-bit identical.
+        """
+        B = len(states)
+        protocol = protocols[0]
+        names = [p.name for p in protocols]
+        scheds = [s.dynamics for s in states]
+        last_event = np.array(
+            [sc.last_event_round for sc in scheds], dtype=np.int64
+        )
+        # the dense loop seeds its running W(t) from state.weights.sum()
+        live_weight = np.array([float(s.weights.sum()) for s in states])
+        batch = BatchState(states)
+        batch.record_stats = record_traces
+        n, m, m0 = batch.n, batch.m, batch.m0
+        del states
+
+        total_movers = np.zeros(B, dtype=np.int64)
+        total_weight = np.zeros(B)
+        rounds = np.zeros(B, dtype=np.int64)
+        traces = (
+            [[_TraceBuffer() for _ in range(4)] for _ in range(B)]
+            if record_traces
+            else None
+        )
+        dyn_traces = [[_TraceBuffer() for _ in range(4)] for _ in range(B)]
+        results: list[RunResult | None] = [None] * B
+        ptr = np.zeros(B, dtype=np.int64)  # arrivals consumed, per trial
+
+        loads = batch.fresh_loads()
+        live = np.arange(B)
+
+        def finish(
+            chunk_rows: np.ndarray,
+            loads_now: np.ndarray,
+            balanced: np.ndarray,
+        ):
+            for row in chunk_rows:
+                trial = int(live[row])
+                bufs = traces[trial] if record_traces else None
+                dbufs = dyn_traces[trial]
+                results[trial] = RunResult(
+                    balanced=bool(balanced[row]),
+                    rounds=int(rounds[trial]),
+                    final_loads=loads_now[row, :n].copy(),
+                    threshold=batch.thresholds[row],
+                    total_migrations=int(total_movers[trial]),
+                    total_migrated_weight=float(total_weight[trial]),
+                    potential_trace=bufs[0].array() if bufs else None,
+                    overloaded_trace=bufs[1].array() if bufs else None,
+                    movers_trace=bufs[2].array() if bufs else None,
+                    max_load_trace=bufs[3].array() if bufs else None,
+                    protocol_name=names[trial],
+                    speeds=batch.speeds_rows[row],
+                    live_tasks_trace=dbufs[0].array(),
+                    total_weight_trace=dbufs[1].array(),
+                    makespan_trace=dbufs[2].array(),
+                    violation_trace=dbufs[3].array(),
+                )
+
+        done = batch.balanced_mask(loads) & (last_event[live] < 1)
+        if done.any():
+            finish(np.flatnonzero(done), loads, done)
+            keep = ~done
+            batch.compact(keep)
+            live = live[keep]
+            loads = loads[keep]
+
+        live_rngs = [rngs[t] for t in live]
+        executed = 0
+        while live.size and executed < max_rounds:
+            t = executed + 1
+            # --- departures then arrivals, like the dense loop ---
+            dep_mask = (batch.depart_slot == t) & batch.live_mask
+            arr_hi = np.array(
+                [
+                    np.searchsorted(
+                        scheds[trial].arrive_round, t, side="right"
+                    )
+                    for trial in live
+                ],
+                dtype=np.int64,
+            )
+            arr_lo = ptr[live]
+            if dep_mask.any() or np.any(arr_hi > arr_lo):
+                dep_abs = np.flatnonzero(dep_mask.ravel())
+                if dep_abs.size:
+                    dep_trial = dep_abs // m
+                    dep_counts = np.bincount(dep_trial, minlength=live.size)
+                    off = np.concatenate(([0], np.cumsum(dep_counts)))
+                    w_dep = batch.w_task.ravel()[dep_abs]
+                    for row in np.flatnonzero(dep_counts):
+                        live_weight[live[row]] -= float(
+                            w_dep[off[row] : off[row + 1]].sum()
+                        )
+                arr_abs_parts: list[np.ndarray] = []
+                arr_place_parts: list[np.ndarray] = []
+                arr_weight_parts: list[np.ndarray] = []
+                for row in np.flatnonzero(arr_hi > arr_lo):
+                    trial = int(live[row])
+                    lo, hi = int(arr_lo[row]), int(arr_hi[row])
+                    sc = scheds[trial]
+                    arr_abs_parts.append(
+                        row * m + m0 + np.arange(lo, hi, dtype=np.int64)
+                    )
+                    arr_place_parts.append(sc.arrive_place[lo:hi])
+                    w_new = sc.arrive_weight[lo:hi]
+                    arr_weight_parts.append(w_new)
+                    live_weight[trial] += float(w_new.sum())
+                    ptr[trial] = hi
+                empty_i = np.empty(0, dtype=np.int64)
+                empty_f = np.empty(0)
+                arr_abs = (
+                    np.concatenate(arr_abs_parts)
+                    if arr_abs_parts
+                    else empty_i
+                )
+                arr_place = (
+                    np.concatenate(arr_place_parts)
+                    if arr_place_parts
+                    else empty_i
+                )
+                arr_weight = (
+                    np.concatenate(arr_weight_parts)
+                    if arr_weight_parts
+                    else empty_f
+                )
+                changed = batch.apply_population_events(
+                    dep_abs, arr_abs, arr_place, arr_weight
+                )
+                for row in np.flatnonzero(changed):
+                    sc = scheds[int(live[row])]
+                    if sc.policy is None or batch.m_live[row] == 0:
+                        continue
+                    w_row = batch.w_task[row][batch.live_mask[row]]
+                    t_new = sc.policy.compute_for(
+                        w_row, n, speeds=batch.speeds_rows[row]
+                    )
+                    batch.thresholds[row] = t_new
+                    batch.t_res[row] = np.asarray(t_new, dtype=np.float64)
+                    if batch.speeds is not None:
+                        batch.cap[row] = batch.speeds[row] * batch.t_res[row]
+                    # speeds None: cap aliases t_res, already updated
+                    batch.bound[row, :n] = batch.cap[row] + batch.atol[row]
+
+            stats = protocol.step_batch(batch, live_rngs)
+            executed += 1
+            rounds[live] = executed
+            total_movers[live] += stats.movers
+            total_weight[live] += stats.moved_weight
+            loads = stats.loads_after
+            viol = (loads[:, :n] > batch.bound[:, :n]).sum(axis=1)
+            for row, trial in enumerate(live):
+                if record_traces:
+                    bufs = traces[trial]
+                    bufs[0].append(stats.potential_before[row])
+                    bufs[1].append(stats.overloaded_before[row])
+                    bufs[2].append(stats.movers[row])
+                    bufs[3].append(stats.max_load_before[row])
+                dbufs = dyn_traces[trial]
+                dbufs[0].append(int(batch.m_live[row]))
+                dbufs[1].append(live_weight[trial])
+                if batch.speeds is None:
+                    span = float(loads[row, :n].max())
+                else:
+                    span = float(
+                        (loads[row, :n] / batch.speeds[row]).max()
+                    )
+                dbufs[2].append(span if n else 0.0)
+                dbufs[3].append(int(viol[row]))
+
+            done = batch.balanced_mask(loads) & (last_event[live] <= executed)
+            if done.any():
+                finish(np.flatnonzero(done), loads, done)
+                keep = ~done
+                batch.compact(keep)
+                live = live[keep]
+                loads = loads[keep]
+                live_rngs = [r for r, k in zip(live_rngs, keep) if k]
+
+        if live.size:  # budget exhausted — report per-row balance honestly
+            finish(np.arange(live.size), loads, batch.balanced_mask(loads))
         return results  # type: ignore[return-value]
 
     # ------------------------------------------------------------------
@@ -730,16 +1114,22 @@ def user_step_batch(
         else batch.wmax
     )
     lots = _ceil_lots(phi_seg, wmax[ov_t])
-    p_seg = np.clip(
-        proto.alpha * lots / np.maximum(seg_len, 1), 0.0, 1.0
-    )
+    p_seg = np.clip(proto.alpha * lots / np.maximum(seg_len, 1), 0.0, 1.0)
 
     # Per-trial draws in the dense order.  A trial with no overloaded
     # resource draws nothing (the dense step returns before sampling).
+    # Dynamic batches draw exactly the live-task count — the dense step
+    # draws ``rng.random(m_live)`` — and scatter onto the live slots in
+    # ascending order, which is exactly the dense task order.
     has_ov = overloaded.any(axis=1)
     u = batch._scratch_u
-    for row in np.flatnonzero(has_ov):
-        rngs[row].random(out=u[row])
+    if batch.dynamic:
+        for row in np.flatnonzero(has_ov):
+            live_idx = np.flatnonzero(batch.live_mask[row])
+            u[row, live_idx] = rngs[row].random(live_idx.shape[0])
+    else:
+        for row in np.flatnonzero(has_ov):
+            rngs[row].random(out=u[row])
 
     sub_task = batch.order[pos]  # absolute slots of candidate tasks
     mover_mask = u.ravel()[sub_task] < np.repeat(p_seg, seg_len)
@@ -770,7 +1160,7 @@ def user_step_batch(
     offsets = np.concatenate(([0], np.cumsum(k)))
     w_mov = batch.w_task.ravel()[mov_abs]
     src = (
-        batch.key_task.ravel()[mov_abs] - mov_trial * n
+        batch.key_task.ravel()[mov_abs] - mov_trial * batch.stride
         if proto.walk is not None
         else None
     )
@@ -816,26 +1206,31 @@ def resource_step_batch(
     loads = batch.fresh_loads()
     overloaded = loads > batch.bound
 
+    stride = batch.stride
     key_flat = batch.key_task.ravel()
     key_s = key_flat[batch.order]
-    trial_s = key_s // n
+    trial_s = key_s // stride
     start_local = batch.indptr().ravel()[key_s + trial_s]
     cum_flat = cum.ravel()
     base = np.where(
         start_local > 0, cum_flat[trial_s * m + start_local - 1], 0.0
     )
     inclusive = cum_flat - base
+    # parked slots compare 0.0 <= inf, so they are always "below" and
+    # never move
     below = inclusive <= batch.bound.ravel()[key_s]
 
     if batch.record_stats:
         max_load_before = loads.max(axis=1)
         overloaded_before = overloaded.sum(axis=1)
         below_weight = np.bincount(
-            key_s[below], weights=w_s[below], minlength=A * n
-        ).reshape(A, n)
+            key_s[below], weights=w_s[below], minlength=A * stride
+        ).reshape(A, stride)
         phi = np.where(overloaded, loads - below_weight, 0.0)
         np.maximum(phi, 0.0, out=phi)
-        potential_before = phi.sum(axis=1)
+        # reduce over the real resource columns only: the dense sum has
+        # exactly n addends and pairwise grouping depends on the count
+        potential_before = phi[:, :n].sum(axis=1)
     else:
         max_load_before = overloaded_before = potential_before = None
 
@@ -866,7 +1261,7 @@ def resource_step_batch(
 
     dest = np.empty(mov_abs.shape[0], dtype=np.int64)
     arrival = np.empty(mov_abs.shape[0], dtype=np.int64)
-    src = key_flat[mov_abs] - mov_trial * n
+    src = key_flat[mov_abs] - mov_trial * stride
     for row in range(A):
         lo, hi = offsets[row], offsets[row + 1]
         if lo == hi:
@@ -935,10 +1330,10 @@ def hybrid_step_batch(
         batch.scatter(sub, rows)
         subsets.append((rows, stats))
 
-    A, n = batch.A, batch.n
+    A = batch.A
     movers = np.empty(A, dtype=np.int64)
     moved_weight = np.empty(A)
-    loads_after = np.empty((A, n))
+    loads_after = np.empty((A, batch.stride))
     if batch.record_stats:
         overloaded_before = np.empty(A, dtype=np.int64)
         potential_before = np.empty(A)

@@ -14,7 +14,13 @@ import numpy as np
 
 from .simulator import RunResult
 
-__all__ = ["TrialSummary", "summarize_runs", "normalized_balancing_time"]
+__all__ = [
+    "TrialSummary",
+    "DynamicSummary",
+    "summarize_runs",
+    "summarize_dynamics",
+    "normalized_balancing_time",
+]
 
 
 @dataclass(frozen=True)
@@ -81,6 +87,71 @@ def summarize_runs(results: list[RunResult]) -> TrialSummary:
         max_rounds=float(rounds.max()),
         mean_migrations=float(migrations.mean()),
         mean_migrated_weight=float(weight.mean()),
+    )
+
+
+@dataclass(frozen=True)
+class DynamicSummary:
+    """Summary of the online-regime time series across repeated trials.
+
+    All quantities are per-trial values averaged over trials: the
+    fraction of rounds spent with an overloaded resource
+    (``mean_time_in_violation``), migrations per round
+    (``mean_churn``), the trailing-window makespan
+    (``mean_steady_makespan``, see
+    :meth:`~repro.core.simulator.RunResult.steady_state_makespan`),
+    the live-population size at the end and at its peak, and the mean
+    executed round count (dynamic runs keep working while the stream
+    lasts, so this is *not* a balancing time).
+    """
+
+    trials: int
+    mean_rounds: float
+    mean_time_in_violation: float
+    mean_churn: float
+    mean_steady_makespan: float
+    mean_final_live: float
+    mean_peak_live: float
+
+    def row(self) -> dict[str, float | int]:
+        return {
+            "trials": self.trials,
+            "mean_rounds": self.mean_rounds,
+            "time_in_violation": self.mean_time_in_violation,
+            "churn": self.mean_churn,
+            "steady_makespan": self.mean_steady_makespan,
+            "final_live": self.mean_final_live,
+            "peak_live": self.mean_peak_live,
+        }
+
+
+def summarize_dynamics(results: list[RunResult]) -> DynamicSummary:
+    """Aggregate the online time series of repeated dynamic trials.
+
+    Requires every result to carry the dynamic traces (i.e. to come
+    from a run with a :class:`~repro.workloads.dynamics.DynamicsSpec`
+    attached).
+    """
+    if not results:
+        raise ValueError("no results to summarise")
+    if any(r.violation_trace is None for r in results):
+        raise ValueError("summarize_dynamics needs dynamic runs")
+    live = [
+        r.live_tasks_trace if r.live_tasks_trace.size else np.zeros(1)
+        for r in results
+    ]
+    return DynamicSummary(
+        trials=len(results),
+        mean_rounds=float(np.mean([r.rounds for r in results])),
+        mean_time_in_violation=float(
+            np.mean([r.time_in_violation for r in results])
+        ),
+        mean_churn=float(np.mean([r.rebalance_churn for r in results])),
+        mean_steady_makespan=float(
+            np.mean([r.steady_state_makespan() for r in results])
+        ),
+        mean_final_live=float(np.mean([x[-1] for x in live])),
+        mean_peak_live=float(np.mean([x.max() for x in live])),
     )
 
 

@@ -5,6 +5,18 @@ Drives a :class:`~repro.core.protocols.base.Protocol` against a
 paper's *balancing time*) or a round budget is exhausted, recording the
 trajectories that the analysis module consumes (potential, overload
 count, migration volume, maximum load).
+
+States carrying a compiled :class:`~repro.workloads.dynamics.\
+DynamicsSchedule` run the *online* variant of the loop instead: each
+round first applies departures and arrivals, optionally recomputes the
+threshold from the live workload, then executes one protocol round.
+The run ends once the schedule has no further events and the system is
+balanced.  Dynamic runs always record the online time series
+(``live_tasks_trace``, ``total_weight_trace``, ``makespan_trace``,
+``violation_trace``) — they are the point of the regime.  With an empty
+schedule the online loop degenerates to the one-shot loop exactly
+(same protocol RNG stream, same round count, same traces), which is the
+bit-for-bit equivalence the dynamics property suite gates on.
 """
 
 from __future__ import annotations
@@ -47,11 +59,62 @@ class RunResult:
     #: system was homogeneous) — carried so downstream metrics can
     #: normalise loads without re-plumbing the setup.
     speeds: np.ndarray | None = None
+    #: Online-regime time series (``None`` for one-shot runs); one entry
+    #: per executed round, describing the state *after* that round.
+    live_tasks_trace: np.ndarray | None = None
+    total_weight_trace: np.ndarray | None = None
+    makespan_trace: np.ndarray | None = None
+    violation_trace: np.ndarray | None = None
 
     @property
     def balancing_time(self) -> float:
         """Rounds to balance, or ``inf`` for censored runs."""
         return float(self.rounds) if self.balanced else float("inf")
+
+    # ------------------------------------------------------------------
+    # Online-regime metrics (dynamic runs only)
+    # ------------------------------------------------------------------
+    @property
+    def dynamic(self) -> bool:
+        """Whether this run executed the online (arrival/departure)
+        regime."""
+        return self.violation_trace is not None
+
+    @property
+    def load_over_time(self) -> np.ndarray | None:
+        """Total live weight after each round (the ``W(t)`` series)."""
+        return self.total_weight_trace
+
+    @property
+    def time_in_violation(self) -> float:
+        """Fraction of executed rounds that ended with at least one
+        resource above its capacity — how often the system was *not* in
+        a balanced configuration while absorbing the stream."""
+        if self.violation_trace is None or self.violation_trace.size == 0:
+            return 0.0
+        return float((self.violation_trace > 0).mean())
+
+    @property
+    def rebalance_churn(self) -> float:
+        """Mean migrations per executed round — the rebalancing work
+        the stream forced."""
+        if self.rounds == 0:
+            return 0.0
+        return self.total_migrations / self.rounds
+
+    def steady_state_makespan(self, tail_frac: float = 0.25) -> float:
+        """Mean makespan over the trailing ``tail_frac`` of the run.
+
+        Averages the post-round maximum normalised load over the last
+        rounds, once the stream has (presumably) reached steady state.
+        Falls back to the final makespan for one-shot runs.
+        """
+        if not 0.0 < tail_frac <= 1.0:
+            raise ValueError("tail_frac must be in (0, 1]")
+        if self.makespan_trace is None or self.makespan_trace.size == 0:
+            return self.final_makespan
+        tail = max(1, int(np.ceil(tail_frac * self.makespan_trace.size)))
+        return float(self.makespan_trace[-tail:].mean())
 
     @property
     def final_max_load(self) -> float:
@@ -133,6 +196,17 @@ def simulate(
         raise ValueError("max_rounds must be non-negative")
     protocol.validate_state(state)
 
+    if state.dynamics is not None:
+        return _simulate_dynamic(
+            protocol,
+            state,
+            rng,
+            max_rounds=max_rounds,
+            record_traces=record_traces,
+            check_invariants=check_invariants,
+            on_round=on_round,
+        )
+
     pot = _TraceBuffer() if record_traces else None
     over = _TraceBuffer() if record_traces else None
     move = _TraceBuffer() if record_traces else None
@@ -183,4 +257,120 @@ def simulate(
         max_load_trace=peak.array() if record_traces else None,
         protocol_name=protocol.name,
         speeds=state.speeds,
+    )
+
+
+def _simulate_dynamic(
+    protocol: Protocol,
+    state: SystemState,
+    rng: np.random.Generator,
+    max_rounds: int,
+    record_traces: bool,
+    check_invariants: bool,
+    on_round,
+) -> RunResult:
+    """The online variant of :func:`simulate`.
+
+    Round ``t`` (1-based): remove tasks departing at ``t``, insert the
+    schedule's round-``t`` arrivals, recompute the threshold if the
+    population changed (and the schedule carries a policy), then run one
+    protocol round.  The run ends when the schedule is exhausted *and*
+    the system is balanced — with no events at all this is exactly the
+    one-shot termination rule, and the loop body matches the one-shot
+    loop operation for operation (the bit-equivalence contract).
+    """
+    sched = state.dynamics
+
+    pot = _TraceBuffer() if record_traces else None
+    over = _TraceBuffer() if record_traces else None
+    move = _TraceBuffer() if record_traces else None
+    peak = _TraceBuffer() if record_traces else None
+    live_buf = _TraceBuffer()
+    weight_buf = _TraceBuffer()
+    span_buf = _TraceBuffer()
+    viol_buf = _TraceBuffer()
+
+    # departure rounds of the *live* population, aligned with task order
+    depart = sched.initial_depart.copy()
+    arrive_round = sched.arrive_round
+    ptr = 0  # arrivals consumed so far
+
+    total_migrations = 0
+    total_weight_moved = 0.0
+    total_weight = float(state.weights.sum())
+    rounds = 0
+    last_event = sched.last_event_round
+    bound = state.capacity_vector() + state.atol
+    loads = state.loads()
+    balanced = bool(np.all(loads <= bound))
+
+    while rounds < max_rounds:
+        t = rounds + 1
+        if balanced and t > last_event:
+            break
+
+        changed = False
+        dep = np.flatnonzero(depart == t)
+        if dep.size:
+            total_weight -= float(state.weights[dep].sum())
+            state.remove_tasks(dep)
+            depart = np.delete(depart, dep)
+            changed = True
+        hi = int(np.searchsorted(arrive_round, t, side="right"))
+        if hi > ptr:
+            w_new = sched.arrive_weight[ptr:hi]
+            total_weight += float(w_new.sum())
+            state.add_tasks(w_new, sched.arrive_place[ptr:hi])
+            depart = np.concatenate([depart, sched.arrive_depart[ptr:hi]])
+            ptr = hi
+            changed = True
+        if changed and sched.policy is not None and state.m:
+            state.threshold = sched.policy.compute_for(
+                state.weights, state.n, speeds=state.speeds
+            )
+            bound = state.capacity_vector() + state.atol
+
+        stats = protocol.step(state, rng)
+        rounds += 1
+        total_migrations += stats.movers
+        total_weight_moved += stats.moved_weight
+        if record_traces:
+            pot.append(stats.potential_before)
+            over.append(stats.overloaded_before)
+            move.append(stats.movers)
+            peak.append(stats.max_load_before)
+        if check_invariants:
+            state.check_invariants()
+        loads = (
+            stats.loads_after
+            if stats.loads_after is not None
+            else state.loads()
+        )
+        balanced = bool(np.all(loads <= bound))
+
+        live_buf.append(state.m)
+        weight_buf.append(total_weight)
+        norm = loads if state.speeds is None else loads / state.speeds
+        span_buf.append(float(norm.max()) if state.n else 0.0)
+        viol_buf.append(int((loads > bound).sum()))
+        if on_round is not None and on_round(rounds, state, stats) is False:
+            break
+
+    return RunResult(
+        balanced=balanced,
+        rounds=rounds,
+        final_loads=loads,
+        threshold=state.threshold,
+        total_migrations=total_migrations,
+        total_migrated_weight=total_weight_moved,
+        potential_trace=pot.array() if record_traces else None,
+        overloaded_trace=over.array() if record_traces else None,
+        movers_trace=move.array() if record_traces else None,
+        max_load_trace=peak.array() if record_traces else None,
+        protocol_name=protocol.name,
+        speeds=state.speeds,
+        live_tasks_trace=live_buf.array(),
+        total_weight_trace=weight_buf.array(),
+        makespan_trace=span_buf.array(),
+        violation_trace=viol_buf.array(),
     )

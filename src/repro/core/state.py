@@ -14,6 +14,14 @@ at a resource they receive fresh, increasing ``seq`` values, so "later
 arrival = higher in the stack" and ties are impossible.  Arrival order
 within a round is randomised by the protocols, matching the paper's
 "new balls are added in an arbitrary order".
+
+In the *online* regime (see :mod:`repro.workloads.dynamics`) the task
+population itself changes between rounds: :meth:`SystemState.add_tasks`
+and :meth:`SystemState.remove_tasks` rebuild the per-task arrays with
+arrivals appended at the end (in schedule order, with fresh ``seq``
+keys) and departed tasks deleted in place.  The weight array is still
+never mutated element-wise — population changes replace it wholesale,
+so views handed out earlier stay valid snapshots.
 """
 
 from __future__ import annotations
@@ -60,6 +68,11 @@ class SystemState:
         comparison to normalised loads ``x_r / s_r``, implemented as
         the effective raw-load capacity ``c_r = s_r * T_r`` (see
         :mod:`repro.core.thresholds`).
+    dynamics:
+        Optional compiled :class:`~repro.workloads.dynamics.\
+DynamicsSchedule` attached by dynamic trial setups.  ``None`` (the
+        default) is the paper's one-shot model; the simulator dispatches
+        on this field and the static path is untouched.
     """
 
     n: int
@@ -69,6 +82,7 @@ class SystemState:
     threshold: float | np.ndarray
     atol: float = 1e-9
     speeds: np.ndarray | None = None
+    dynamics: object | None = field(default=None, repr=False, compare=False)
     _next_seq: int = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
@@ -161,6 +175,7 @@ class SystemState:
             ),
             atol=self.atol,
             speeds=self.speeds,
+            dynamics=self.dynamics,
         )
         dup._next_seq = self._next_seq
         return dup
@@ -283,12 +298,62 @@ class SystemState:
         self.seq[task_idx] = self._next_seq + arrival
         self._next_seq += k
 
+    def add_tasks(
+        self, weights: np.ndarray, resources: np.ndarray
+    ) -> None:
+        """Append newly arrived tasks (the online regime's insert).
+
+        Arrivals land on *top* of their resource stacks, stacked in the
+        order given — the schedule's arrival order, which plays the role
+        of the paper's "arbitrary order" for newborn balls and consumes
+        no randomness.  No feasibility re-validation happens here: an
+        arrival burst may legitimately make the current threshold
+        infeasible until the policy is recomputed (or tasks depart).
+        """
+        weights = np.asarray(weights, dtype=np.float64)
+        resources = np.asarray(resources, dtype=np.int64)
+        if weights.shape != resources.shape or weights.ndim != 1:
+            raise ValueError("weights and resources must be 1-d and match")
+        k = weights.shape[0]
+        if k == 0:
+            return
+        if weights.min() <= 0:
+            raise ValueError("task weights must be strictly positive")
+        if resources.min() < 0 or resources.max() >= self.n:
+            raise ValueError("arrival resource out of range")
+        self.weights = np.concatenate([self.weights, weights])
+        self.resource = np.concatenate([self.resource, resources])
+        self.seq = np.concatenate(
+            [self.seq, self._next_seq + np.arange(k, dtype=np.int64)]
+        )
+        self._next_seq += k
+
+    def remove_tasks(self, task_idx: np.ndarray) -> None:
+        """Delete departed tasks (the online regime's remove).
+
+        Indices refer to the current task order; remaining tasks keep
+        their relative order (and their ``seq`` keys, so stack heights
+        of survivors are unchanged — the departed weight simply leaves
+        the stack).
+        """
+        task_idx = np.asarray(task_idx, dtype=np.int64)
+        if task_idx.size == 0:
+            return
+        if task_idx.min() < 0 or task_idx.max() >= self.m:
+            raise ValueError("task index out of range")
+        self.weights = np.delete(self.weights, task_idx)
+        self.resource = np.delete(self.resource, task_idx)
+        self.seq = np.delete(self.seq, task_idx)
+
     # ------------------------------------------------------------------
     # Invariant checks (used by tests and the simulator's debug mode)
     # ------------------------------------------------------------------
     def check_invariants(self) -> None:
         """Raise ``AssertionError`` if internal bookkeeping broke."""
         assert self.resource.shape == self.weights.shape == self.seq.shape
+        if self.m == 0:
+            # a dynamic run may legally drain to an empty population
+            return
         assert self.resource.min() >= 0 and self.resource.max() < self.n
         assert np.unique(self.seq).shape[0] == self.m, "seq keys collided"
         assert self.seq.max() < self._next_seq, "next_seq fell behind"

@@ -19,6 +19,7 @@ from .arrival_order import (
 )
 from .drift_check import DriftCheckConfig, DriftCheckResult, run_drift_check
 from .charts import ascii_chart, series_from_rows
+from .dynamic_load import DynamicLoadConfig, DynamicLoadResult
 from .figure1 import Figure1Config, Figure1Result, run_figure1
 from .figure2 import Figure2Config, Figure2Result, run_figure2
 from .io import format_table, series, write_csv, write_json
@@ -56,6 +57,8 @@ __all__ = [
     "ArrivalOrderResult",
     "DriftCheckConfig",
     "DriftCheckResult",
+    "DynamicLoadConfig",
+    "DynamicLoadResult",
     "EXPERIMENTS",
     "Experiment",
     "Figure1Config",

@@ -26,7 +26,14 @@ from ..analysis.bounds import theorem11_rounds
 from ..core.protocols.user_controlled import theorem11_alpha
 from ..graphs.builders import complete_graph
 from ..graphs.topology import Graph
-from ..study import PointOutcome, Scenario, Study, StudyResult, run_study, sweep
+from ..study import (
+    PointOutcome,
+    Scenario,
+    Study,
+    StudyResult,
+    run_study,
+    sweep,
+)
 from ..workloads.weights import TwoPointWeights
 from .io import format_table
 
@@ -162,8 +169,12 @@ class AlphaAblationResult:
         return format_table(
             self.rows,
             columns=[
-                "protocol", "alpha", "mean_rounds", "ci95",
-                "rounds_x_alpha", "thm11_bound",
+                "protocol",
+                "alpha",
+                "mean_rounds",
+                "ci95",
+                "rounds_x_alpha",
+                "thm11_bound",
             ],
             float_fmt=".4g",
             title=(

@@ -26,7 +26,14 @@ from dataclasses import dataclass, replace
 import numpy as np
 
 from ..graphs.builders import complete_graph, torus_graph
-from ..study import PointOutcome, Scenario, Study, StudyResult, run_study, sweep
+from ..study import (
+    PointOutcome,
+    Scenario,
+    Study,
+    StudyResult,
+    run_study,
+    sweep,
+)
 from ..workloads.weights import TwoPointWeights
 from .io import format_table
 
@@ -129,7 +136,10 @@ class ArrivalOrderResult:
         return format_table(
             self.rows,
             columns=[
-                "protocol", "order", "mean_rounds", "ci95",
+                "protocol",
+                "order",
+                "mean_rounds",
+                "ci95",
             ],
             float_fmt=".4g",
             title=(

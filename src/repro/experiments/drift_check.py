@@ -30,7 +30,14 @@ from ..analysis.drift import estimate_drift, lemma10_delta
 from ..graphs.builders import complete_graph, cycle_graph
 from ..graphs.hitting import max_hitting_time
 from ..graphs.random_walk import max_degree_walk
-from ..study import PointOutcome, Scenario, Study, StudyResult, run_study, sweep
+from ..study import (
+    PointOutcome,
+    Scenario,
+    Study,
+    StudyResult,
+    run_study,
+    sweep,
+)
 from ..workloads.weights import TwoPointWeights, UniformWeights
 from .io import format_table
 
@@ -180,9 +187,14 @@ class DriftCheckResult:
         return format_table(
             self.rows,
             columns=[
-                "scenario", "delta_measured", "delta_theory",
-                "phase_drop_measured", "phase_drop_theory",
-                "monotone_phi", "mean_rounds", "drift_pred_rounds",
+                "scenario",
+                "delta_measured",
+                "delta_theory",
+                "phase_drop_measured",
+                "phase_drop_theory",
+                "monotone_phi",
+                "mean_rounds",
+                "drift_pred_rounds",
             ],
             float_fmt=".4g",
             title=(

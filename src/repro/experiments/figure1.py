@@ -26,7 +26,14 @@ from dataclasses import dataclass, field, replace
 import numpy as np
 
 from ..analysis.fitting import FitResult, fit_logarithmic
-from ..study import PointOutcome, Scenario, Study, StudyResult, run_study, sweep
+from ..study import (
+    PointOutcome,
+    Scenario,
+    Study,
+    StudyResult,
+    run_study,
+    sweep,
+)
 from ..workloads.weights import TwoPointWeights
 from .io import format_table, series
 
@@ -56,7 +63,15 @@ class Figure1Config:
     alpha: float = 1.0
     heavy_weight: float = 50.0
     total_weights: tuple[int, ...] = (
-        2000, 3000, 4000, 5000, 6000, 7000, 8000, 9000, 10000,
+        2000,
+        3000,
+        4000,
+        5000,
+        6000,
+        7000,
+        8000,
+        9000,
+        10000,
     )
     k_values: tuple[int, ...] = (1, 5, 10, 20, 50)
     trials: int = 1000
@@ -136,7 +151,12 @@ class Figure1Result:
         table = format_table(
             self.rows,
             columns=[
-                "W", "k", "m", "mean_rounds", "ci95", "log_m_plus_k",
+                "W",
+                "k",
+                "m",
+                "mean_rounds",
+                "ci95",
+                "log_m_plus_k",
             ],
             title=(
                 "Figure 1 — user-controlled balancing time vs total weight W "
@@ -149,11 +169,15 @@ class Figure1Result:
             f"(R^2={f.r_squared:.3f})"
             for k, f in sorted(self.fits.items())
         ]
-        return table + "\n\nlogarithmic fits per curve:\n" + "\n".join(fit_lines)
+        return (
+            table + "\n\nlogarithmic fits per curve:\n" + "\n".join(fit_lines)
+        )
 
     def curve(self, k: int) -> tuple[np.ndarray, np.ndarray]:
         """(W values, mean rounds) for one ``k`` — a figure series."""
-        return series(self.rows, "W", "mean_rounds", where=lambda r: r["k"] == k)
+        return series(
+            self.rows, "W", "mean_rounds", where=lambda r: r["k"] == k
+        )
 
     def chart(self, width: int = 64, height: int = 16) -> str:
         """ASCII rendering of the figure's series (one glyph per k)."""
@@ -165,8 +189,11 @@ class Figure1Result:
             if ws.size:
                 out[f"k={k}"] = (ws, times)
         return ascii_chart(
-            out, width=width, height=height,
-            x_label="W", y_label="rounds",
+            out,
+            width=width,
+            height=height,
+            x_label="W",
+            y_label="rounds",
         )
 
     def cross_k_spread(self) -> float:

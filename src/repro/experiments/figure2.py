@@ -23,7 +23,14 @@ import numpy as np
 
 from ..analysis.fitting import FitResult, fit_linear, fit_logarithmic
 from ..core.metrics import normalized_balancing_time
-from ..study import PointOutcome, Scenario, Study, StudyResult, run_study, sweep
+from ..study import (
+    PointOutcome,
+    Scenario,
+    Study,
+    StudyResult,
+    run_study,
+    sweep,
+)
 from ..workloads.weights import TwoPointWeights
 from .io import format_table, series
 
@@ -150,8 +157,11 @@ class Figure2Result:
             if ms.size:
                 out[f"wmax={wmax}"] = (ms, norm)
         return ascii_chart(
-            out, width=width, height=height,
-            x_label="m", y_label="rounds/ln m",
+            out,
+            width=width,
+            height=height,
+            x_label="m",
+            y_label="rounds/ln m",
         )
 
     def mean_normalized_by_wmax(self) -> tuple[np.ndarray, np.ndarray]:

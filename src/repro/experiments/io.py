@@ -73,7 +73,8 @@ def format_table(
     ]
     numeric = [
         all(
-            isinstance(row.get(c), (int, float)) and not isinstance(row.get(c), bool)
+            isinstance(row.get(c), (int, float))
+            and not isinstance(row.get(c), bool)
             for row in rows
             if c in row
         )
@@ -83,7 +84,9 @@ def format_table(
     def fmt_line(cells: list[str]) -> str:
         out = []
         for j, cell in enumerate(cells):
-            out.append(cell.rjust(widths[j]) if numeric[j] else cell.ljust(widths[j]))
+            out.append(
+                cell.rjust(widths[j]) if numeric[j] else cell.ljust(widths[j])
+            )
         return " | ".join(out)
 
     lines = []

@@ -23,7 +23,14 @@ import numpy as np
 from ..graphs.builders import clique_with_pendant
 from ..graphs.hitting import hitting_times_to_target
 from ..graphs.random_walk import max_degree_walk
-from ..study import PointOutcome, Scenario, Study, StudyResult, run_study, sweep
+from ..study import (
+    PointOutcome,
+    Scenario,
+    Study,
+    StudyResult,
+    run_study,
+    sweep,
+)
 from ..workloads.weights import UniformWeights
 from .io import format_table
 
@@ -114,7 +121,11 @@ class LowerBoundResult:
         return format_table(
             self.rows,
             columns=[
-                "k", "H_to_pendant", "mean_rounds", "ci95", "per_H",
+                "k",
+                "H_to_pendant",
+                "mean_rounds",
+                "ci95",
+                "per_H",
             ],
             float_fmt=".3g",
             title=(

@@ -28,6 +28,7 @@ from . import (
     alpha_ablation,
     arrival_order,
     drift_check,
+    dynamic_load,
     figure1,
     figure2,
     lower_bound,
@@ -221,6 +222,19 @@ EXPERIMENTS: dict[str, Experiment] = {
             study_builder=speed_ablation.build_study,
             result_adapter=speed_ablation.speed_ablation_result,
             presets={"quick": speed_ablation.QUICK},
+        ),
+        Experiment(
+            key="dynamic_load",
+            paper_artifact="Extension (online regime)",
+            description=(
+                "Poisson arrival stream with exponential lifetimes: "
+                "time-in-violation, churn and steady-state makespan vs "
+                "arrival rate, complete graph vs torus"
+            ),
+            config_factory=dynamic_load.DynamicLoadConfig,
+            study_builder=dynamic_load.build_study,
+            result_adapter=dynamic_load.dynamic_load_result,
+            presets={"quick": dynamic_load.QUICK},
         ),
         Experiment(
             key="drift_check",

@@ -34,7 +34,14 @@ from ..graphs.builders import (
 from ..graphs.random_walk import max_degree_walk
 from ..graphs.spectral import mixing_time_bound
 from ..graphs.topology import Graph
-from ..study import PointOutcome, Scenario, Study, StudyResult, run_study, sweep
+from ..study import (
+    PointOutcome,
+    Scenario,
+    Study,
+    StudyResult,
+    run_study,
+    sweep,
+)
 from ..workloads.weights import UniformRangeWeights, UniformWeights
 from .io import format_table
 
@@ -150,8 +157,14 @@ class ResourceAboveResult:
         return format_table(
             self.rows,
             columns=[
-                "graph", "weights", "m", "tau", "mean_rounds", "ci95",
-                "per_tau_log_m", "thm3_bound",
+                "graph",
+                "weights",
+                "m",
+                "tau",
+                "mean_rounds",
+                "ci95",
+                "per_tau_log_m",
+                "thm3_bound",
             ],
             float_fmt=".3g",
             title=(

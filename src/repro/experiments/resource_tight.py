@@ -23,7 +23,14 @@ from ..analysis.bounds import theorem7_rounds
 from ..graphs.builders import complete_graph, cycle_graph
 from ..graphs.hitting import max_hitting_time
 from ..graphs.random_walk import max_degree_walk
-from ..study import PointOutcome, Scenario, Study, StudyResult, run_study, sweep
+from ..study import (
+    PointOutcome,
+    Scenario,
+    Study,
+    StudyResult,
+    run_study,
+    sweep,
+)
 from ..workloads.weights import TwoPointWeights, UniformWeights
 from .io import format_table
 
@@ -128,8 +135,14 @@ class ResourceTightResult:
         return format_table(
             self.rows,
             columns=[
-                "graph", "weights", "m", "H", "mean_rounds", "ci95",
-                "per_H_log_W", "thm7_bound",
+                "graph",
+                "weights",
+                "m",
+                "H",
+                "mean_rounds",
+                "ci95",
+                "per_H_log_W",
+                "thm7_bound",
             ],
             float_fmt=".3g",
             title=(

@@ -141,7 +141,12 @@ class Table1Result:
         table = format_table(
             self.rows,
             columns=[
-                "family", "n", "gap", "tau_bound", "t_mix_emp", "H_exact",
+                "family",
+                "n",
+                "gap",
+                "tau_bound",
+                "t_mix_emp",
+                "H_exact",
                 "lazy",
             ],
             float_fmt=".3g",

@@ -27,7 +27,14 @@ from dataclasses import dataclass, replace
 
 from ..analysis.bounds import theorem12_rounds
 from ..analysis.fitting import FitResult, fit_power_law
-from ..study import PointOutcome, Scenario, Study, StudyResult, run_study, sweep
+from ..study import (
+    PointOutcome,
+    Scenario,
+    Study,
+    StudyResult,
+    run_study,
+    sweep,
+)
 from ..workloads.weights import UniformWeights
 from .io import format_table, series
 
@@ -119,8 +126,14 @@ class TightScalingResult:
     def format_table(self) -> str:
         table = format_table(
             self.rows,
-            columns=["n", "m", "mean_rounds", "ci95", "thm12_bound",
-                     "measured/bound"],
+            columns=[
+                "n",
+                "m",
+                "mean_rounds",
+                "ci95",
+                "thm12_bound",
+                "measured/bound",
+            ],
             float_fmt=".4g",
             title=(
                 "open question (Sec. 8) — user-controlled, tight threshold "

@@ -27,7 +27,13 @@ Every paper artefact in :mod:`repro.experiments` is itself a Study
 definition; the registry exposes them by key.
 """
 
-from .parse import parse_axis_values, parse_graph, parse_speeds, parse_weights
+from .parse import (
+    parse_axis_values,
+    parse_dynamics,
+    parse_graph,
+    parse_speeds,
+    parse_weights,
+)
 from .scenario import PROTOCOL_KINDS, Scenario, scenario_axes
 from .setups import (
     PLACEMENT_KINDS,
@@ -55,6 +61,7 @@ __all__ = [
     "THRESHOLD_KINDS",
     "UserControlledSetup",
     "parse_axis_values",
+    "parse_dynamics",
     "parse_graph",
     "parse_speeds",
     "parse_weights",

@@ -12,6 +12,10 @@ flags, so graphs and weight distributions need a flag-sized syntax:
 * speeds — ``unit``, ``uniform:2``, ``two_class:1:4:8``
   (slow:fast:fast_count), ``pareto:2.5`` (optional ``:cap``),
   ``explicit:1:2:4``.
+* dynamics — ``none`` (one-shot model), ``poisson:RATE:HORIZON``
+  with an optional lifetime tail: ``:inf`` (tasks never depart, the
+  default) or ``:MEAN`` (exponential lifetimes with that mean, in
+  rounds), e.g. ``poisson:2:200:50``.
 
 :func:`parse_axis_values` coerces a comma-separated ``--axis``
 grid onto the right type for any scenario axis, using these parsers
@@ -24,6 +28,12 @@ import numpy as np
 
 from ..graphs import builders
 from ..graphs.topology import Graph
+from ..workloads.dynamics import (
+    DynamicsSpec,
+    ExponentialLifetimes,
+    InfiniteLifetimes,
+    PoissonDynamics,
+)
 from ..workloads.speeds import (
     ExplicitSpeeds,
     ParetoSpeeds,
@@ -43,6 +53,7 @@ from .scenario import scenario_axes
 
 __all__ = [
     "parse_axis_values",
+    "parse_dynamics",
     "parse_graph",
     "parse_speeds",
     "parse_weights",
@@ -195,6 +206,51 @@ def parse_speeds(spec: str) -> SpeedDistribution:
     )
 
 
+def parse_dynamics(spec: str) -> DynamicsSpec | None:
+    """Build a dynamics spec from a flag string (``None`` = one-shot).
+
+    ``poisson:RATE:HORIZON`` streams Poisson(rate) arrivals per round
+    for ``HORIZON`` rounds; a third argument picks the lifetime model
+    (``inf`` — never depart — or a positive mean for exponential
+    lifetimes in rounds).
+    """
+    head, args = _split(spec)
+    if head == "none":
+        if args:
+            raise ValueError(
+                f"dynamics spec 'none' takes no arguments: {spec!r}"
+            )
+        return None
+    if head == "poisson":
+        if len(args) not in (2, 3):
+            raise ValueError(
+                "poisson spec needs rate:horizon (optional :lifetime), "
+                "e.g. poisson:2:200:50"
+            )
+        try:
+            rate = float(args[0])
+            horizon = int(args[1])
+        except ValueError as exc:
+            raise ValueError(
+                f"bad numeric argument in dynamics spec {spec!r}"
+            ) from exc
+        if len(args) == 3 and args[2].lower() != "inf":
+            try:
+                mean = float(args[2])
+            except ValueError as exc:
+                raise ValueError(
+                    f"bad lifetime argument in dynamics spec {spec!r}"
+                ) from exc
+            lifetimes = ExponentialLifetimes(mean)
+        else:
+            lifetimes = InfiniteLifetimes()
+        return PoissonDynamics(rate=rate, horizon=horizon, lifetimes=lifetimes)
+    raise ValueError(
+        f"unknown dynamics kind {head!r} in spec {spec!r}; expected "
+        "none or poisson"
+    )
+
+
 #: How each scenario axis coerces one ``--axis`` grid entry.
 _AXIS_PARSERS = {
     "m": int,
@@ -206,6 +262,7 @@ _AXIS_PARSERS = {
     "graph": parse_graph,
     "weights": parse_weights,
     "speeds": parse_speeds,
+    "dynamics": parse_dynamics,
 }
 
 

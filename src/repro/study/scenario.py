@@ -22,6 +22,7 @@ from typing import Any
 
 from ..core.backends import TrialSetup
 from ..graphs.topology import Graph
+from ..workloads.dynamics import DynamicsSpec
 from ..workloads.speeds import SpeedDistribution
 from ..workloads.weights import UniformWeights, WeightDistribution
 from .setups import (
@@ -73,6 +74,7 @@ class Scenario:
     resource_fraction: float = 0.5
     hybrid_mode: str = "probabilistic"
     atol: float = 1e-9
+    dynamics: DynamicsSpec | None = None
 
     def with_(self, **overrides: Any) -> "Scenario":
         """Return a copy with the given axes replaced.
@@ -128,6 +130,14 @@ class Scenario:
                 "scenario speeds must be a SpeedDistribution (per-trial "
                 "vectors are sampled from it); wrap a fixed vector in "
                 "ExplicitSpeeds"
+            )
+        if self.dynamics is not None and not isinstance(
+            self.dynamics, DynamicsSpec
+        ):
+            raise ValueError(
+                "scenario dynamics must be a DynamicsSpec (the schedule "
+                "itself is compiled per trial); wrap explicit arrivals in "
+                "TraceDynamics"
             )
         if self.hybrid_mode not in HYBRID_MODES:
             raise ValueError(
@@ -201,6 +211,7 @@ class Scenario:
                 arrival_order=self.arrival_order,
                 atol=self.atol,
                 speeds=self.speeds,
+                dynamics=self.dynamics,
             )
         if self.protocol == "resource":
             return ResourceControlledSetup(
@@ -213,6 +224,7 @@ class Scenario:
                 arrival_order=self.arrival_order,
                 atol=self.atol,
                 speeds=self.speeds,
+                dynamics=self.dynamics,
             )
         return HybridSetup(
             graph=self.graph,
@@ -225,6 +237,7 @@ class Scenario:
             threshold_kind=self.threshold,
             placement_kind=self.placement,
             speeds=self.speeds,
+            dynamics=self.dynamics,
         )
 
     def describe(self) -> str:
@@ -244,6 +257,8 @@ class Scenario:
         ]
         if self.speeds is not None:
             parts.append(f"speeds={self.speeds.describe()}")
+        if self.dynamics is not None:
+            parts.append(f"dynamics={self.dynamics.describe()}")
         parts += [
             f"placement={self.placement}",
             f"arrival_order={self.arrival_order}",

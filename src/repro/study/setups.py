@@ -37,6 +37,7 @@ from ..workloads.placement import (
     single_source_placement,
     uniform_random_placement,
 )
+from ..workloads.dynamics import DynamicsSpec
 from ..workloads.speeds import SpeedDistribution
 from ..workloads.weights import WeightDistribution
 
@@ -81,6 +82,30 @@ def _speeds(
     return None if distribution is None else distribution.sample(n, rng)
 
 
+def _attach_dynamics(
+    state: SystemState,
+    spec: DynamicsSpec | None,
+    default_weights: WeightDistribution,
+    policy: ThresholdPolicy,
+    rng: np.random.Generator,
+) -> SystemState:
+    """Compile an arrival/departure schedule onto a freshly built state.
+
+    Compiled *after* weights, placement and speeds so ``dynamics=None``
+    setups consume exactly the pre-dynamics randomness (bit-for-bit
+    trial equivalence with older revisions on shared seeds).
+    """
+    if spec is not None:
+        state.dynamics = spec.compile(
+            n=state.n,
+            m0=state.m,
+            rng=rng,
+            default_weights=default_weights,
+            policy=policy,
+        )
+    return state
+
+
 def _placement(
     kind: str, m: int, n: int, weights: np.ndarray, rng: np.random.Generator
 ) -> np.ndarray:
@@ -115,6 +140,7 @@ class UserControlledSetup:
     arrival_order: str = "random"
     atol: float = 1e-9
     speeds: SpeedDistribution | None = None
+    dynamics: DynamicsSpec | None = None
 
     def __call__(
         self, rng: np.random.Generator
@@ -123,14 +149,16 @@ class UserControlledSetup:
         placement = _placement(
             self.placement_kind, self.m, self.n, weights, rng
         )
+        policy = _threshold_policy(self.threshold_kind, self.eps)
         state = SystemState.from_workload(
             weights,
             placement,
             self.n,
-            _threshold_policy(self.threshold_kind, self.eps),
+            policy,
             atol=self.atol,
             speeds=_speeds(self.speeds, self.n, rng),
         )
+        _attach_dynamics(state, self.dynamics, self.distribution, policy, rng)
         protocol = UserControlledProtocol(
             alpha=self.alpha, arrival_order=self.arrival_order
         )
@@ -150,6 +178,7 @@ class ResourceControlledSetup:
     arrival_order: str = "random"
     atol: float = 1e-9
     speeds: SpeedDistribution | None = None
+    dynamics: DynamicsSpec | None = None
 
     def __call__(
         self, rng: np.random.Generator
@@ -158,14 +187,16 @@ class ResourceControlledSetup:
         placement = _placement(
             self.placement_kind, self.m, self.graph.n, weights, rng
         )
+        policy = _threshold_policy(self.threshold_kind, self.eps)
         state = SystemState.from_workload(
             weights,
             placement,
             self.graph.n,
-            _threshold_policy(self.threshold_kind, self.eps),
+            policy,
             atol=self.atol,
             speeds=_speeds(self.speeds, self.graph.n, rng),
         )
+        _attach_dynamics(state, self.dynamics, self.distribution, policy, rng)
         protocol = ResourceControlledProtocol(
             self.graph, arrival_order=self.arrival_order
         )
@@ -186,6 +217,7 @@ class HybridSetup:
     threshold_kind: str = "above_average"
     placement_kind: str = "single_source"
     speeds: SpeedDistribution | None = None
+    dynamics: DynamicsSpec | None = None
 
     def __call__(
         self, rng: np.random.Generator
@@ -194,13 +226,15 @@ class HybridSetup:
         placement = _placement(
             self.placement_kind, self.m, self.graph.n, weights, rng
         )
+        policy = _threshold_policy(self.threshold_kind, self.eps)
         state = SystemState.from_workload(
             weights,
             placement,
             self.graph.n,
-            _threshold_policy(self.threshold_kind, self.eps),
+            policy,
             speeds=_speeds(self.speeds, self.graph.n, rng),
         )
+        _attach_dynamics(state, self.dynamics, self.distribution, policy, rng)
         protocol = HybridProtocol(
             ResourceControlledProtocol(self.graph),
             UserControlledProtocol(alpha=self.alpha),

@@ -202,15 +202,8 @@ class TestThirdPartyFallback:
 
 
 class TestFallbackWarning:
-    """_vectorizable names *why* a chunk fell back, once per reason."""
-
-    @pytest.fixture(autouse=True)
-    def _fresh_warning_state(self):
-        saved = set(BatchedBackend._warned_fallbacks)
-        BatchedBackend._warned_fallbacks.clear()
-        yield
-        BatchedBackend._warned_fallbacks.clear()
-        BatchedBackend._warned_fallbacks.update(saved)
+    """_vectorizable names *why* a chunk fell back, once per reason per
+    run_trials call."""
 
     def test_non_batch_protocol_warns(self):
         from repro.core.batch import BatchFallbackWarning
@@ -239,13 +232,31 @@ class TestFallbackWarning:
         with pytest.warns(BatchFallbackWarning, match="disagree"):
             run_trials(_RaggedSetup(), trials=6, seed=0, backend="batched")
 
-    def test_one_shot_per_reason(self):
+    def test_one_shot_per_reason_within_a_call(self):
         import warnings as _warnings
 
-        run_trials(_CountingSetup(), trials=2, seed=0, backend="batched")
-        with _warnings.catch_warnings():
-            _warnings.simplefilter("error")
-            run_trials(_CountingSetup(), trials=2, seed=1, backend="batched")
+        from repro.core.batch import BatchFallbackWarning
+
+        # three single-trial chunks fall back for the same reason, but
+        # one run_trials call emits the warning only once ...
+        backend = BatchedBackend(max_batch=1)
+        with _warnings.catch_warnings(record=True) as caught:
+            _warnings.simplefilter("always")
+            run_trials(_CountingSetup(), trials=3, seed=0, backend=backend)
+        fallback = [
+            w
+            for w in caught
+            if issubclass(w.category, BatchFallbackWarning)
+        ]
+        assert len(fallback) == 1
+        # ... while a later call on the same backend warns afresh (the
+        # latch is per call, not per process)
+        with _warnings.catch_warnings(record=True) as caught2:
+            _warnings.simplefilter("always")
+            run_trials(_CountingSetup(), trials=2, seed=1, backend=backend)
+        assert any(
+            issubclass(w.category, BatchFallbackWarning) for w in caught2
+        )
 
     def test_vectorized_path_does_not_warn(self):
         import warnings as _warnings

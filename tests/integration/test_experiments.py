@@ -126,6 +126,7 @@ class TestRegistry:
             "figure1", "figure2", "table1", "resource_above",
             "resource_tight", "lower_bound", "alpha_ablation", "drift_check",
             "arrival_order", "tight_scaling", "speed_ablation",
+            "dynamic_load",
         }
 
     def test_every_config_has_quick(self):

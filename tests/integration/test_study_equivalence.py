@@ -48,9 +48,13 @@ TINY_OVERRIDES = {
     "tight_scaling": dict(n_values=(16, 32), m_per_n=4, trials=3),
     "arrival_order": dict(n=16, m=64, heavy_weight=4.0, heavy_count=4, trials=3),
     "drift_check": dict(n=16, m=64, trials=2),
-    # post-Study artefact (no legacy driver to replay): shrink only
+    # post-Study artefacts (no legacy driver to replay): shrink only
     "speed_ablation": dict(
         n=16, torus_shape=(4, 4), m=96, skews=(1.0, 4.0), trials=2,
+    ),
+    "dynamic_load": dict(
+        n=16, torus_shape=(4, 4), m0=32, rates=(0.5, 2.0), horizon=40,
+        mean_lifetime=20.0, trials=2, max_rounds=400,
     ),
 }
 

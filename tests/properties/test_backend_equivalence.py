@@ -15,6 +15,8 @@ mixed-mode chunks fall back — identical results either way).
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -28,20 +30,6 @@ from repro.experiments import (
 )
 from repro.graphs import complete_graph, cycle_graph, grid_graph
 from repro.workloads import TwoPointWeights, UniformRangeWeights, UniformWeights
-
-
-@pytest.fixture(autouse=True, scope="module")
-def _fresh_fallback_warning_state():
-    """The fallback tests below exercise _vectorizable, which records
-    one-shot warning reasons process-wide; save/clear/restore so this
-    module leaves no order-dependence behind.  Module-scoped: a
-    function-scoped autouse fixture would trip hypothesis's
-    function_scoped_fixture health check on the @given tests."""
-    saved = set(BatchedBackend._warned_fallbacks)
-    BatchedBackend._warned_fallbacks.clear()
-    yield
-    BatchedBackend._warned_fallbacks.clear()
-    BatchedBackend._warned_fallbacks.update(saved)
 
 
 def runs_equal(dense, batched) -> bool:
@@ -329,8 +317,9 @@ def test_hybrid_fallback_boundary():
         resource_fraction=0.5,
         mode="probabilistic",
     )
+    backend = BatchedBackend()
     same = [mk(np.random.default_rng(s)) for s in range(3)]
-    assert BatchedBackend._vectorizable(
+    assert backend._vectorizable(
         [p for p, _ in same], [s for _, s in same]
     )
 
@@ -338,9 +327,11 @@ def test_hybrid_fallback_boundary():
     mixed = [mixed_setup(np.random.default_rng(s)) for s in range(8)]
     modes = {p.mode for p, _ in mixed}
     assert modes == {"probabilistic", "alternate"}  # both present
-    assert not BatchedBackend._vectorizable(
-        [p for p, _ in mixed], [s for _, s in mixed]
-    )
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        assert not backend._vectorizable(
+            [p for p, _ in mixed], [s for _, s in mixed]
+        )
 
 
 @given(user_instance())

@@ -46,19 +46,6 @@ from repro.workloads import (
 BACKENDS = ("serial", "process", "batched")
 
 
-@pytest.fixture(autouse=True, scope="module")
-def _fresh_fallback_warning_state():
-    """Save/clear/restore the one-shot fallback-warning registry so the
-    ragged-shape test below observes its warning regardless of test
-    order (module-scoped to stay clear of hypothesis's function-scoped
-    fixture health check)."""
-    saved = set(BatchedBackend._warned_fallbacks)
-    BatchedBackend._warned_fallbacks.clear()
-    yield
-    BatchedBackend._warned_fallbacks.clear()
-    BatchedBackend._warned_fallbacks.update(saved)
-
-
 def runs_equal(a, b) -> bool:
     """Bit-for-bit equality of the quantities the paper reports."""
     return all(
@@ -326,7 +313,7 @@ class _MixedSpeedSetup:
 def test_mixed_uniform_heterogeneous_chunk_vectorizes_and_matches(seed):
     setup = _MixedSpeedSetup()
     built = [setup(np.random.default_rng(s)) for s in range(6)]
-    assert BatchedBackend._vectorizable(
+    assert BatchedBackend()._vectorizable(
         [p for p, _ in built], [s for _, s in built]
     )
     dense = run_trials(setup, 6, seed=seed)
@@ -351,7 +338,6 @@ class _RaggedSpeedSetup:
 def test_ragged_speed_chunks_fall_back_cleanly():
     setup = _RaggedSpeedSetup()
     dense = run_trials(setup, 8, seed=99)
-    BatchedBackend._warned_fallbacks.discard("heterogeneous-shapes")
     with warnings.catch_warnings(record=True) as caught:
         warnings.simplefilter("always")
         batched = run_trials(setup, 8, seed=99, backend="batched")
@@ -359,3 +345,19 @@ def test_ragged_speed_chunks_fall_back_cleanly():
     assert any(
         issubclass(w.category, BatchFallbackWarning) for w in caught
     )
+
+
+def test_fallback_warning_fires_per_run_trials_call():
+    """The one-shot fallback latch is per ``run_trials`` call, not
+    process-wide: two successive runs on the *same* backend instance
+    must both warn (regression — the latch used to be a class-level
+    set that silenced every later study in the process)."""
+    setup = _RaggedSpeedSetup()
+    backend = BatchedBackend()
+    for _ in range(2):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            run_trials(setup, 8, seed=99, backend=backend)
+        assert any(
+            issubclass(w.category, BatchFallbackWarning) for w in caught
+        )
