@@ -54,7 +54,10 @@ def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
         "--workers",
         type=int,
         default=None,
-        help="process-pool size for trials (-1 = all cores)",
+        help=(
+            "process-pool size for the process backend, or shard count "
+            "for the sharded backend (-1 = all cores)"
+        ),
     )
     parser.add_argument(
         "--backend",
@@ -62,8 +65,9 @@ def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
         default=None,
         help=(
             "trial execution backend: 'serial' (reference), 'process' "
-            "(pool of --workers), or 'batched' (vectorised across "
-            "trials; fastest on one machine)"
+            "(pool of --workers), 'batched' (vectorised across trials; "
+            "fastest on one core), or 'sharded' (batched engine fanned "
+            "out over --workers processes; fastest on many cores)"
         ),
     )
     parser.add_argument(
@@ -205,10 +209,14 @@ def _check_pool_flags(args, parser: argparse.ArgumentParser) -> None:
         validate_workers(workers)
     except ValueError as err:  # one source of truth for the rule + text
         parser.error(f"--{err}")
-    if workers not in (None, 1) and backend not in (None, "process"):
+    if workers not in (None, 1) and backend not in (
+        None,
+        "process",
+        "sharded",
+    ):
         parser.error(
-            f"--workers {workers} only applies to --backend process; "
-            f"the {backend!r} backend cannot use a process pool"
+            f"--workers {workers} only applies to --backend process or "
+            f"sharded; the {backend!r} backend cannot use a process pool"
         )
 
 

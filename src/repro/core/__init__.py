@@ -7,7 +7,9 @@ single trial, and the *backends* (:mod:`repro.core.backends`) execute
 multi-trial sweeps — serially, over a process pool, or vectorised
 across trials in one process (:class:`~repro.core.batch.BatchedBackend`).
 All backends reproduce the same per-trial results from a shared root
-seed; pick one via ``run_trials(..., backend="serial"|"process"|"batched")``.
+seed; pick one via ``run_trials(..., backend=...)`` using any name in
+:data:`~repro.core.backends.BACKEND_NAMES` (``sharded`` fans the
+batched engine out over a process pool, see :mod:`repro.core.sharded`).
 """
 
 from .backends import (
@@ -54,6 +56,7 @@ from .reference import (
     reference_user_step,
 )
 from .runner import run_single_trial, run_trial_summary, run_trials
+from .sharded import ShardedBackend, ShardedDegradationWarning
 from .simulator import RunResult, simulate
 from .stack import ResourceStack, StackPartition, partition_stacks
 from .state import SystemState
@@ -86,6 +89,8 @@ __all__ = [
     "ResourceControlledProtocol",
     "ResourceStack",
     "RunResult",
+    "ShardedBackend",
+    "ShardedDegradationWarning",
     "SimulationBackend",
     "StackPartition",
     "StepStats",

@@ -8,7 +8,7 @@ simulation generators from ``seed_seqs[i].spawn(2)``, so for a fixed
 root seed every backend produces the same per-trial randomness and
 (for the dense paths) identical results regardless of scheduling.
 
-Three backends ship with the engine:
+Four backends ship with the engine:
 
 ``serial`` (:class:`DenseBackend`)
     One trial at a time through :func:`~repro.core.simulator.simulate`.
@@ -20,6 +20,11 @@ Three backends ship with the engine:
     Runs many trials in one process on stacked arrays, vectorising the
     per-round work across trials (see :mod:`repro.core.batch`).  Matches
     the dense backends trial-for-trial, bit-for-bit, on shared seeds.
+``sharded`` (:class:`~repro.core.sharded.ShardedBackend`)
+    The batched engine fanned out over a process pool — one contiguous
+    trial shard per worker, final loads merged back through shared
+    memory (see :mod:`repro.core.sharded`).  Bit-identical to
+    ``batched`` (and hence ``serial``) on shared seeds.
 
 Use :func:`get_backend` to resolve a name (or pass an instance with
 custom parameters) and ``run_trials(..., backend=...)`` in
@@ -51,7 +56,7 @@ __all__ = [
 ]
 
 #: Backend names accepted by :func:`get_backend` and the CLI.
-BACKEND_NAMES = ("serial", "process", "batched")
+BACKEND_NAMES = ("serial", "process", "batched", "sharded")
 
 
 def validate_workers(workers: int | None) -> None:
@@ -198,10 +203,11 @@ def get_backend(
     """Resolve a backend name (or pass-through an instance).
 
     ``None`` keeps the historical behaviour of the runner: serial unless
-    ``workers`` asks for a pool.  ``workers`` only parameterises the
-    process backend; the serial and batched backends ignore it.
-    ``workers`` values other than ``None``, positive ints and ``-1``
-    are rejected up front (see :func:`validate_workers`).
+    ``workers`` asks for a pool.  ``workers`` parameterises the process
+    and sharded backends (pool/shard size); the serial and batched
+    backends ignore it.  ``workers`` values other than ``None``,
+    positive ints and ``-1`` are rejected up front (see
+    :func:`validate_workers`).
     """
     validate_workers(workers)
     if isinstance(backend, SimulationBackend):
@@ -216,6 +222,12 @@ def get_backend(
         from .batch import BatchedBackend
 
         return BatchedBackend()
+    if backend == "sharded":
+        from .sharded import ShardedBackend
+
+        return ShardedBackend(
+            workers=workers if workers is not None else -1
+        )
     raise ValueError(
         f"unknown backend {backend!r}; expected one of {BACKEND_NAMES} "
         "or a SimulationBackend instance"

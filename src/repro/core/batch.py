@@ -61,6 +61,30 @@ unchanged — every per-trial reduction sees exactly the dense operand
 lengths, which preserves the bit-for-bit contract.  Static chunks have
 ``stride == n`` and zero parked slots, so their arithmetic is untouched.
 
+Two hot-loop economies keep the engine fast at the scale frontier
+(n ~ 10^5, m ~ 10^6 per trial) without touching the contract above:
+
+* **Index dtype tightening.**  Task-slot and placement-key arrays use
+  ``int32`` whenever every absolute slot (``A * m``) and key
+  (``A * (stride + 1)``) fits (see :func:`_index_dtype`), halving the
+  memory traffic of the per-round order merge.  Integer dtype cannot
+  change any float accumulation, and stack keys stay unique, so results
+  are bit-identical either way; the fused merge sort key
+  ``key * (m + 1) + arrival`` always computes in int64.
+* **Scratch reuse.**  The sorted-weight gather, the row-wise cumsum,
+  the merge output and the dynamic inverse-permutation all write into
+  buffers allocated once per chunk (the merge ping-pongs ``order``
+  against a twin buffer), so steady-state rounds allocate almost
+  nothing; static chunks additionally skip all dynamic bookkeeping.
+
+``BatchedBackend(fast_math=True)`` goes further and **waives the
+bit-exactness contract** (results stay statistically equivalent but may
+differ in float rounding): kernels reuse the incrementally maintained
+load matrix instead of recomputing the fresh ``bincount`` every round,
+and reduce per-trial migrated weight with one segmented ``bincount``
+instead of the dense per-trial summation order.  Never use it where
+results are compared bit-for-bit against another backend.
+
 Protocols opt into vectorisation by overriding
 :meth:`~repro.core.protocols.base.Protocol.step_batch` to accept a
 :class:`BatchState` (``UserControlledProtocol``,
@@ -136,6 +160,20 @@ class BatchStepStats:
     loads_after: np.ndarray
 
 
+def _index_dtype(A: int, m: int, stride: int) -> np.dtype:
+    """Smallest safe dtype for absolute task slots and placement keys.
+
+    ``int32`` when every value any index array can hold — absolute
+    slots up to ``A * m`` and indptr-shifted keys up to
+    ``A * (stride + 1)`` — stays below ``2**31``; ``int64`` otherwise.
+    Intermediates that could overflow int32 regardless of this bound
+    (the fused merge key ``key * (m + 1) + arrival``) are always
+    computed in int64 by the kernels.
+    """
+    hi = max(A * m, A * (stride + 1))
+    return np.dtype(np.int32 if hi < 2**31 else np.int64)
+
+
 def _segmented_arange(lengths: np.ndarray) -> np.ndarray:
     """``concatenate([arange(k) for k in lengths])`` without the loop."""
     total = int(lengths.sum())
@@ -194,6 +232,8 @@ class BatchState:
         self.n, self.m, self.A = n, m, A
         self.m0 = m0
         self.stride = stride
+        #: Index dtype of slot/key arrays (int32 when all values fit).
+        self.idx = _index_dtype(A, m, stride)
         trial_base = (np.arange(A, dtype=np.int64) * stride)[:, None]
         if self.dynamic:
             self.w_task = np.zeros((A, m))
@@ -230,11 +270,14 @@ class BatchState:
             self.depart_slot = None
             self.live_mask = None
             self.m_live = None
+        self.key_task = self.key_task.astype(self.idx, copy=False)
         self.counts = np.bincount(
             self.key_task.ravel(), minlength=A * stride
         ).reshape(A, stride)
         # One full sort at construction; every later round merges instead.
-        self.order = np.lexsort((seq.ravel(), self.key_task.ravel()))
+        self.order = np.lexsort(
+            (seq.ravel(), self.key_task.ravel())
+        ).astype(self.idx, copy=False)
         self.t_res = np.stack([s.threshold_vector() for s in states])
         #: Per-trial speed vectors as handed in (``None`` for uniform
         #: trials) — reported back on each trial's ``RunResult``.
@@ -266,16 +309,43 @@ class BatchState:
         #: When False, kernels may skip the stats reductions that only
         #: feed traces (potential / overload count / max load).
         self.record_stats = False
-        self._scratch_arange = np.arange(A * m, dtype=np.int64)
+        #: When True (set by ``BatchedBackend(fast_math=True)``), the
+        #: kernels may trade the dense float-accumulation order for
+        #: speed: :meth:`fresh_loads` serves :attr:`loads_cache` and
+        #: migrated weight reduces via segmented ``bincount``.
+        self.fast_math = False
+        #: Engine-maintained load matrix for fast-math rounds (``None``
+        #: outside them); see :meth:`fresh_loads`.
+        self.loads_cache: np.ndarray | None = None
+        self._scratch_arange = np.arange(A * m, dtype=self.idx)
         self._scratch_keep = np.ones(A * m, dtype=bool)
         self._scratch_u = np.empty((A, m))
         self._scratch_indptr = np.zeros((A, stride + 1), dtype=np.int64)
+        # Round-persistent buffers: sorted-weight gather + row cumsum
+        # (every kernel, every round) and the merge ping-pong twin of
+        # ``order`` (see _merge_movers); the dynamic inverse permutation
+        # only exists for dynamic chunks — static ones never build it.
+        self._scratch_ws = np.empty(A * m)
+        self._scratch_cum = np.empty((A, m))
+        self._order_buf = np.empty(A * m, dtype=self.idx)
+        self._scratch_inv = (
+            np.empty(A * m, dtype=self.idx) if self.dynamic else None
+        )
 
     # ------------------------------------------------------------------
     def fresh_loads(self) -> np.ndarray:
         """Load matrix ``(A, stride)`` recomputed exactly like the dense
         partition (one weighted ``bincount`` in task-index order; the
-        dynamic parking column only ever accumulates zeros)."""
+        dynamic parking column only ever accumulates zeros).
+
+        Under ``fast_math`` the engine publishes its incrementally
+        maintained matrix in :attr:`loads_cache` before each round and
+        this returns it as-is — same statistics, different float
+        accumulation order, no ``O(A * m)`` bincount.  Kernels only read
+        the returned matrix, so serving the engine's array is safe.
+        """
+        if self.fast_math and self.loads_cache is not None:
+            return self.loads_cache
         return np.bincount(
             self.key_task.ravel(),
             weights=self.w_task.ravel(),
@@ -289,9 +359,14 @@ class BatchState:
     def sorted_heights(self) -> tuple[np.ndarray, np.ndarray]:
         """``(w_s, cum)``: weights in stack order and their row-wise
         running sums — the same quantities the dense partition derives
-        per trial."""
-        w_s = self.w_task.ravel()[self.order]
-        cum = w_s.reshape(self.A, self.m).cumsum(axis=1)
+        per trial.  Both live in round-persistent scratch (valid until
+        the next call)."""
+        size = self.A * self.m
+        w_s = np.take(
+            self.w_task.ravel(), self.order, out=self._scratch_ws[:size]
+        )
+        cum = self._scratch_cum[: self.A]
+        np.cumsum(w_s.reshape(self.A, self.m), axis=1, out=cum)
         return w_s, cum
 
     def indptr(self) -> np.ndarray:
@@ -396,9 +471,14 @@ class BatchState:
         # before it; ``ins`` is sorted, so the shift is a step function.
         spans = np.diff(np.concatenate(([0], ins, [n_stay])))
         shift = np.repeat(np.arange(n_mov + 1, dtype=np.int64), spans)
-        merged = np.empty(A * m, dtype=np.int64)
+        # Ping-pong: write the merged permutation into the twin buffer
+        # and swap it with ``order`` (``stay`` is a boolean-index copy,
+        # so the two scatters below fully overwrite the buffer without
+        # reading it) — steady-state merges allocate nothing.
+        merged = self._order_buf[: A * m]
         merged[self._scratch_arange[:n_stay] + shift] = stay
         merged[ins + self._scratch_arange[:n_mov]] = mov_abs[mov_sort]
+        self._order_buf = self.order
         self.order = merged
 
     # ------------------------------------------------------------------
@@ -428,7 +508,7 @@ class BatchState:
         w_flat[dep_abs] = 0.0
         w_flat[arr_abs] = arr_weight
 
-        inv = np.empty(A * m, dtype=np.int64)
+        inv = self._scratch_inv[: A * m]
         inv[self.order] = self._scratch_arange[: A * m]
         mov_abs = np.concatenate([dep_abs, arr_abs])
         mov_pos = inv[mov_abs]
@@ -471,15 +551,22 @@ class BatchState:
         shift = rows - np.arange(rows.shape[0], dtype=np.int64)
         target.stride = self.stride
         target.dynamic = self.dynamic
+        target.idx = self.idx
         target.w_task = np.ascontiguousarray(self.w_task[rows])
-        target.key_task = np.ascontiguousarray(
+        # the re-basing arithmetic promotes to int64; cast back to the
+        # chunk's index dtype (values only ever shrink)
+        target.key_task = (
             self.key_task[rows] - (shift * self.stride)[:, None]
-        )
+        ).astype(self.idx, copy=False)
         target.counts = np.ascontiguousarray(self.counts[rows])
         target.order = (
-            self.order.reshape(self.A, self.m)[rows]
-            - (shift * self.m)[:, None]
-        ).ravel()
+            (
+                self.order.reshape(self.A, self.m)[rows]
+                - (shift * self.m)[:, None]
+            )
+            .astype(self.idx, copy=False)
+            .ravel()
+        )
         if self.dynamic:
             target.live_mask = np.ascontiguousarray(self.live_mask[rows])
             target.m_live = self.m_live[rows]
@@ -520,6 +607,12 @@ class BatchState:
         self._scratch_indptr = np.ascontiguousarray(
             self._scratch_indptr[: self.A]
         )
+        self._scratch_ws = self._scratch_ws[:size]
+        self._scratch_cum = self._scratch_cum[: self.A]
+        self._order_buf = self._order_buf[:size]
+        if self.dynamic:
+            self._scratch_inv = self._scratch_inv[:size]
+        self.loads_cache = None  # row set changed; engine republishes
 
     # ------------------------------------------------------------------
     def extract(self, rows: np.ndarray) -> "BatchState":
@@ -543,12 +636,24 @@ class BatchState:
         sub.m0 = self.m0
         self._rebase_rows_onto(sub, rows)
         sub.record_stats = self.record_stats
+        sub.fast_math = self.fast_math
+        sub.loads_cache = (
+            np.ascontiguousarray(self.loads_cache[rows])
+            if self.loads_cache is not None
+            else None
+        )
         k = sub.A
         size = k * self.m
         sub._scratch_arange = self._scratch_arange[:size]
         sub._scratch_keep = self._scratch_keep[:size]
         sub._scratch_u = self._scratch_u[:k]
         sub._scratch_indptr = self._scratch_indptr[:k]
+        sub._scratch_ws = self._scratch_ws[:size]
+        sub._scratch_cum = self._scratch_cum[:k]
+        sub._order_buf = self._order_buf[:size]
+        sub._scratch_inv = (
+            self._scratch_inv[:size] if self.dynamic else None
+        )
         return sub
 
     def scatter(self, sub: "BatchState", rows: np.ndarray) -> None:
@@ -578,6 +683,16 @@ class BatchedBackend(SimulationBackend):
         Trials stacked per chunk; ``None`` sizes chunks so the flat
         arrays hold about :data:`DEFAULT_CHUNK_ELEMENTS` task slots.
         Chunking only bounds memory — results are independent of it.
+    fast_math:
+        When True, **waive the bit-exactness contract** for speed:
+        vectorised rounds reuse the incrementally maintained load
+        matrix instead of recomputing the fresh per-round ``bincount``
+        (static chunks only — dynamic chunks always recompute), and
+        migrated weight reduces via one segmented ``bincount`` instead
+        of the dense per-trial summation order.  Results are
+        statistically equivalent but may differ from the other backends
+        in float rounding, so never combine with cross-backend
+        bit-for-bit comparisons.  Default False.
 
     Notes
     -----
@@ -595,10 +710,13 @@ class BatchedBackend(SimulationBackend):
 
     name = "batched"
 
-    def __init__(self, max_batch: int | None = None) -> None:
+    def __init__(
+        self, max_batch: int | None = None, fast_math: bool = False
+    ) -> None:
         if max_batch is not None and max_batch <= 0:
             raise ValueError("max_batch must be positive")
         self.max_batch = max_batch
+        self.fast_math = bool(fast_math)
         #: Fallback reasons already warned about in the current
         #: ``run_trials`` call (reset at each entry).
         self._warned_fallbacks: set[str] = set()
@@ -746,6 +864,7 @@ class BatchedBackend(SimulationBackend):
         names = [p.name for p in protocols]
         batch = BatchState(states)
         batch.record_stats = record_traces
+        batch.fast_math = self.fast_math
         del states  # the stacked arrays are authoritative from here on
 
         total_movers = np.zeros(B, dtype=np.int64)
@@ -801,6 +920,10 @@ class BatchedBackend(SimulationBackend):
         live_rngs = [rngs[t] for t in live]
         executed = 0
         while live.size and executed < max_rounds:
+            if self.fast_math:
+                # publish the maintained matrix so fresh_loads() can
+                # skip its O(A*m) bincount this round
+                batch.loads_cache = loads
             stats = protocol.step_batch(batch, live_rngs)
             executed += 1
             rounds[live] = executed
@@ -858,8 +981,43 @@ class BatchedBackend(SimulationBackend):
         live_weight = np.array([float(s.weights.sum()) for s in states])
         batch = BatchState(states)
         batch.record_stats = record_traces
+        # fast_math in dynamic mode only relaxes the migrated-weight
+        # reduction: the load matrix is always recomputed fresh, since
+        # population events change weights between rounds.
+        batch.fast_math = self.fast_math
         n, m, m0 = batch.n, batch.m, batch.m0
         del states
+
+        # Event-round skip: most rounds see no arrival and no departure,
+        # so scanning the (A, m) depart matrix every round is pure
+        # overhead.  Precompute each trial's sorted distinct event
+        # rounds; the O(A*m) scan below only runs on rounds where some
+        # live trial actually has an event (a superset check, so the
+        # skipped rounds are exact no-ops and results are unchanged).
+        from ..workloads.dynamics import INFINITE_LIFETIME
+
+        NO_EVENT = np.iinfo(np.int64).max
+        event_rounds: list[np.ndarray] = []
+        for sc in scheds:
+            ev = np.unique(
+                np.concatenate(
+                    [
+                        sc.arrive_round,
+                        sc.initial_depart[
+                            sc.initial_depart < INFINITE_LIFETIME
+                        ],
+                        sc.arrive_depart[
+                            sc.arrive_depart < INFINITE_LIFETIME
+                        ],
+                    ]
+                )
+            )
+            event_rounds.append(ev.astype(np.int64, copy=False))
+        eptr = np.zeros(B, dtype=np.int64)
+        next_ev = np.array(
+            [ev[0] if ev.size else NO_EVENT for ev in event_rounds],
+            dtype=np.int64,
+        )
 
         total_movers = np.zeros(B, dtype=np.int64)
         total_weight = np.zeros(B)
@@ -917,18 +1075,30 @@ class BatchedBackend(SimulationBackend):
         while live.size and executed < max_rounds:
             t = executed + 1
             # --- departures then arrivals, like the dense loop ---
-            dep_mask = (batch.depart_slot == t) & batch.live_mask
-            arr_hi = np.array(
-                [
-                    np.searchsorted(
-                        scheds[trial].arrive_round, t, side="right"
-                    )
-                    for trial in live
-                ],
-                dtype=np.int64,
-            )
-            arr_lo = ptr[live]
-            if dep_mask.any() or np.any(arr_hi > arr_lo):
+            # Rounds where no live trial has a scheduled event skip the
+            # whole block (including the O(A*m) departure scan): the
+            # precomputed event rounds are a superset of the rounds the
+            # scan could fire on, so the skip is an exact no-op.
+            run_events = bool(np.any(next_ev[live] <= t))
+            if run_events:
+                dep_mask = (batch.depart_slot == t) & batch.live_mask
+                arr_hi = np.array(
+                    [
+                        np.searchsorted(
+                            scheds[trial].arrive_round, t, side="right"
+                        )
+                        for trial in live
+                    ],
+                    dtype=np.int64,
+                )
+                arr_lo = ptr[live]
+                for row in np.flatnonzero(next_ev[live] <= t):
+                    trial = int(live[row])
+                    ev = event_rounds[trial]
+                    e = eptr[trial] + 1
+                    eptr[trial] = e
+                    next_ev[trial] = ev[e] if e < ev.shape[0] else NO_EVENT
+            if run_events and (dep_mask.any() or np.any(arr_hi > arr_lo)):
                 dep_abs = np.flatnonzero(dep_mask.ravel())
                 if dep_abs.size:
                     dep_trial = dep_abs // m
@@ -1165,6 +1335,7 @@ def user_step_batch(
         else None
     )
     fifo = proto.arrival_order != "random"
+    fast = batch.fast_math
     for row in range(A):
         lo, hi = offsets[row], offsets[row + 1]
         if lo == hi:
@@ -1174,11 +1345,18 @@ def user_step_batch(
             dest[lo:hi] = rng.integers(0, n, size=hi - lo)
         else:
             dest[lo:hi] = proto.walk.step(src[lo:hi], rng)
-        moved_weight[row] = float(w_mov[lo:hi].sum())
+        if not fast:
+            moved_weight[row] = float(w_mov[lo:hi].sum())
         if fifo:
             arrival[lo:hi] = np.arange(hi - lo)
         else:
             arrival[lo:hi] = rng.permutation(hi - lo)
+    if fast:
+        # one segmented reduction instead of A slice sums (fast_math:
+        # different accumulation order, same statistics)
+        moved_weight = np.bincount(
+            mov_trial, weights=w_mov, minlength=A
+        )
 
     loads_after = batch.apply_moves(mov_abs, mov_pos, dest, arrival, loads)
     return BatchStepStats(
@@ -1242,12 +1420,17 @@ def resource_step_batch(
 
     # moved weight: the dense step sums the compressed sorted weights
     w_act = w_s[active]
-    moved_weight = np.zeros(A)
     offsets = np.concatenate(([0], np.cumsum(k)))
-    for row in range(A):
-        lo, hi = offsets[row], offsets[row + 1]
-        if lo != hi:
-            moved_weight[row] = float(w_act[lo:hi].sum())
+    if batch.fast_math:
+        # fast_math: one segmented reduction (different accumulation
+        # order than the dense per-trial sums, same statistics)
+        moved_weight = np.bincount(mov_trial, weights=w_act, minlength=A)
+    else:
+        moved_weight = np.zeros(A)
+        for row in range(A):
+            lo, hi = offsets[row], offsets[row + 1]
+            if lo != hi:
+                moved_weight[row] = float(w_act[lo:hi].sum())
 
     if mov_abs.shape[0] == 0:
         return BatchStepStats(

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ...graphs.implicit import ImplicitWalk, NeighborSampler
 from ...graphs.random_walk import RandomWalk, max_degree_walk
 from ...graphs.topology import Graph
 from ..state import SystemState
@@ -51,7 +52,11 @@ class ResourceControlledProtocol(Protocol):
         with uniform stationary distribution preserves the paper's
         guarantees ("the results in this paper hold for all random
         walks where the stationary distribution equals the uniform
-        distribution").
+        distribution").  An implicit
+        :class:`~repro.graphs.implicit.NeighborSampler` (or a prebuilt
+        :class:`~repro.graphs.implicit.ImplicitWalk`) is accepted in
+        the same way and runs the same rounds without storing any
+        adjacency — the scale-frontier path for large ``n``.
     arrival_order:
         How simultaneous arrivals stack on a resource: ``"random"``
         (default) shuffles them, ``"fifo"`` stacks them in task-index
@@ -61,16 +66,19 @@ class ResourceControlledProtocol(Protocol):
 
     def __init__(
         self,
-        graph_or_walk: Graph | RandomWalk,
+        graph_or_walk: Graph | RandomWalk | NeighborSampler | ImplicitWalk,
         arrival_order: str = "random",
     ) -> None:
-        if isinstance(graph_or_walk, RandomWalk):
+        if isinstance(graph_or_walk, (RandomWalk, ImplicitWalk)):
             self.walk = graph_or_walk
         elif isinstance(graph_or_walk, Graph):
             self.walk = max_degree_walk(graph_or_walk)
+        elif isinstance(graph_or_walk, NeighborSampler):
+            self.walk = ImplicitWalk(graph_or_walk)
         else:
             raise TypeError(
-                f"expected Graph or RandomWalk, got {type(graph_or_walk).__name__}"
+                "expected Graph, RandomWalk, NeighborSampler or "
+                f"ImplicitWalk, got {type(graph_or_walk).__name__}"
             )
         if arrival_order not in ("random", "fifo"):
             raise ValueError("arrival_order must be 'random' or 'fifo'")

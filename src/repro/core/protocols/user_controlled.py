@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ...graphs.implicit import ImplicitWalk
 from ...graphs.random_walk import RandomWalk
 from ..state import SystemState
 from .base import Protocol, StepStats, loads_delta
@@ -81,10 +82,13 @@ class UserControlledProtocol(Protocol):
         Tasks use ``wmax`` "or an estimate" — pass one to model
         imperfect knowledge; defaults to the true ``wmax`` of the state.
     walk:
-        Optional :class:`RandomWalk`; when given, migration destinations
-        are one walk step from the current resource instead of a uniform
-        resource (arbitrary-graph extension; *not* covered by the
-        paper's theorems).
+        Optional :class:`RandomWalk` or
+        :class:`~repro.graphs.implicit.ImplicitWalk`; when given,
+        migration destinations are one walk step from the current
+        resource instead of a uniform resource (arbitrary-graph
+        extension; *not* covered by the paper's theorems).  An implicit
+        walk computes neighbourhoods arithmetically, so large-``n``
+        topologies cost no adjacency memory.
     arrival_order:
         How simultaneous arrivals stack on a resource: ``"random"``
         (default) or ``"fifo"`` (task-index order).  The paper only
@@ -96,7 +100,7 @@ class UserControlledProtocol(Protocol):
         self,
         alpha: float = 1.0,
         wmax_estimate: float | None = None,
-        walk: RandomWalk | None = None,
+        walk: RandomWalk | ImplicitWalk | None = None,
         arrival_order: str = "random",
     ) -> None:
         if not 0.0 < alpha <= 1.0:

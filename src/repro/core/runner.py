@@ -51,20 +51,22 @@ def run_trials(
         or ``workers``.
     workers:
         ``None``/``1`` = serial.  Otherwise a process pool of that many
-        workers (capped at ``os.cpu_count()``); ``-1`` = all cores.
-        ``0`` and values below ``-1`` are rejected.
+        workers (capped at ``os.cpu_count()`` for ``"process"``);
+        ``-1`` = all cores.  ``0`` and values below ``-1`` are
+        rejected.
     backend:
-        ``"serial"``, ``"process"``, ``"batched"``, a
+        ``"serial"``, ``"process"``, ``"batched"``, ``"sharded"``, a
         :class:`~repro.core.backends.SimulationBackend` instance, or
         ``None`` to infer from ``workers`` (the historical behaviour).
 
     Precedence: an explicit ``backend`` decides the execution strategy;
-    ``workers`` then only parameterises the ``"process"`` pool.  With
-    ``backend=None`` a pool-requesting ``workers`` selects the process
-    backend.  Requesting a pool alongside a backend that cannot use one
-    (``"serial"``, ``"batched"``, or any pre-built backend instance,
-    which carries its own pool size) raises ``ValueError`` instead of
-    silently ignoring ``workers``.
+    ``workers`` then only parameterises the ``"process"`` pool or the
+    ``"sharded"`` shard count.  With ``backend=None`` a pool-requesting
+    ``workers`` selects the process backend.  Requesting a pool
+    alongside a backend that cannot use one (``"serial"``,
+    ``"batched"``, or any pre-built backend instance, which carries its
+    own pool size) raises ``ValueError`` instead of silently ignoring
+    ``workers``.
     """
     if trials <= 0:
         raise ValueError("trials must be positive")
@@ -72,7 +74,7 @@ def run_trials(
     if (
         workers not in (None, 1)
         and backend is not None
-        and backend != "process"
+        and backend not in ("process", "sharded")
     ):
         label = (
             f"backend {backend.name!r} (instance)"

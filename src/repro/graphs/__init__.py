@@ -27,6 +27,14 @@ from .hitting import (
     max_hitting_time,
     monte_carlo_hitting_time,
 )
+from .implicit import (
+    CompleteNeighbors,
+    ImplicitWalk,
+    NeighborSampler,
+    RingNeighbors,
+    TorusNeighbors,
+    implicit_max_degree_walk,
+)
 from .random_walk import RandomWalk, lazy_walk, max_degree_walk
 from .spectral import (
     SpectralSummary,
@@ -46,10 +54,15 @@ from .validation import (
 )
 
 __all__ = [
+    "CompleteNeighbors",
     "Graph",
     "GraphReport",
+    "ImplicitWalk",
+    "NeighborSampler",
     "RandomWalk",
+    "RingNeighbors",
     "SpectralSummary",
+    "TorusNeighbors",
     "barbell_graph",
     "binary_tree_graph",
     "check_uniform_stationary",
@@ -62,6 +75,7 @@ __all__ = [
     "hitting_time_matrix",
     "hitting_times_to_target",
     "hypercube_graph",
+    "implicit_max_degree_walk",
     "inspect_graph",
     "lazy_walk",
     "lollipop_graph",

@@ -1,0 +1,288 @@
+"""Implicit (computed) topologies for the scale frontier.
+
+The explicit :class:`~repro.graphs.topology.Graph` stores every
+neighbour list in CSR form, so its memory grows with ``n * degree`` —
+3.2 GB for the complete graph on 20 000 vertices, and the O(n^2)
+edge-list construction is felt long before that.  The paper's regime of
+interest (``m >> n`` with ``n`` up to 10^5–10^6) only ever *samples*
+neighbourhoods, and for the structured families the experiments use
+(complete graph, ring, torus) the ``k``-th neighbour of vertex ``v`` is
+a closed-form expression.  A :class:`NeighborSampler` computes it on
+demand, so topology memory is O(1) regardless of ``n``.
+
+:class:`ImplicitWalk` is the drop-in max-degree random walk over a
+sampler.  The three shipped families are regular, so the paper's walk
+(stay probability ``(d - d_v)/d``) never stays — but :meth:`~
+ImplicitWalk.step` still issues the *same generator calls in the same
+order* as :meth:`repro.graphs.random_walk.RandomWalk.step`, and every
+sampler enumerates neighbours in the same ascending order as the CSR
+``indices``, so a simulation driven by an ``ImplicitWalk`` is
+bit-for-bit identical to one driven by ``max_degree_walk(to_graph())``
+from a shared seed (property-tested in ``tests/graphs/test_implicit.py``).
+
+Protocols accept samplers anywhere a graph is expected
+(``ResourceControlledProtocol(CompleteNeighbors(100_000))``,
+``UserControlledProtocol(walk=ImplicitWalk(TorusNeighbors(400, 250)))``),
+and the batched kernels call ``walk.step`` by duck type, so the whole
+backend stack — serial, process, batched, sharded — runs unchanged.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from .topology import Graph
+
+__all__ = [
+    "NeighborSampler",
+    "CompleteNeighbors",
+    "RingNeighbors",
+    "TorusNeighbors",
+    "ImplicitWalk",
+    "implicit_max_degree_walk",
+]
+
+
+def _as_vertex_array(v) -> np.ndarray:
+    """Vertex operand in a native integer dtype (no int64 upcast).
+
+    The batched kernels hand over int32 positions when their index
+    dtype is tightened; keeping the neighbour arithmetic in that dtype
+    halves the memory traffic of the hot call.  Values are
+    dtype-independent, so results stay bit-compatible either way.
+    """
+    arr = np.asarray(v)
+    if arr.dtype.kind not in "iu":
+        arr = arr.astype(np.int64)
+    return arr
+
+
+class NeighborSampler(ABC):
+    """Arithmetic neighbourhood oracle for a regular graph family.
+
+    Subclasses fix ``n``, a constant ``degree`` and a ``name``, and
+    implement :meth:`neighbor` such that for every vertex ``v`` the
+    slots ``0 .. degree-1`` enumerate the neighbours of ``v`` in
+    ascending order — exactly the CSR slot order of the equivalent
+    explicit :class:`Graph`, which is what makes walks over samplers
+    bit-compatible with walks over stored adjacency.
+    """
+
+    n: int
+    degree: int
+    name: str
+
+    @abstractmethod
+    def neighbor(self, v: np.ndarray, slot: np.ndarray) -> np.ndarray:
+        """``slot``-th smallest neighbour of each vertex (vectorised).
+
+        ``v`` and ``slot`` are broadcast-compatible integer arrays with
+        ``0 <= slot < degree``; returns integer vertices of ``v``'s
+        broadcast shape (in ``v``'s own dtype — values are identical
+        whatever the width).
+        """
+
+    @abstractmethod
+    def content_key(self) -> bytes:
+        """Structural identity, playing :meth:`Graph.content_key`'s role
+        in batch signatures; equal parameters must give equal keys."""
+
+    # ------------------------------------------------------------------
+    @property
+    def max_degree(self) -> int:
+        """Maximum degree (= ``degree``: the families are regular)."""
+        return self.degree
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """Degree of every vertex, shape ``(n,)`` (regular: constant)."""
+        return np.full(self.n, self.degree, dtype=np.int64)
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Sorted neighbour array of one vertex, like
+        :meth:`Graph.neighbors` (returns a fresh array)."""
+        if not 0 <= v < self.n:
+            raise IndexError(f"vertex {v} out of range for n={self.n}")
+        vs = np.full(self.degree, v, dtype=np.int64)
+        return self.neighbor(vs, np.arange(self.degree, dtype=np.int64))
+
+    def to_graph(self) -> Graph:
+        """Materialise the equivalent explicit CSR :class:`Graph`.
+
+        For tests and for graph-wide analyses (spectra, hitting times)
+        that genuinely need stored adjacency — costs O(n * degree).
+        """
+        v = np.repeat(np.arange(self.n, dtype=np.int64), self.degree)
+        slot = np.tile(np.arange(self.degree, dtype=np.int64), self.n)
+        indices = self.neighbor(v, slot)
+        indptr = np.arange(self.n + 1, dtype=np.int64) * self.degree
+        return Graph(n=self.n, indptr=indptr, indices=indices, name=self.name)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r}, n={self.n})"
+
+
+@dataclass(frozen=True)
+class CompleteNeighbors(NeighborSampler):
+    """The complete graph ``K_n`` without storing its n(n-1)/2 edges."""
+
+    n: int
+
+    def __post_init__(self) -> None:
+        if self.n < 2:
+            raise ValueError("complete sampler needs n >= 2")
+        object.__setattr__(self, "degree", self.n - 1)
+        object.__setattr__(self, "name", f"complete(n={self.n})")
+
+    def neighbor(self, v: np.ndarray, slot: np.ndarray) -> np.ndarray:
+        v = _as_vertex_array(v)
+        slot = np.asarray(slot)
+        # ascending neighbours of v are 0..n-1 with v removed: slot k
+        # maps to k below v and k+1 from v upward
+        return slot + (slot >= v)
+
+    def content_key(self) -> bytes:
+        return f"implicit:complete:{self.n}".encode()
+
+
+@dataclass(frozen=True)
+class RingNeighbors(NeighborSampler):
+    """The cycle ``C_n`` (ring) with computed wrap-around neighbours."""
+
+    n: int
+
+    def __post_init__(self) -> None:
+        if self.n < 3:
+            raise ValueError("ring sampler needs n >= 3")
+        object.__setattr__(self, "degree", 2)
+        object.__setattr__(self, "name", f"cycle(n={self.n})")
+
+    def neighbor(self, v: np.ndarray, slot: np.ndarray) -> np.ndarray:
+        v = _as_vertex_array(v)
+        slot = np.asarray(slot)
+        n = self.n
+        prev = np.where(v == 0, n - 1, v - 1)
+        nxt = np.where(v == n - 1, 0, v + 1)
+        lo = np.minimum(prev, nxt)
+        hi = np.maximum(prev, nxt)
+        return np.where(slot == 0, lo, hi)
+
+    def content_key(self) -> bytes:
+        return f"implicit:ring:{self.n}".encode()
+
+
+@dataclass(frozen=True)
+class TorusNeighbors(NeighborSampler):
+    """The 2-D torus (wrap-around grid, 4-regular for dims >= 3)."""
+
+    rows: int
+    cols: int
+
+    def __post_init__(self) -> None:
+        if self.rows < 3 or self.cols < 3:
+            raise ValueError("torus sampler needs both dimensions >= 3")
+        object.__setattr__(self, "n", self.rows * self.cols)
+        object.__setattr__(self, "degree", 4)
+        object.__setattr__(self, "name", f"torus({self.rows}x{self.cols})")
+
+    def neighbor(self, v: np.ndarray, slot: np.ndarray) -> np.ndarray:
+        v = _as_vertex_array(v)
+        slot = np.asarray(slot)
+        n, cols = self.n, self.cols
+        # in flat indices the row wrap is just (v +- cols) mod n, and
+        # the column wrap shifts by cols - 1 within the row; computed
+        # branchless in v's own dtype (int32 in the batched kernels)
+        c = v % cols
+        up = np.where(v < cols, v + (n - cols), v - cols)
+        down = np.where(v >= n - cols, v - (n - cols), v + cols)
+        left = np.where(c == 0, v + (cols - 1), v - 1)
+        right = np.where(c == cols - 1, v - (cols - 1), v + 1)
+        # with both dims >= 3 the four candidates are distinct; a
+        # 5-comparator sorting network picks the slot-th smallest (the
+        # CSR ascending order) without a per-column np.sort — this is
+        # the hot call of the batched resource kernel at large n
+        lo1, hi1 = np.minimum(up, down), np.maximum(up, down)
+        lo2, hi2 = np.minimum(left, right), np.maximum(left, right)
+        s0 = np.minimum(lo1, lo2)
+        s3 = np.maximum(hi1, hi2)
+        m1, m2 = np.maximum(lo1, lo2), np.minimum(hi1, hi2)
+        s1 = np.minimum(m1, m2)
+        s2 = np.maximum(m1, m2)
+        return np.where(
+            slot <= 1,
+            np.where(slot == 0, s0, s1),
+            np.where(slot == 2, s2, s3),
+        )
+
+    def content_key(self) -> bytes:
+        return f"implicit:torus:{self.rows}x{self.cols}".encode()
+
+
+@dataclass(frozen=True)
+class ImplicitWalk:
+    """The paper's max-degree walk over a :class:`NeighborSampler`.
+
+    On a regular graph the max-degree walk has ``stay[v] = 0`` for all
+    ``v``, so every walker moves every step — but the explicit
+    :class:`~repro.graphs.random_walk.RandomWalk` still spends one
+    uniform per walker on the stay/move decision, and :meth:`step`
+    mirrors that draw (and the slot draw, and the measure-zero guard)
+    exactly, keeping trial streams bit-aligned with the explicit walk.
+
+    Exposes the duck-typed surface the protocols and batched kernels
+    use: ``n``, ``name``, ``graph`` (the sampler), ``step`` and
+    ``batch_key``.
+    """
+
+    sampler: NeighborSampler
+
+    @property
+    def n(self) -> int:
+        return self.sampler.n
+
+    @property
+    def name(self) -> str:
+        return f"max_degree({self.sampler.name})"
+
+    @property
+    def graph(self) -> NeighborSampler:
+        """The sampler, standing in for ``RandomWalk.graph`` (protocols
+        only read ``.n`` and ``.name`` from it)."""
+        return self.sampler
+
+    def batch_key(self) -> tuple:
+        """Step-behaviour identity for cross-trial batching; equal
+        sampler parameters share a vectorised kernel."""
+        return (
+            self.sampler.n,
+            self.sampler.content_key(),
+            type(self).__name__,
+        )
+
+    def step(
+        self, positions: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Advance every walker one step; draw-for-draw identical to
+        ``max_degree_walk(sampler.to_graph()).step``."""
+        pos = _as_vertex_array(positions)
+        if pos.size == 0:
+            return pos.copy()
+        # regular family: stay[v] = 0, so the stay draw always moves —
+        # it still happens (same shape, same stream position) to match
+        # the explicit walk, but the all-True mask itself is dead, so
+        # the fancy-indexing round trip is skipped
+        rng.random(pos.shape)
+        deg = self.sampler.degree
+        slot = (rng.random(pos.shape) * deg).astype(np.int64)
+        # guard against the measure-zero event random() == 1.0
+        np.minimum(slot, deg - 1, out=slot)
+        return self.sampler.neighbor(pos, slot)
+
+
+def implicit_max_degree_walk(sampler: NeighborSampler) -> ImplicitWalk:
+    """The paper's walk on an implicit family (mirrors
+    :func:`repro.graphs.random_walk.max_degree_walk`)."""
+    return ImplicitWalk(sampler)

@@ -6,6 +6,12 @@ flags, so graphs and weight distributions need a flag-sized syntax:
 * graphs — ``complete:64``, ``cycle:100``, ``torus:8x8``,
   ``hypercube:6``, ``expander:64:3`` (optional ``:seed``),
   ``er:64:0.2`` (optional ``:seed``), ``clique_pendant:32:4``, ...
+  The ``implicit_*`` heads (``implicit_complete:100000``,
+  ``implicit_ring:100000``/``implicit_cycle:...``,
+  ``implicit_torus:400x250``) return arithmetic
+  :class:`~repro.graphs.implicit.NeighborSampler` oracles instead of
+  stored adjacency — same simulations bit for bit, O(1) topology
+  memory, the scale-frontier choice for large ``n``.
 * weights — ``unit``, ``uniform:2``, ``two_point:1:50:5``,
   ``uniform_range:1:10``, ``exponential:2``, ``pareto:2.5`` (optional
   ``:cap``).
@@ -27,6 +33,12 @@ from __future__ import annotations
 import numpy as np
 
 from ..graphs import builders
+from ..graphs.implicit import (
+    CompleteNeighbors,
+    NeighborSampler,
+    RingNeighbors,
+    TorusNeighbors,
+)
 from ..graphs.topology import Graph
 from ..workloads.dynamics import (
     DynamicsSpec,
@@ -72,12 +84,23 @@ def _ints(args: list[str], spec: str) -> list[int]:
         raise ValueError(f"bad integer argument in spec {spec!r}") from exc
 
 
-def parse_graph(spec: str) -> Graph:
-    """Build a graph from a ``family:args`` spec string."""
+def parse_graph(spec: str) -> Graph | NeighborSampler:
+    """Build a graph (or implicit sampler) from a ``family:args`` spec."""
     head, args = _split(spec)
     try:
         if head == "complete":
             return builders.complete_graph(*_ints(args, spec))
+        if head == "implicit_complete":
+            return CompleteNeighbors(*_ints(args, spec))
+        if head in ("implicit_ring", "implicit_cycle"):
+            return RingNeighbors(*_ints(args, spec))
+        if head == "implicit_torus":
+            dims = args[0].split("x") if len(args) == 1 else []
+            if len(dims) != 2:
+                raise ValueError(
+                    f"{head} spec needs RxC, e.g. implicit_torus:400x250"
+                )
+            return TorusNeighbors(*_ints(dims, spec))
         if head == "cycle":
             return builders.cycle_graph(*_ints(args, spec))
         if head == "path":
@@ -134,7 +157,8 @@ def parse_graph(spec: str) -> Graph:
     raise ValueError(
         f"unknown graph family {head!r} in spec {spec!r}; expected one of "
         "complete, cycle, path, star, grid, torus, hypercube, expander, er, "
-        "clique_pendant, lollipop, barbell, binary_tree"
+        "clique_pendant, lollipop, barbell, binary_tree, implicit_complete, "
+        "implicit_ring, implicit_cycle, implicit_torus"
     )
 
 

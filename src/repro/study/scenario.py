@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from ..core.backends import TrialSetup
+from ..graphs.implicit import NeighborSampler
 from ..graphs.topology import Graph
 from ..workloads.dynamics import DynamicsSpec
 from ..workloads.speeds import SpeedDistribution
@@ -63,7 +64,7 @@ class Scenario:
     protocol: str = "user"
     m: int = 0
     n: int | None = None
-    graph: Graph | None = None
+    graph: Graph | NeighborSampler | None = None
     weights: WeightDistribution = UniformWeights(1.0)
     speeds: SpeedDistribution | None = None
     threshold: str = "above_average"

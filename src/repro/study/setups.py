@@ -31,6 +31,7 @@ from ..core.thresholds import (
     TightResourceThreshold,
     TightUserThreshold,
 )
+from ..graphs.implicit import NeighborSampler
 from ..graphs.topology import Graph
 from ..workloads.placement import (
     adversarial_clique_placement,
@@ -167,9 +168,15 @@ class UserControlledSetup:
 
 @dataclass(frozen=True)
 class ResourceControlledSetup:
-    """Build Algorithm 5.1 trials on an arbitrary graph."""
+    """Build Algorithm 5.1 trials on an arbitrary graph.
 
-    graph: Graph
+    ``graph`` may be an explicit CSR :class:`Graph` or an implicit
+    :class:`~repro.graphs.implicit.NeighborSampler` (same trials bit
+    for bit; the sampler stores no adjacency, so it is the right form
+    at large ``n``).
+    """
+
+    graph: Graph | NeighborSampler
     m: int
     distribution: WeightDistribution
     eps: float = 0.2
@@ -205,9 +212,14 @@ class ResourceControlledSetup:
 
 @dataclass(frozen=True)
 class HybridSetup:
-    """Build mixed resource/user trials (paper's future-work protocol)."""
+    """Build mixed resource/user trials (paper's future-work protocol).
 
-    graph: Graph
+    Like :class:`ResourceControlledSetup`, ``graph`` accepts either an
+    explicit :class:`Graph` or an implicit
+    :class:`~repro.graphs.implicit.NeighborSampler`.
+    """
+
+    graph: Graph | NeighborSampler
     m: int
     distribution: WeightDistribution
     alpha: float = 1.0

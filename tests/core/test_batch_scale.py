@@ -1,0 +1,133 @@
+"""Scale plumbing of the batched engine: index dtypes and fast_math.
+
+The batched hot loop tightens its task-slot index arrays to int32
+whenever every representable value fits (halving the bandwidth of the
+permutation-heavy merge), and ``fast_math=True`` waives the bit-exact
+accumulation contract for two cheaper reductions.  These tests pin the
+dtype selection boundary, the ``BatchState`` wiring, and the fast_math
+semantics: exact equality where the arithmetic is exact anyway (unit
+weights), statistical agreement where it is not.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    AboveAverageThreshold,
+    BatchedBackend,
+    SystemState,
+    run_trials,
+    summarize_runs,
+)
+from repro.core.batch import BatchState, _index_dtype
+from repro.experiments import UserControlledSetup
+from repro.workloads import UniformRangeWeights, UniformWeights
+
+
+def test_index_dtype_boundary():
+    assert _index_dtype(1, 100, 10) == np.dtype(np.int32)
+    assert _index_dtype(64, 10_000, 1_000) == np.dtype(np.int32)
+    # A * m crossing 2**31 forces int64
+    assert _index_dtype(2, 2**30, 10) == np.dtype(np.int64)
+    assert _index_dtype(1, 2**31 - 1, 10) == np.dtype(np.int32)
+    assert _index_dtype(1, 2**31, 10) == np.dtype(np.int64)
+    # A * (stride + 1) crossing 2**31 forces int64 even with small m
+    # (the resource kernel indexes the flattened (A, stride+1) indptr)
+    assert _index_dtype(2**20, 4, 2**11 - 2) == np.dtype(np.int32)
+    assert _index_dtype(2**20, 4, 2**11) == np.dtype(np.int64)
+
+
+def _states(trials: int, n: int = 5, m: int = 20) -> list[SystemState]:
+    rng = np.random.default_rng(0)
+    return [
+        SystemState.from_workload(
+            np.ones(m),
+            rng.integers(0, n, size=m),
+            n,
+            AboveAverageThreshold(eps=0.2),
+        )
+        for _ in range(trials)
+    ]
+
+
+def test_batch_state_uses_tight_dtype():
+    batch = BatchState(_states(3))
+    assert batch.idx == np.dtype(np.int32)
+    assert batch.key_task.dtype == batch.idx
+    assert batch.order.dtype == batch.idx
+    # scratch buffers sized for the batch, ready for reuse
+    assert batch._scratch_ws.shape[0] == batch.A * batch.m
+    assert batch._scratch_cum.shape == (batch.A, batch.m)
+    assert batch._order_buf.shape[0] == batch.A * batch.m
+
+
+def test_fast_math_defaults_off():
+    assert BatchedBackend().fast_math is False
+    assert BatchedBackend(fast_math=True).fast_math is True
+    batch = BatchState(_states(2))
+    assert batch.fast_math is False
+    assert batch.loads_cache is None
+
+
+def test_fast_math_exact_on_unit_weights():
+    """With unit weights every reduction sums small integers, which
+    float64 represents exactly — so fast_math's reordered accumulation
+    must be bit-identical to the default mode."""
+    setup = UserControlledSetup(
+        n=6, m=40, distribution=UniformWeights(1.0)
+    )
+    default = run_trials(setup, 6, seed=9, backend="batched")
+    fast = run_trials(
+        setup, 6, seed=9, backend=BatchedBackend(fast_math=True)
+    )
+    for a, b in zip(default, fast):
+        assert a.rounds == b.rounds
+        assert a.balanced == b.balanced
+        assert np.array_equal(a.final_loads, b.final_loads)
+        assert a.total_migrated_weight == b.total_migrated_weight
+
+
+def test_fast_math_statistically_equivalent_on_float_weights():
+    """With real-valued weights fast_math may differ in the last ulp
+    (that is the waiver), but the balancing-time statistics must agree
+    closely over a small ensemble."""
+    setup = UserControlledSetup(
+        n=8, m=80, distribution=UniformRangeWeights(1.0, 6.0)
+    )
+    default = summarize_runs(
+        run_trials(setup, 20, seed=31, backend="batched")
+    )
+    fast = summarize_runs(
+        run_trials(
+            setup, 20, seed=31, backend=BatchedBackend(fast_math=True)
+        )
+    )
+    assert fast.balanced_trials == default.balanced_trials
+    assert fast.mean_rounds == pytest.approx(
+        default.mean_rounds, rel=0.25
+    )
+
+
+def test_fast_math_on_dynamics_smoke():
+    """Dynamic batches never publish a loads cache (population events
+    would stale it); fast_math still runs and completes."""
+    from repro.workloads import InfiniteLifetimes, PoissonDynamics
+
+    setup = UserControlledSetup(
+        n=6,
+        m=20,
+        distribution=UniformWeights(1.0),
+        dynamics=PoissonDynamics(
+            rate=1.0, horizon=20, lifetimes=InfiniteLifetimes()
+        ),
+    )
+    default = run_trials(setup, 4, seed=2, backend="batched")
+    fast = run_trials(
+        setup, 4, seed=2, backend=BatchedBackend(fast_math=True)
+    )
+    # unit weights again: exact agreement even under the stream
+    for a, b in zip(default, fast):
+        assert a.rounds == b.rounds
+        assert np.array_equal(a.final_loads, b.final_loads)
