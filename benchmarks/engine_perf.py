@@ -47,6 +47,18 @@ Groups of measurements (``--only GROUP`` runs a single one):
   the acceptance bar is **under 5%**.  Both paths are timed in three
   interleaved repeats and the best run of each counts — single-shot
   timings on a busy single-core box swing ±10%.
+* ``e_router`` — the online router subsystem: (1) sustained live
+  serving — a long-lived :class:`repro.Router` on a steady-state
+  population absorbs a pre-drawn decision stream
+  (``choose_resource`` + periodic ``tick`` rounds + FIFO departures),
+  reporting ``summary.router_decisions_per_sec``; (2) replay overhead
+  — the ``e_dynamics`` user-controlled stream replayed through the
+  router vs the serial engine on the same seeds
+  (``summary.router_replay_speedup``, ~1.0x by construction since
+  both consume identical protocol rounds; it rides the regression
+  floor so the router's ingestion path cannot quietly go quadratic).
+  The replay halves are asserted bit-identical in total rounds, so
+  the timed work is the same by construction.
 * ``e_scale`` — the scale frontier: implicit (arithmetic) topology
   kernels at sizes where explicit CSR adjacency is dead weight or
   outright infeasible.  The headline entry runs a bounded sweep on an
@@ -102,10 +114,12 @@ import numpy as np
 from repro import (
     BatchedBackend,
     CompleteNeighbors,
+    Router,
     ShardedBackend,
     ShardedDegradationWarning,
     TorusNeighbors,
     complete_graph,
+    replay_setup,
     run_trials,
     summarize_runs,
     torus_graph,
@@ -468,6 +482,114 @@ def group_study_api(report: dict, quick: bool, seed: int) -> dict:
     return {}
 
 
+def group_e_router(report: dict, quick: bool, seed: int) -> dict:
+    """Online router: sustained decisions/sec and replay overhead."""
+    report["e_router"] = []
+
+    # --- live serving: steady-state decision stream -------------------
+    decisions = 20_000 if quick else 200_000
+    tick_every = 16
+    live_cap = 1000  # FIFO-departure watermark = initial population
+    serve_setup = UserControlledSetup(
+        n=500, m=1000, distribution=UniformRangeWeights(1.0, 10.0)
+    )
+    router = Router.from_setup(serve_setup, seed)
+    stream = np.random.default_rng(seed + 1).uniform(1.0, 10.0, decisions)
+    fifo: list[int] = []
+    start = time.perf_counter()
+    for k in range(decisions):
+        fifo.append(router.choose_resource(stream[k]).task_id)
+        if len(fifo) > live_cap:
+            router.depart(fifo[: len(fifo) - live_cap])
+            del fifo[: len(fifo) - live_cap]
+        if (k + 1) % tick_every == 0:
+            router.tick()
+    seconds = time.perf_counter() - start
+    snapshot = router.metrics_snapshot()
+    decisions_per_sec = decisions / seconds
+    serve_entry = {
+        "backend": "router",
+        "label": f"router-serve(complete500,stream={decisions})",
+        "n": serve_setup.n,
+        "m": serve_setup.m,
+        "decisions": decisions,
+        "tick_every": tick_every,
+        "ticks": snapshot.ticks,
+        "accepted": snapshot.accepted,
+        "overflowed": snapshot.overflowed,
+        "mean_probes": round(snapshot.probes / snapshot.decisions, 2),
+        "latency_p50_us": round(snapshot.latency_p50 * 1e6, 1),
+        "latency_p99_us": round(snapshot.latency_p99 * 1e6, 1),
+        "seconds": round(seconds, 3),
+        "decisions_per_sec": round(decisions_per_sec, 1),
+    }
+    report["e_router"].append(serve_entry)
+    print(
+        f"[e_router ] {serve_entry['label']:>42} {'router':>8}: "
+        f"{decisions_per_sec:>9.1f} decisions/s "
+        f"(p99 {serve_entry['latency_p99_us']:.0f}us)"
+    )
+
+    # --- replay overhead: router vs serial engine, same seeds ---------
+    replay_trials = 10 if quick else 50
+    replay_stream = PoissonDynamics(
+        rate=4.0, horizon=150, lifetimes=ExponentialLifetimes(80.0)
+    )
+    replay_setup_obj = UserControlledSetup(
+        n=200,
+        m=400,
+        distribution=UniformRangeWeights(1.0, 10.0),
+        dynamics=replay_stream,
+    )
+    serial_entry = time_backend(
+        replay_setup_obj, replay_trials, seed, "serial"
+    )
+    serial_entry["label"] = "router-replay-base(complete200)"
+    report["e_router"].append(serial_entry)
+    print(
+        f"[e_router ] {serial_entry['label']:>42} {'serial':>8}: "
+        f"{serial_entry['rounds_per_sec']:>9.1f} rounds/s"
+    )
+    children = np.random.SeedSequence(seed).spawn(replay_trials)
+    start = time.perf_counter()
+    reports = [replay_setup(replay_setup_obj, c) for c in children]
+    replay_seconds = time.perf_counter() - start
+    replay_rounds = int(sum(r.rounds for r in reports))
+    if replay_rounds != serial_entry["total_rounds"]:
+        raise AssertionError(
+            "router replay diverged from the serial engine "
+            f"({replay_rounds} vs {serial_entry['total_rounds']} rounds): "
+            "the timed work is no longer comparable"
+        )
+    replay_rps = replay_rounds / replay_seconds
+    replay_entry = {
+        "backend": "router-replay",
+        "label": "router-replay(complete200)",
+        "n": replay_setup_obj.n,
+        "m": replay_setup_obj.m,
+        "trials": replay_trials,
+        "total_rounds": replay_rounds,
+        "seconds": round(replay_seconds, 3),
+        "rounds_per_sec": round(replay_rps, 1),
+    }
+    report["e_router"].append(replay_entry)
+    print(
+        f"[e_router ] {replay_entry['label']:>42} {'router':>8}: "
+        f"{replay_rps:>9.1f} rounds/s"
+    )
+    replay_speedup = replay_rps / serial_entry["rounds_per_sec"]
+    print(
+        f"[summary  ] router: {decisions_per_sec:.0f} decisions/s "
+        f"sustained, replay {replay_speedup:.2f}x serial engine"
+    )
+    return {
+        "router_decisions": decisions,
+        "router_decisions_per_sec": round(decisions_per_sec, 1),
+        "router_latency_p99_us": serve_entry["latency_p99_us"],
+        "router_replay_speedup": round(replay_speedup, 2),
+    }
+
+
 def group_e_scale(report: dict, quick: bool, seed: int) -> dict:
     """The scale frontier: implicit kernels, sharding, fast_math."""
     report["e_scale"] = []
@@ -629,6 +751,8 @@ GROUPS: tuple = (
     ("e_speeds", group_e_speeds),
     ("e_dynamics", group_e_dynamics),
     ("study_api", group_study_api),
+    ("e_router", group_e_router),
+    # e_scale stays LAST: peak RSS is a lifetime high-water mark
     ("e_scale", group_e_scale),
 )
 
@@ -636,6 +760,12 @@ GROUPS: tuple = (
 def run_harness(
     quick: bool = False, seed: int = 2015, only: str | None = None
 ) -> dict:
+    group_names = [name for name, _ in GROUPS]
+    if only is not None and only not in group_names:
+        raise ValueError(
+            f"unknown measurement group {only!r}; "
+            f"valid groups: {', '.join(group_names)}"
+        )
     report: dict = {
         "schema": 2,
         "scale": "quick" if quick else "full",

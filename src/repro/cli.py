@@ -11,22 +11,35 @@ Usage::
         --axis eps=0.1,0.2,0.4 --trials 50 --backend batched
     python -m repro.cli sweep --protocol resource --graph torus:8x8 \
         --m 512 --weights two_point:1:50:5 --axis m=256,512,1024
+    python -m repro.cli replay --quick --verify
+    python -m repro.cli replay --protocol user --n 200 --m 400 \
+        --dynamics poisson:4:150:80 --seed 7 --verify
+    python -m repro.cli replay --protocol resource --graph torus:8x8 \
+        --m 300 --dynamics trace:events.jsonl --json
 
 ``run`` executes a registered paper artefact; ``--quick`` applies its
 minutes-scale preset (preset overrides are registry *data*, see
 ``describe``).  ``sweep`` builds a declarative Study straight from
 flags — any scenario axis can carry the grid — without touching Python.
+``replay`` feeds one trial's arrival/departure schedule through the
+online :class:`~repro.router.Router` and prints its metrics snapshot;
+``--verify`` re-runs the same trial through the simulation engine and
+fails loudly unless the two agree bit for bit.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
-from .core.backends import BACKEND_NAMES, validate_workers
+import numpy as np
+
+from .core.backends import BACKEND_NAMES, run_single_trial, validate_workers
 from .experiments.io import write_csv
 from .experiments.registry import EXPERIMENTS
+from .router import replay_setup
 from .study import (
     Scenario,
     Study,
@@ -80,6 +93,60 @@ def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_scenario_flags(parser: argparse.ArgumentParser) -> None:
+    """Flags composing one :class:`Scenario` (shared: sweep, replay)."""
+    parser.add_argument(
+        "--protocol",
+        choices=("user", "resource", "hybrid"),
+        default="user",
+        help="protocol kind (default: user)",
+    )
+    parser.add_argument(
+        "--n", type=int, default=None,
+        help="resources for the user protocol's complete graph",
+    )
+    parser.add_argument(
+        "--graph", type=str, default=None,
+        help="graph spec for resource/hybrid, e.g. torus:8x8",
+    )
+    parser.add_argument("--m", type=int, default=0, help="number of tasks")
+    parser.add_argument(
+        "--weights", type=str, default="unit",
+        help="weight distribution spec (default: unit)",
+    )
+    parser.add_argument(
+        "--speeds", type=str, default=None,
+        help=(
+            "resource speed distribution spec for heterogeneous "
+            "machines, e.g. two_class:1:4:8 or pareto:2.5 "
+            "(default: homogeneous)"
+        ),
+    )
+    parser.add_argument(
+        "--dynamics", type=str, default=None,
+        help=(
+            "arrival/departure stream spec for the online regime, "
+            "e.g. poisson:2:200, poisson:2:200:50 or "
+            "trace:events.jsonl (default: one-shot model)"
+        ),
+    )
+    parser.add_argument(
+        "--threshold", type=str, default="above_average",
+        help="threshold policy kind (default: above_average)",
+    )
+    parser.add_argument(
+        "--placement", type=str, default="single_source",
+        help="initial placement kind (default: single_source)",
+    )
+    parser.add_argument(
+        "--arrival-order", type=str, default="random",
+        help="arrival stacking order (default: random)",
+    )
+    parser.add_argument("--alpha", type=float, default=1.0)
+    parser.add_argument("--eps", type=float, default=0.2)
+    parser.add_argument("--resource-fraction", type=float, default=0.5)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
@@ -127,56 +194,7 @@ def build_parser() -> argparse.ArgumentParser:
             "(poisson:2:200:50, or 'none' for the one-shot model)."
         ),
     )
-    swp.add_argument(
-        "--protocol",
-        choices=("user", "resource", "hybrid"),
-        default="user",
-        help="protocol kind (default: user)",
-    )
-    swp.add_argument(
-        "--n", type=int, default=None,
-        help="resources for the user protocol's complete graph",
-    )
-    swp.add_argument(
-        "--graph", type=str, default=None,
-        help="graph spec for resource/hybrid, e.g. torus:8x8",
-    )
-    swp.add_argument("--m", type=int, default=0, help="number of tasks")
-    swp.add_argument(
-        "--weights", type=str, default="unit",
-        help="weight distribution spec (default: unit)",
-    )
-    swp.add_argument(
-        "--speeds", type=str, default=None,
-        help=(
-            "resource speed distribution spec for heterogeneous "
-            "machines, e.g. two_class:1:4:8 or pareto:2.5 "
-            "(default: homogeneous)"
-        ),
-    )
-    swp.add_argument(
-        "--dynamics", type=str, default=None,
-        help=(
-            "arrival/departure stream spec for the online regime, "
-            "e.g. poisson:2:200 or poisson:2:200:50 "
-            "(default: one-shot model)"
-        ),
-    )
-    swp.add_argument(
-        "--threshold", type=str, default="above_average",
-        help="threshold policy kind (default: above_average)",
-    )
-    swp.add_argument(
-        "--placement", type=str, default="single_source",
-        help="initial placement kind (default: single_source)",
-    )
-    swp.add_argument(
-        "--arrival-order", type=str, default="random",
-        help="arrival stacking order (default: random)",
-    )
-    swp.add_argument("--alpha", type=float, default=1.0)
-    swp.add_argument("--eps", type=float, default=0.2)
-    swp.add_argument("--resource-fraction", type=float, default=0.5)
+    _add_scenario_flags(swp)
     swp.add_argument(
         "--axis",
         action="append",
@@ -189,6 +207,51 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-trial round budget",
     )
     _add_execution_flags(swp)
+
+    rpl = sub.add_parser(
+        "replay",
+        help="replay one trial's dynamics through the online router",
+        description=(
+            "Compose a scenario from flags, compile one trial's "
+            "arrival/departure schedule from the root seed, and drive "
+            "it through the long-lived Router round by round (live "
+            "ingestion + one protocol round per tick), printing the "
+            "router's metrics snapshot.  With --verify the same trial "
+            "is re-run through the simulation engine and the command "
+            "exits non-zero unless rounds, placements and final loads "
+            "agree bit for bit."
+        ),
+    )
+    _add_scenario_flags(rpl)
+    rpl.add_argument(
+        "--seed", type=int, default=0, help="root seed (default: 0)"
+    )
+    rpl.add_argument(
+        "--trial", type=int, default=0,
+        help="which spawned trial of the root seed to replay (default: 0)",
+    )
+    rpl.add_argument(
+        "--max-rounds", type=int, default=100_000,
+        help="round budget for the replay",
+    )
+    rpl.add_argument(
+        "--verify",
+        action="store_true",
+        help="cross-check the replay against simulate() on the same seed",
+    )
+    rpl.add_argument(
+        "--quick",
+        action="store_true",
+        help=(
+            "fill unset scenario flags with a small smoke-test "
+            "workload (n=50, m=150, poisson:2:40:20)"
+        ),
+    )
+    rpl.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the report as JSON instead of the text summary",
+    )
     return parser
 
 
@@ -342,6 +405,130 @@ def _run_sweep(args, parser: argparse.ArgumentParser) -> int:
     return 0
 
 
+def _build_replay_trial_setup(args, parser: argparse.ArgumentParser):
+    """Compile the replay command's scenario into a trial setup."""
+    n, m = args.n, args.m
+    graph_spec, dynamics_spec = args.graph, args.dynamics
+    if args.quick:
+        if m == 0:
+            m = 150
+        if args.protocol == "user" and n is None:
+            n = 50
+        if args.protocol != "user" and graph_spec is None:
+            graph_spec = "torus:6x8"
+        if dynamics_spec is None:
+            dynamics_spec = "poisson:2:40:20"
+    try:
+        scenario = Scenario(
+            protocol=args.protocol,
+            n=n,
+            graph=parse_graph(graph_spec) if graph_spec else None,
+            m=m,
+            weights=parse_weights(args.weights),
+            speeds=parse_speeds(args.speeds) if args.speeds else None,
+            dynamics=(
+                parse_dynamics(dynamics_spec) if dynamics_spec else None
+            ),
+            threshold=args.threshold,
+            placement=args.placement,
+            arrival_order=args.arrival_order,
+            alpha=args.alpha,
+            eps=args.eps,
+            resource_fraction=args.resource_fraction,
+        )
+        return scenario.compile()
+    except (ValueError, OSError) as exc:
+        parser.error(str(exc))
+
+
+def _trial_child(seed: int, trial: int) -> np.random.SeedSequence:
+    """Trial ``trial``'s SeedSequence child, as run_trials spawns it."""
+    return np.random.SeedSequence(seed).spawn(trial + 1)[trial]
+
+
+def _run_replay(args, parser: argparse.ArgumentParser) -> int:
+    if args.trial < 0:
+        parser.error("--trial must be non-negative")
+    setup = _build_replay_trial_setup(args, parser)
+    start = time.perf_counter()
+    report = replay_setup(
+        setup,
+        _trial_child(args.seed, args.trial),
+        max_rounds=args.max_rounds,
+    )
+    elapsed = time.perf_counter() - start
+    verified: bool | None = None
+    mismatches: list[str] = []
+    if args.verify:
+        engine = run_single_trial(
+            setup, _trial_child(args.seed, args.trial), args.max_rounds
+        )
+        if engine.rounds != report.rounds:
+            mismatches.append(
+                f"rounds: engine {engine.rounds} vs router {report.rounds}"
+            )
+        if engine.balanced != report.balanced:
+            mismatches.append(
+                f"balanced: engine {engine.balanced} "
+                f"vs router {report.balanced}"
+            )
+        if not np.array_equal(engine.final_loads, report.final_loads):
+            mismatches.append("final load vectors differ")
+        verified = not mismatches
+
+    metrics = report.metrics
+    run_view = report.to_run_result()
+    if args.json:
+        payload = {
+            "protocol": report.protocol_name,
+            "seed": args.seed,
+            "trial": args.trial,
+            "rounds": report.rounds,
+            "balanced": report.balanced,
+            "final_makespan": report.final_makespan,
+            "time_in_violation": round(run_view.time_in_violation, 4),
+            "rebalance_churn": round(run_view.rebalance_churn, 2),
+            "elapsed_seconds": round(elapsed, 3),
+            "metrics": metrics.as_dict(),
+        }
+        if verified is not None:
+            payload["verified"] = verified
+            payload["mismatches"] = mismatches
+        print(json.dumps(payload, indent=2))
+    else:
+        print(f"== router replay: {report.protocol_name}")
+        print(
+            f"   seed {args.seed}, trial {args.trial}: "
+            f"{metrics.resources} resources, "
+            f"{metrics.live_tasks} live tasks "
+            f"({metrics.ingested} ingested, {metrics.departed} departed)"
+        )
+        print(
+            f"   rounds: {report.rounds}  balanced: {report.balanced}  "
+            f"final makespan: {report.final_makespan:.3f}"
+        )
+        print(
+            f"   time in violation: {run_view.time_in_violation:.1%}  "
+            f"churn: {run_view.rebalance_churn:.1f} migrations/round  "
+            f"migrated weight: {metrics.migrated_weight:.1f}"
+        )
+        print(f"-- replayed in {elapsed:.2f}s")
+        if verified is not None:
+            print(
+                "-- verify: "
+                + (
+                    "OK (bit-identical to simulate())"
+                    if verified
+                    else "MISMATCH against simulate()"
+                )
+            )
+    if mismatches:
+        for line in mismatches:
+            print(f"   !! {line}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -352,6 +539,8 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.command == "describe":
         return _describe(args.experiment)
+    if args.command == "replay":
+        return _run_replay(args, parser)
     _check_pool_flags(args, parser)
     if args.command == "sweep":
         return _run_sweep(args, parser)

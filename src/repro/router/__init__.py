@@ -1,0 +1,20 @@
+"""Online router subsystem: serve placement decisions from live state.
+
+See :mod:`repro.router.core` for the long-lived :class:`Router`
+(live ``choose_resource`` admission, deferred population sync,
+``metrics_snapshot``) and :mod:`repro.router.replay` for the
+schedule-replay path that is bit-for-bit checkable against the
+simulation engine.
+"""
+
+from .core import Decision, Router, RouterMetrics
+from .replay import ReplayReport, replay, replay_setup
+
+__all__ = [
+    "Decision",
+    "Router",
+    "RouterMetrics",
+    "ReplayReport",
+    "replay",
+    "replay_setup",
+]

@@ -1,0 +1,591 @@
+"""Long-lived router: serve threshold placement decisions from live
+state.
+
+The simulation engine answers "how fast does the system balance?" by
+running whole trials; this module answers the production question —
+"where should *this* task go, right now?" — the shape of a worker-aware
+load balancer (rtp-llm's ``WRRLoadBalancer`` is the exemplar: a
+long-lived object holding per-worker load state behind a
+threshold-gated ``chooseHost``).
+
+A :class:`Router` owns a mutable :class:`~repro.core.state.SystemState`
+and the :class:`~repro.core.protocols.base.Protocol` configured for it,
+and exposes four verbs:
+
+``choose_resource(weight)``
+    Admit one task.  Candidate resources are probed with the protocol
+    family's own semantics (see :class:`Decision`), each probe gated by
+    the effective capacity ``c_r = s_r * T_r`` — the single speed-aware
+    choke point of :mod:`repro.core.thresholds`, so heterogeneous
+    machines are honoured for free.  Decisions touch only the O(n)
+    live-load vector; the O(m) task arrays sync lazily at the next
+    :meth:`Router.tick`, which keeps a decision O(probes) regardless of
+    the live population.
+``depart(ids)``
+    Retire previously placed tasks (capacity is released immediately;
+    array compaction is deferred like arrivals).
+``tick()``
+    Run one protocol rebalancing round over the live state — exactly
+    one :meth:`~repro.core.protocols.base.Protocol.step`, so the
+    router *composes* the existing machinery instead of forking it.
+``metrics_snapshot()``
+    A :class:`RouterMetrics` view: per-resource loads, normalised
+    loads, makespan, accept/reject/overflow counters and decision
+    latency percentiles.
+
+Replay — driving a compiled
+:class:`~repro.workloads.dynamics.DynamicsSchedule` through the router
+round by round, bit-for-bit equal to
+:func:`~repro.core.simulator.simulate` on the same seed — lives in
+:mod:`repro.router.replay`.
+
+Candidate-set sources are whatever the protocol already carries: an
+explicit :class:`~repro.graphs.random_walk.RandomWalk` or an implicit
+:class:`~repro.graphs.implicit.ImplicitWalk` (O(1) topology memory at
+any ``n``), or uniform draws for the complete-graph user protocol.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.protocols.base import Protocol, StepStats
+from ..core.protocols.hybrid import HybridProtocol
+from ..core.protocols.resource_controlled import ResourceControlledProtocol
+from ..core.protocols.user_controlled import UserControlledProtocol
+from ..core.state import SystemState
+
+__all__ = ["Decision", "Router", "RouterMetrics"]
+
+#: Overflow policies for decisions whose probes all ran out of room.
+OVERFLOW_MODES = ("place", "reject")
+
+
+@dataclass(frozen=True)
+class Decision:
+    """Outcome of one :meth:`Router.choose_resource` call.
+
+    ``accepted`` means a probed resource had room below its effective
+    capacity and received the task.  When every probe was full, the
+    router either *overflow-places* the task on the probed resource
+    with the most remaining headroom (``overflow=True`` — threshold
+    semantics: an over-threshold task is legal and later ``tick``
+    rounds migrate it) or rejects it (``resource`` and ``task_id`` are
+    then ``None``), depending on the router's ``overflow`` mode.
+    """
+
+    resource: int | None
+    task_id: int | None
+    accepted: bool
+    overflow: bool
+    probes: int
+    weight: float
+    latency: float
+
+    @property
+    def placed(self) -> bool:
+        """Whether the task ended up on some resource."""
+        return self.resource is not None
+
+
+@dataclass(frozen=True)
+class RouterMetrics:
+    """Point-in-time metrics snapshot of a :class:`Router`.
+
+    Load vectors include tasks whose array sync is still pending, so a
+    snapshot taken between ticks reflects every decision served so far.
+    Latency percentiles are over all :meth:`Router.choose_resource`
+    calls (seconds; ``None`` before the first decision).
+    """
+
+    resources: int
+    live_tasks: int
+    total_weight: float
+    loads: np.ndarray
+    normalized_loads: np.ndarray
+    makespan: float
+    capacity: np.ndarray
+    overloaded: int
+    decisions: int
+    accepted: int
+    overflowed: int
+    rejected: int
+    ingested: int
+    departed: int
+    probes: int
+    retries: int
+    ticks: int
+    migrations: int
+    migrated_weight: float
+    latency_p50: float | None
+    latency_p90: float | None
+    latency_p99: float | None
+
+    def as_dict(self) -> dict:
+        """Flat JSON-friendly dict (arrays summarised, not dumped)."""
+        return {
+            "resources": self.resources,
+            "live_tasks": self.live_tasks,
+            "total_weight": self.total_weight,
+            "makespan": self.makespan,
+            "max_load": float(self.loads.max()) if self.resources else 0.0,
+            "mean_load": float(self.loads.mean()) if self.resources else 0.0,
+            "overloaded": self.overloaded,
+            "decisions": self.decisions,
+            "accepted": self.accepted,
+            "overflowed": self.overflowed,
+            "rejected": self.rejected,
+            "ingested": self.ingested,
+            "departed": self.departed,
+            "probes": self.probes,
+            "retries": self.retries,
+            "ticks": self.ticks,
+            "migrations": self.migrations,
+            "migrated_weight": self.migrated_weight,
+            "latency_p50": self.latency_p50,
+            "latency_p90": self.latency_p90,
+            "latency_p99": self.latency_p99,
+        }
+
+
+@dataclass
+class _FloatBuffer:
+    """Append-only float buffer that grows geometrically."""
+
+    data: np.ndarray = field(default_factory=lambda: np.empty(64))
+    size: int = 0
+
+    def append(self, value: float) -> None:
+        if self.size == self.data.shape[0]:
+            self.data = np.resize(self.data, self.data.shape[0] * 2)
+        self.data[self.size] = value
+        self.size += 1
+
+    def array(self) -> np.ndarray:
+        return self.data[: self.size]
+
+
+class Router:
+    """A long-lived placement router over one protocol and one state.
+
+    Parameters
+    ----------
+    protocol:
+        Any engine protocol.  The admission semantics follow its
+        family: *user-controlled* probes independent uniform resources
+        (or walk steps when the protocol carries a walk),
+        *resource-controlled* starts at the arrival's origin resource
+        and forwards along the protocol's walk — one step per probe,
+        the online reading of Algorithm 5.1's eject-and-forward — and
+        *hybrid* flips the protocol's own resource/user coin per
+        decision (``probabilistic``) or alternates (``alternate``).
+        Unknown protocol types fall back to uniform probing.
+    state:
+        The live system.  The router takes ownership: it mutates the
+        state through arrivals, departures and protocol rounds.
+    rng:
+        The decision stream.  Live decisions and protocol rounds share
+        it; replay (:mod:`repro.router.replay`) only draws from it
+        inside rounds, which is what makes replayed runs bit-for-bit
+        equal to :func:`~repro.core.simulator.simulate`.
+    max_probes:
+        Admission probes per decision before the overflow policy
+        applies.
+    overflow:
+        ``"place"`` (default) puts an unadmittable task on the probed
+        resource with the most headroom — later ticks rebalance it;
+        ``"reject"`` refuses the task.
+    clock:
+        Monotonic time source for decision latency (tests inject a
+        fake).
+    """
+
+    def __init__(
+        self,
+        protocol: Protocol,
+        state: SystemState,
+        rng: np.random.Generator,
+        max_probes: int = 8,
+        overflow: str = "place",
+        clock=time.perf_counter,
+    ) -> None:
+        if max_probes < 1:
+            raise ValueError("max_probes must be at least 1")
+        if overflow not in OVERFLOW_MODES:
+            raise ValueError(
+                f"unknown overflow mode {overflow!r}; "
+                f"expected one of {OVERFLOW_MODES}"
+            )
+        protocol.validate_state(state)
+        self.protocol = protocol
+        self.state = state
+        self.rng = rng
+        self.max_probes = int(max_probes)
+        self.overflow = overflow
+        self._clock = clock
+
+        self._mode, self._user_walk, self._res_walk = _admission_plan(protocol)
+        self._alternate = 0
+
+        # Live O(n) view: decisions only touch these two vectors.
+        self._loads = state.loads()
+        self._cap = np.asarray(
+            state.capacity_vector(), dtype=np.float64
+        ).reshape(-1)
+        if self._cap.shape != (state.n,):
+            self._cap = np.full(state.n, float(self._cap))
+
+        # Stable external ids, aligned with the state's task order.
+        self._ids = np.arange(state.m, dtype=np.int64)
+        self._next_id = state.m
+        # Deferred mutations, applied in one batch at the next tick.
+        self._pending_w: list[float] = []
+        self._pending_r: list[int] = []
+        self._pending_ids: list[int] = []
+        self._pending_departs: list[int] = []
+
+        # Counters.
+        self._decisions = 0
+        self._accepted = 0
+        self._overflowed = 0
+        self._rejected = 0
+        self._ingested = 0
+        self._departed = 0
+        self._probes = 0
+        self._ticks = 0
+        self._migrations = 0
+        self._migrated_weight = 0.0
+        self._latency = _FloatBuffer()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_setup(
+        cls,
+        setup,
+        seed: int | np.random.SeedSequence | None = None,
+        **kwargs,
+    ) -> "Router":
+        """Build a router from a trial setup, on the trial seed
+        contract.
+
+        Derives the setup and decision generators exactly like
+        :func:`~repro.core.backends.run_single_trial`
+        (``seed_seq.spawn(2)``), so a router built from trial ``i``'s
+        ``SeedSequence`` child sees the same workload — and replays the
+        same rounds — as the engine's trial ``i``.
+        """
+        seq = (
+            seed
+            if isinstance(seed, np.random.SeedSequence)
+            else np.random.SeedSequence(seed)
+        )
+        setup_seed, sim_seed = seq.spawn(2)
+        protocol, state = setup(np.random.default_rng(setup_seed))
+        return cls(protocol, state, np.random.default_rng(sim_seed), **kwargs)
+
+    # ------------------------------------------------------------------
+    # Decisions
+    # ------------------------------------------------------------------
+    def choose_resource(
+        self, weight: float, origin: int | None = None
+    ) -> Decision:
+        """Admit one task of the given weight; return where it went.
+
+        ``origin`` seeds the probe sequence (the resource the request
+        arrived at); ``None`` draws it uniformly.  The probe loop
+        accepts the first candidate whose load stays at or below its
+        effective capacity after the task lands.
+        """
+        t0 = self._clock()
+        w = float(weight)
+        if w <= 0:
+            raise ValueError("task weight must be strictly positive")
+        n = self.state.n
+        if origin is not None and not 0 <= origin < n:
+            raise ValueError(f"origin resource {origin} out of range")
+
+        resource_mode = self._pick_family()
+        atol = self.state.atol
+        cursor = origin
+        chosen: int | None = None
+        best: int | None = None
+        best_room = -np.inf
+        probes = 0
+        while probes < self.max_probes:
+            cursor = self._next_candidate(resource_mode, cursor, probes)
+            probes += 1
+            room = self._cap[cursor] - self._loads[cursor]
+            if self._loads[cursor] + w <= self._cap[cursor] + atol:
+                chosen = cursor
+                break
+            if room > best_room:
+                best_room = room
+                best = cursor
+
+        accepted = chosen is not None
+        overflowed = False
+        task_id: int | None = None
+        if accepted:
+            task_id = self._buffer_arrival(w, chosen)
+        elif self.overflow == "place":
+            chosen = best
+            overflowed = True
+            task_id = self._buffer_arrival(w, chosen)
+        else:
+            self._rejected += 1
+
+        self._decisions += 1
+        self._accepted += accepted
+        self._overflowed += overflowed
+        self._probes += probes
+        latency = self._clock() - t0
+        self._latency.append(latency)
+        return Decision(
+            resource=chosen,
+            task_id=task_id,
+            accepted=accepted,
+            overflow=overflowed,
+            probes=probes,
+            weight=w,
+            latency=latency,
+        )
+
+    def submit(self, weight: float, resource: int) -> int:
+        """Force-place one task (no admission probing); return its id.
+
+        The ingestion verb of trace replay and of upstream schedulers
+        that already decided the destination.
+        """
+        w = float(weight)
+        if w <= 0:
+            raise ValueError("task weight must be strictly positive")
+        if not 0 <= resource < self.state.n:
+            raise ValueError(f"resource {resource} out of range")
+        self._ingested += 1
+        return self._buffer_arrival(w, int(resource))
+
+    def depart(self, ids) -> int:
+        """Retire placed tasks by id; return how many were found.
+
+        Capacity is released immediately (subsequent decisions see the
+        freed headroom); the task arrays compact at the next tick.
+        Unknown or already-departed ids are ignored.
+        """
+        wanted = np.unique(np.atleast_1d(np.asarray(ids, dtype=np.int64)))
+        if wanted.size == 0:
+            return 0
+        found = 0
+        # tasks still waiting in the arrival buffer are cancelled there
+        if self._pending_ids:
+            buffered = set(self._pending_ids) & {int(t) for t in wanted}
+            for tid in buffered:
+                k = self._pending_ids.index(tid)
+                self._loads[self._pending_r[k]] -= self._pending_w[k]
+                del self._pending_w[k]
+                del self._pending_r[k]
+                del self._pending_ids[k]
+            found += len(buffered)
+        pos = np.flatnonzero(np.isin(self._ids, wanted))
+        if self._pending_departs:
+            already = np.asarray(self._pending_departs, dtype=np.int64)
+            pos = pos[~np.isin(self._ids[pos], already)]
+        if pos.size:
+            np.subtract.at(
+                self._loads,
+                self.state.resource[pos],
+                self.state.weights[pos],
+            )
+            self._pending_departs.extend(int(t) for t in self._ids[pos])
+            found += int(pos.size)
+        self._departed += found
+        return found
+
+    # ------------------------------------------------------------------
+    # Rounds
+    # ------------------------------------------------------------------
+    def tick(self) -> StepStats:
+        """Sync deferred arrivals/departures, then run one protocol
+        round."""
+        self.flush()
+        stats = self.protocol.step(self.state, self.rng)
+        self._ticks += 1
+        self._migrations += stats.movers
+        self._migrated_weight += stats.moved_weight
+        loads = (
+            stats.loads_after
+            if stats.loads_after is not None
+            else self.state.loads()
+        )
+        self._loads = np.array(loads, dtype=np.float64)
+        return stats
+
+    def flush(self) -> None:
+        """Apply deferred departures and arrivals to the task arrays.
+
+        Called automatically by :meth:`tick`; callers only need it when
+        they want ``state`` itself (not just the load view) current.
+        """
+        if self._pending_departs:
+            gone = np.asarray(self._pending_departs, dtype=np.int64)
+            pos = np.flatnonzero(np.isin(self._ids, gone))
+            self.state.remove_tasks(pos)
+            self._ids = np.delete(self._ids, pos)
+            self._pending_departs.clear()
+        if self._pending_ids:
+            self.state.add_tasks(
+                np.asarray(self._pending_w, dtype=np.float64),
+                np.asarray(self._pending_r, dtype=np.int64),
+            )
+            self._ids = np.concatenate(
+                [self._ids, np.asarray(self._pending_ids, dtype=np.int64)]
+            )
+            self._pending_w.clear()
+            self._pending_r.clear()
+            self._pending_ids.clear()
+
+    def rethreshold(self, policy) -> None:
+        """Recompute the threshold from the live workload.
+
+        ``policy`` is a :class:`~repro.core.thresholds.ThresholdPolicy`;
+        the effective-capacity view used by subsequent decisions is
+        refreshed in the same call.  No-op on an empty population (no
+        workload to anchor to).
+        """
+        self.flush()
+        state = self.state
+        if not state.m:
+            return
+        state.threshold = policy.compute_for(
+            state.weights, state.n, speeds=state.speeds
+        )
+        self.refresh_capacity()
+
+    def refresh_capacity(self) -> None:
+        """Re-derive the per-resource admission bound from the state."""
+        cap = np.asarray(
+            self.state.capacity_vector(), dtype=np.float64
+        ).reshape(-1)
+        if cap.shape != (self.state.n,):
+            cap = np.full(self.state.n, float(cap))
+        self._cap = cap
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def live_tasks(self) -> int:
+        """Tasks currently placed (deferred arrivals included)."""
+        return (
+            self.state.m
+            + len(self._pending_ids)
+            - len(self._pending_departs)
+        )
+
+    def loads(self) -> np.ndarray:
+        """Copy of the live load vector (pending ops included)."""
+        return self._loads.copy()
+
+    def task_ids(self) -> np.ndarray:
+        """External ids aligned with the state's task order (synced)."""
+        self.flush()
+        return self._ids.copy()
+
+    def is_balanced(self) -> bool:
+        """Every live load at or below its effective capacity."""
+        return bool(np.all(self._loads <= self._cap + self.state.atol))
+
+    def metrics_snapshot(self) -> RouterMetrics:
+        """Current metrics (see :class:`RouterMetrics`)."""
+        loads = self._loads.copy()
+        speeds = self.state.speeds
+        norm = loads if speeds is None else loads / speeds
+        lat = self._latency.array()
+        if lat.size:
+            p50, p90, p99 = (
+                float(v) for v in np.percentile(lat, (50, 90, 99))
+            )
+        else:
+            p50 = p90 = p99 = None
+        return RouterMetrics(
+            resources=self.state.n,
+            live_tasks=self.live_tasks,
+            total_weight=float(loads.sum()),
+            loads=loads,
+            normalized_loads=norm,
+            makespan=float(norm.max()) if norm.size else 0.0,
+            capacity=self._cap.copy(),
+            overloaded=int((loads > self._cap + self.state.atol).sum()),
+            decisions=self._decisions,
+            accepted=self._accepted,
+            overflowed=self._overflowed,
+            rejected=self._rejected,
+            ingested=self._ingested,
+            departed=self._departed,
+            probes=self._probes,
+            retries=self._probes - self._decisions,
+            ticks=self._ticks,
+            migrations=self._migrations,
+            migrated_weight=self._migrated_weight,
+            latency_p50=p50,
+            latency_p90=p90,
+            latency_p99=p99,
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _buffer_arrival(self, weight: float, resource: int) -> int:
+        task_id = self._next_id
+        self._next_id += 1
+        self._pending_w.append(weight)
+        self._pending_r.append(resource)
+        self._pending_ids.append(task_id)
+        self._loads[resource] += weight
+        return task_id
+
+    def _pick_family(self) -> bool:
+        """Whether this decision uses resource-controlled semantics."""
+        if self._mode == "resource":
+            return True
+        if self._mode == "user":
+            return False
+        # hybrid: the protocol's own coin, per decision
+        if self.protocol.mode == "alternate":
+            use_resource = self._alternate % 2 == 0
+            self._alternate += 1
+            return use_resource
+        return bool(self.rng.random() < self.protocol.resource_fraction)
+
+    def _next_candidate(
+        self, resource_mode: bool, cursor: int | None, probes: int
+    ) -> int:
+        walk = self._res_walk if resource_mode else self._user_walk
+        if cursor is None:
+            # no origin: the request lands uniformly at random
+            return int(self.rng.integers(0, self.state.n))
+        if resource_mode and probes == 0:
+            return cursor  # origin resource examines itself first
+        if walk is None:
+            return int(self.rng.integers(0, self.state.n))
+        pos = np.asarray([cursor], dtype=np.int64)
+        return int(walk.step(pos, self.rng)[0])
+
+
+def _admission_plan(protocol: Protocol):
+    """Map a protocol instance to (family, user walk, resource walk)."""
+    if isinstance(protocol, HybridProtocol):
+        return (
+            "hybrid",
+            protocol.user_protocol.walk,
+            protocol.resource_protocol.walk,
+        )
+    if isinstance(protocol, ResourceControlledProtocol):
+        return "resource", None, protocol.walk
+    if isinstance(protocol, UserControlledProtocol):
+        return "user", protocol.walk, None
+    return "user", None, None

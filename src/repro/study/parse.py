@@ -21,7 +21,11 @@ flags, so graphs and weight distributions need a flag-sized syntax:
 * dynamics — ``none`` (one-shot model), ``poisson:RATE:HORIZON``
   with an optional lifetime tail: ``:inf`` (tasks never depart, the
   default) or ``:MEAN`` (exponential lifetimes with that mean, in
-  rounds), e.g. ``poisson:2:200:50``.
+  rounds), e.g. ``poisson:2:200:50``; or ``trace:FILE`` — a JSONL
+  event trace (see :mod:`repro.workloads.trace_io`) replayed as a
+  :class:`~repro.workloads.dynamics.TraceDynamics` spec, with an
+  optional ``:rethreshold`` tail to recompute the threshold after
+  every population change.
 
 :func:`parse_axis_values` coerces a comma-separated ``--axis``
 grid onto the right type for any scenario axis, using these parsers
@@ -53,6 +57,7 @@ from ..workloads.speeds import (
     TwoClassSpeeds,
     UniformSpeeds,
 )
+from ..workloads.trace_io import load_trace_jsonl
 from ..workloads.weights import (
     ExponentialWeights,
     ParetoWeights,
@@ -236,7 +241,10 @@ def parse_dynamics(spec: str) -> DynamicsSpec | None:
     ``poisson:RATE:HORIZON`` streams Poisson(rate) arrivals per round
     for ``HORIZON`` rounds; a third argument picks the lifetime model
     (``inf`` — never depart — or a positive mean for exponential
-    lifetimes in rounds).
+    lifetimes in rounds).  ``trace:FILE`` loads a JSONL event trace
+    (:func:`~repro.workloads.trace_io.load_trace_jsonl`); append
+    ``:rethreshold`` to recompute the threshold on every population
+    change.
     """
     head, args = _split(spec)
     if head == "none":
@@ -269,9 +277,21 @@ def parse_dynamics(spec: str) -> DynamicsSpec | None:
         else:
             lifetimes = InfiniteLifetimes()
         return PoissonDynamics(rate=rate, horizon=horizon, lifetimes=lifetimes)
+    if head == "trace":
+        rethreshold = False
+        if args and args[-1].lower() == "rethreshold":
+            rethreshold = True
+            args = args[:-1]
+        if not args or not args[0]:
+            raise ValueError(
+                "trace spec needs a file path, e.g. trace:events.jsonl "
+                "(optional :rethreshold)"
+            )
+        # re-join so paths containing ':' survive the split
+        return load_trace_jsonl(":".join(args), rethreshold=rethreshold)
     raise ValueError(
         f"unknown dynamics kind {head!r} in spec {spec!r}; expected "
-        "none or poisson"
+        "none, poisson or trace"
     )
 
 

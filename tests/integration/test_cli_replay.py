@@ -1,0 +1,140 @@
+"""In-process tests for the `replay` CLI command and the bench
+harness's `--only` validation."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestReplayCommand:
+    def test_quick_verify_is_bit_identical(self, capsys):
+        rc = main(["replay", "--quick", "--verify"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "verify: OK (bit-identical to simulate())" in out
+
+    def test_quick_reports_core_fields(self, capsys):
+        rc = main(["replay", "--quick", "--seed", "3"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "rounds" in out
+        assert "balanced" in out
+        assert "makespan" in out
+
+    def test_resource_protocol_verifies(self, capsys):
+        rc = main(
+            [
+                "replay",
+                "--protocol",
+                "resource",
+                "--graph",
+                "torus:4x6",
+                "--m",
+                "60",
+                "--weights",
+                "uniform_range:1:5",
+                "--dynamics",
+                "poisson:2:30:15",
+                "--verify",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "verify: OK" in out
+
+    def test_json_output_parses(self, capsys):
+        rc = main(["replay", "--quick", "--verify", "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["verified"] is True
+        assert payload["mismatches"] == []
+        assert payload["rounds"] >= 1
+        assert "metrics" in payload
+        assert payload["metrics"]["decisions"] == 0  # replay only
+        assert payload["metrics"]["ticks"] == payload["rounds"]
+
+    def test_trial_index_selects_different_schedule(self, capsys):
+        rc0 = main(["replay", "--quick", "--json"])
+        out0 = json.loads(capsys.readouterr().out)
+        rc1 = main(["replay", "--quick", "--trial", "1", "--json"])
+        out1 = json.loads(capsys.readouterr().out)
+        assert rc0 == rc1 == 0
+        assert out0["trial"] == 0
+        assert out1["trial"] == 1
+
+    def test_negative_trial_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["replay", "--quick", "--trial", "-1"])
+
+    def test_bad_dynamics_spec_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["replay", "--dynamics", "bogus:1"])
+
+    def test_trace_file_end_to_end(self, tmp_path, capsys):
+        trace = tmp_path / "events.jsonl"
+        trace.write_text(
+            '{"round": 1, "weight": 3, "resource": 0, "id": "a"}\n'
+            '{"round": 2, "weight": 1, "resource": 1}\n'
+            '{"depart": "a", "round": 5}\n'
+        )
+        rc = main(
+            [
+                "replay",
+                "--n",
+                "6",
+                "--m",
+                "18",
+                "--weights",
+                "uniform_range:1:4",
+                "--dynamics",
+                f"trace:{trace}",
+                "--verify",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "verify: OK" in out
+
+    def test_missing_trace_file_is_cli_error(self):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "replay",
+                    "--quick",
+                    "--dynamics",
+                    "trace:/nonexistent/events.jsonl",
+                ]
+            )
+
+
+class TestBenchHarnessOnly:
+    @pytest.fixture(scope="class")
+    def engine_perf(self):
+        path = REPO_ROOT / "benchmarks" / "engine_perf.py"
+        spec = importlib.util.spec_from_file_location(
+            "engine_perf_under_test", path
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module
+
+    def test_unknown_group_lists_valid_groups(self, engine_perf):
+        with pytest.raises(ValueError) as err:
+            engine_perf.run_harness(quick=True, only="bogus_group")
+        message = str(err.value)
+        assert "unknown measurement group 'bogus_group'" in message
+        assert "e_router" in message
+        assert "e_scale" in message
+
+    def test_group_registry_contains_router(self, engine_perf):
+        names = [name for name, _ in engine_perf.GROUPS]
+        assert "e_router" in names
+        assert names[-1] == "e_scale"  # peak-RSS group must stay last
