@@ -83,7 +83,8 @@ def main() -> None:
         f"\nscaling check: k went {first['k (bridge edges)']} -> "
         f"{last['k (bridge edges)']} "
         f"({last['k (bridge edges)'] / first['k (bridge edges)']:.0f}x), "
-        f"rounds fell {first['measured_rounds'] / last['measured_rounds']:.1f}x "
+        f"rounds fell "
+        f"{first['measured_rounds'] / last['measured_rounds']:.1f}x "
         "— the Omega(H log m) wall in action."
     )
 

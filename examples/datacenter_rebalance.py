@@ -102,7 +102,8 @@ def main() -> None:
         f"\nreading: eager jobs (alpha=1) settle {shy / eager:.0f}x faster "
         "than shy ones (alpha=0.1),\nmatching Theorem 11's 1/alpha law; "
         "tighter thresholds buy a lower final makespan\n"
-        f"({rows[-1]['final_makespan']:.1f} vs {rows[0]['final_makespan']:.1f}) "
+        f"({rows[-1]['final_makespan']:.1f} "
+        f"vs {rows[0]['final_makespan']:.1f}) "
         "at a modest cost here because the heavy tail makes\n"
         "wmax itself the slack — with many small jobs the Theorem 12 "
         "n-factor would bite."

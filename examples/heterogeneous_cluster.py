@@ -106,9 +106,10 @@ def main() -> None:
         )
     )
     uniform, proportional, first_class = rows
+    prop_skew = proportional["mean load fast"] / proportional["mean load slow"]
     print(
         "\nreading: proportional thresholds route "
-        f"{proportional['mean load fast'] / proportional['mean load slow']:.1f}x "
+        f"{prop_skew:.1f}x "
         "more load to fast machines\n(uniform thresholds: "
         f"{uniform['mean load fast'] / uniform['mean load slow']:.1f}x), "
         "cutting the speed-adjusted makespan from "

@@ -54,7 +54,8 @@ def main() -> None:
     weights[: M // 100] = 25.0
     stats = weight_stats(weights)
     print(
-        f"workload: m={M} tasks, W={stats['W']:.0f}, wmax={stats['wmax']:.0f}, "
+        f"workload: m={M} tasks, W={stats['W']:.0f}, "
+        f"wmax={stats['wmax']:.0f}, "
         f"threshold={(1 + EPS) * stats['W'] / N + stats['wmax']:.2f}"
     )
 

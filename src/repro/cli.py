@@ -368,7 +368,9 @@ def _build_sweep_study(args, parser: argparse.ArgumentParser) -> Study:
                 raise ValueError(
                     f"--axis {spec!r} is not of the form NAME=V1,V2,..."
                 )
-            axis = make_sweep(name.strip(), parse_axis_values(name.strip(), text))
+            axis = make_sweep(
+                name.strip(), parse_axis_values(name.strip(), text)
+            )
             grid = axis if grid is None else grid * axis
         # verify every grid point compiles before burning trial time
         study = Study(
@@ -535,7 +537,10 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "list":
         width = max(len(k) for k in EXPERIMENTS)
         for exp in EXPERIMENTS.values():
-            print(f"{exp.key:<{width}}  [{exp.paper_artifact}] {exp.description}")
+            print(
+                f"{exp.key:<{width}}  "
+                f"[{exp.paper_artifact}] {exp.description}"
+            )
         return 0
     if args.command == "describe":
         return _describe(args.experiment)

@@ -107,11 +107,18 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from typing import TYPE_CHECKING
+
 from .backends import SimulationBackend, TrialSetup
 from .protocols.base import Protocol
 from .protocols.user_controlled import _ceil_lots
 from .simulator import RunResult, _TraceBuffer, simulate
 from .state import SystemState
+
+if TYPE_CHECKING:
+    from .protocols.hybrid import HybridProtocol
+    from .protocols.resource_controlled import ResourceControlledProtocol
+    from .protocols.user_controlled import UserControlledProtocol
 
 __all__ = [
     "BatchFallbackWarning",
@@ -291,7 +298,10 @@ class BatchState:
                     for sp in self.speeds_rows
                 ]
             )
-            self.cap = self.speeds * self.t_res
+            # Stacked (A, n) form of effective_capacity's c = s * T —
+            # same operand order, bit-equal per row; the scalar choke
+            # point cannot express the per-trial plane product.
+            self.cap = self.speeds * self.t_res  # lint: allow-capacity
         else:
             self.speeds = None
             self.cap = self.t_res
@@ -890,7 +900,7 @@ class BatchedBackend(SimulationBackend):
 
         def finish(
             chunk_rows: np.ndarray, loads_now: np.ndarray, balanced: bool
-        ):
+        ) -> None:
             for row in chunk_rows:
                 trial = int(live[row])
                 bufs = traces[trial] if record_traces else None
@@ -1038,7 +1048,7 @@ class BatchedBackend(SimulationBackend):
             chunk_rows: np.ndarray,
             loads_now: np.ndarray,
             balanced: np.ndarray,
-        ):
+        ) -> None:
             for row in chunk_rows:
                 trial = int(live[row])
                 bufs = traces[trial] if record_traces else None
@@ -1155,7 +1165,12 @@ class BatchedBackend(SimulationBackend):
                     batch.thresholds[row] = t_new
                     batch.t_res[row] = np.asarray(t_new, dtype=np.float64)
                     if batch.speeds is not None:
-                        batch.cap[row] = batch.speeds[row] * batch.t_res[row]
+                        # rethreshold refresh of the stacked cap plane
+                        # (same s * T operand order as BatchState init)
+                        batch.cap[row] = (
+                            batch.speeds[row]  # lint: allow-capacity
+                            * batch.t_res[row]
+                        )
                     # speeds None: cap aliases t_res, already updated
                     batch.bound[row, :n] = batch.cap[row] + batch.atol[row]
 
@@ -1230,7 +1245,9 @@ class BatchedBackend(SimulationBackend):
 # Vectorised kernels (called from the protocol step_batch overrides)
 # ----------------------------------------------------------------------
 def user_step_batch(
-    proto, batch: BatchState, rngs: list[np.random.Generator]
+    proto: UserControlledProtocol,
+    batch: BatchState,
+    rngs: list[np.random.Generator],
 ) -> BatchStepStats:
     """One vectorised user-controlled round for every trial in ``batch``.
 
@@ -1370,7 +1387,9 @@ def user_step_batch(
 
 
 def resource_step_batch(
-    proto, batch: BatchState, rngs: list[np.random.Generator]
+    proto: ResourceControlledProtocol,
+    batch: BatchState,
+    rngs: list[np.random.Generator],
 ) -> BatchStepStats:
     """One vectorised resource-controlled round for every trial.
 
@@ -1468,7 +1487,9 @@ def resource_step_batch(
 
 
 def hybrid_step_batch(
-    proto, batch: BatchState, rngs: list[np.random.Generator]
+    proto: HybridProtocol,
+    batch: BatchState,
+    rngs: list[np.random.Generator],
 ) -> BatchStepStats:
     """One vectorised hybrid round for every trial in ``batch``.
 

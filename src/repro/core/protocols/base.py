@@ -12,11 +12,16 @@ recomputing partitions.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from collections.abc import Iterable
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..state import SystemState
+
+if TYPE_CHECKING:
+    from ..batch import BatchState, BatchStepStats
 
 __all__ = ["StepStats", "Protocol", "loads_delta"]
 
@@ -109,9 +114,9 @@ class Protocol(ABC):
 
     def step_batch(
         self,
-        trials,
-        rngs: "list[np.random.Generator]",
-    ):
+        trials: Iterable[SystemState] | BatchState,
+        rngs: list[np.random.Generator],
+    ) -> list[StepStats] | BatchStepStats:
         """Run one synchronous round for several independent trials.
 
         ``trials`` is an iterable of per-trial :class:`SystemState`

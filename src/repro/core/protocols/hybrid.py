@@ -32,12 +32,18 @@ kernels — see :func:`repro.core.batch.hybrid_step_batch`.
 
 from __future__ import annotations
 
+from collections.abc import Iterable
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from ..state import SystemState
 from .base import Protocol, StepStats
 from .resource_controlled import ResourceControlledProtocol
 from .user_controlled import UserControlledProtocol
+
+if TYPE_CHECKING:
+    from ..batch import BatchState, BatchStepStats
 
 __all__ = ["HybridProtocol"]
 
@@ -107,7 +113,11 @@ class HybridProtocol(Protocol):
             user_sig,
         )
 
-    def step_batch(self, trials, rngs):
+    def step_batch(
+        self,
+        trials: Iterable[SystemState] | BatchState,
+        rngs: list[np.random.Generator],
+    ) -> list[StepStats] | BatchStepStats:
         from ..batch import BatchState, hybrid_step_batch
 
         if isinstance(trials, BatchState):

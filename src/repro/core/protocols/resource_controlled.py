@@ -30,6 +30,9 @@ tolerates exactly this kind of per-resource capacity.
 
 from __future__ import annotations
 
+from collections.abc import Iterable
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from ...graphs.implicit import ImplicitWalk, NeighborSampler
@@ -37,6 +40,9 @@ from ...graphs.random_walk import RandomWalk, max_degree_walk
 from ...graphs.topology import Graph
 from ..state import SystemState
 from .base import Protocol, StepStats, loads_delta
+
+if TYPE_CHECKING:
+    from ..batch import BatchState, BatchStepStats
 
 __all__ = ["ResourceControlledProtocol"]
 
@@ -127,7 +133,11 @@ class ResourceControlledProtocol(Protocol):
             self.walk.batch_key(),
         )
 
-    def step_batch(self, trials, rngs):
+    def step_batch(
+        self,
+        trials: Iterable[SystemState] | BatchState,
+        rngs: list[np.random.Generator],
+    ) -> list[StepStats] | BatchStepStats:
         from ..batch import BatchState, resource_step_batch
 
         if isinstance(trials, BatchState):

@@ -31,12 +31,19 @@ only read local quantities.
 
 from __future__ import annotations
 
+from collections.abc import Iterable
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from ...graphs.implicit import ImplicitWalk
 from ...graphs.random_walk import RandomWalk
 from ..state import SystemState
 from .base import Protocol, StepStats, loads_delta
+
+if TYPE_CHECKING:
+    from ..batch import BatchState, BatchStepStats
+    from ..stack import StackPartition
 
 __all__ = ["UserControlledProtocol", "theorem11_alpha", "theorem12_alpha"]
 
@@ -123,7 +130,7 @@ class UserControlledProtocol(Protocol):
                 f"n={state.n} resources"
             )
 
-    def _rates(self, part, wmax: float) -> np.ndarray:
+    def _rates(self, part: StackPartition, wmax: float) -> np.ndarray:
         """Per-resource migration probability from a stack partition."""
         lots = _ceil_lots(part.phi, wmax)
         with np.errstate(divide="ignore", invalid="ignore"):
@@ -207,7 +214,11 @@ class UserControlledProtocol(Protocol):
             walk_id,
         )
 
-    def step_batch(self, trials, rngs):
+    def step_batch(
+        self,
+        trials: Iterable[SystemState] | BatchState,
+        rngs: list[np.random.Generator],
+    ) -> list[StepStats] | BatchStepStats:
         from ..batch import BatchState, user_step_batch
 
         if isinstance(trials, BatchState):

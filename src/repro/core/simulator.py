@@ -21,11 +21,12 @@ bit-for-bit equivalence the dynamics property suite gates on.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from .protocols.base import Protocol
+from .protocols.base import Protocol, StepStats
 from .state import SystemState
 
 __all__ = ["RunResult", "simulate"]
@@ -169,7 +170,7 @@ def simulate(
     max_rounds: int = 100_000,
     record_traces: bool = False,
     check_invariants: bool = False,
-    on_round=None,
+    on_round: Callable[[int, SystemState, StepStats], object] | None = None,
 ) -> RunResult:
     """Run ``protocol`` on ``state`` (mutated in place) until balanced.
 
@@ -267,7 +268,7 @@ def _simulate_dynamic(
     max_rounds: int,
     record_traces: bool,
     check_invariants: bool,
-    on_round,
+    on_round: Callable[[int, SystemState, StepStats], object] | None,
 ) -> RunResult:
     """The online variant of :func:`simulate`.
 

@@ -57,8 +57,13 @@ class ResourceStack:
             raise ValueError("speed must be positive")
         self.threshold = float(threshold)
         self.speed = float(speed)
-        #: Raw-load bound: every threshold comparison uses this.
-        self.capacity = float(threshold) * float(speed)
+        #: Raw-load bound ``c_r = s_r * T_r``: every threshold
+        #: comparison uses this, derived through the engine's single
+        #: capacity choke point (bit-identical to the historical
+        #: ``threshold * speed`` — IEEE multiplication commutes).
+        self.capacity = float(
+            effective_capacity(self.threshold, np.asarray([self.speed]), 1)[0]
+        )
         self.atol = float(atol)
         self._task_ids: list[int] = []
         self._weights: list[float] = []

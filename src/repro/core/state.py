@@ -27,6 +27,7 @@ so views handed out earlier stay valid snapshots.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -38,6 +39,9 @@ from .thresholds import (
     feasible_threshold,
     validate_speeds,
 )
+
+if TYPE_CHECKING:
+    from ..workloads.dynamics import DynamicsSchedule
 
 __all__ = ["SystemState"]
 
@@ -82,7 +86,9 @@ DynamicsSchedule` attached by dynamic trial setups.  ``None`` (the
     threshold: float | np.ndarray
     atol: float = 1e-9
     speeds: np.ndarray | None = None
-    dynamics: object | None = field(default=None, repr=False, compare=False)
+    dynamics: DynamicsSchedule | None = field(
+        default=None, repr=False, compare=False
+    )
     _next_seq: int = field(init=False, repr=False)
 
     def __post_init__(self) -> None:

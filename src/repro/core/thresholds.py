@@ -94,10 +94,12 @@ def effective_capacity(
         return threshold
     t = np.asarray(threshold, dtype=np.float64)
     if t.ndim == 0:
-        return speeds * float(t)
+        # THE definition site of c_r = s_r * T_r (hence the hatch):
+        # every other speed*threshold product must route through here.
+        return speeds * float(t)  # lint: allow-capacity
     if t.shape != (n,):
         raise ValueError(f"vector threshold must have shape ({n},)")
-    return speeds * t
+    return speeds * t  # lint: allow-capacity (definition site, see above)
 
 
 def feasible_threshold(
@@ -249,9 +251,7 @@ class ProportionalThresholds:
     eps: float = 0.2
     #: Cached float64 view of ``speeds`` (tuples re-converted on every
     #: call measurably slowed sweeps that rebuild thresholds per trial).
-    _speeds_arr: np.ndarray = field(
-        init=False, repr=False, compare=False, default=None
-    )
+    _speeds_arr: np.ndarray = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not len(self.speeds):

@@ -21,7 +21,8 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Any, Callable, Mapping
+from collections.abc import Callable, Mapping
+from typing import Any
 
 from ..study import Study, StudyProgress, StudyResult, run_study
 from . import (

@@ -207,7 +207,9 @@ def lollipop_graph(clique_size: int, path_length: int) -> Graph:
     for i in range(clique_size, n):
         edges.append((prev, i))
         prev = i
-    return Graph.from_edges(n, edges, name=f"lollipop({clique_size},{path_length})")
+    return Graph.from_edges(
+        n, edges, name=f"lollipop({clique_size},{path_length})"
+    )
 
 
 def barbell_graph(clique_size: int, bridge_length: int = 0) -> Graph:
@@ -224,9 +226,12 @@ def barbell_graph(clique_size: int, bridge_length: int = 0) -> Graph:
         for u in range(clique_size)
         for v in range(u + 1, clique_size)
     ]
-    chain = [clique_size - 1, *range(clique_size, clique_size + bridge_length), off]
+    bridge = range(clique_size, clique_size + bridge_length)
+    chain = [clique_size - 1, *bridge, off]
     edges += list(itertools.pairwise(chain))
-    return Graph.from_edges(n, edges, name=f"barbell({clique_size},{bridge_length})")
+    return Graph.from_edges(
+        n, edges, name=f"barbell({clique_size},{bridge_length})"
+    )
 
 
 def binary_tree_graph(depth: int) -> Graph:

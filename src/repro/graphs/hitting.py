@@ -105,6 +105,7 @@ def monte_carlo_hitting_time(
             break
     if alive.any():
         raise RuntimeError(
-            f"{int(alive.sum())}/{trials} walks did not hit within {max_steps} steps"
+            f"{int(alive.sum())}/{trials} walks did not hit "
+            f"within {max_steps} steps"
         )
     return float(hit_at.mean())

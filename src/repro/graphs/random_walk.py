@@ -68,7 +68,8 @@ class RandomWalk:
 
     def batch_key(self) -> tuple:
         """Identity of this walk's step behaviour, for cross-trial
-        batching (see :meth:`repro.core.protocols.base.Protocol.batch_signature`).
+        batching (see
+        :meth:`repro.core.protocols.base.Protocol.batch_signature`).
 
         Two walks may share a vectorised kernel only when this key
         matches: :meth:`step` is fully determined by the graph structure
@@ -117,7 +118,9 @@ class RandomWalk:
         )
 
     # ------------------------------------------------------------------
-    def step(self, positions: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    def step(
+        self, positions: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
         """Advance every walker in ``positions`` by one step of the walk.
 
         Parameters

@@ -19,7 +19,7 @@ and ``(v, u)``, there are no self-loops and no parallel edges.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator
+from collections.abc import Iterable, Iterator
 
 import numpy as np
 
@@ -32,7 +32,9 @@ def _as_edge_array(edges: Iterable[tuple[int, int]]) -> np.ndarray:
     if arr.size == 0:
         return arr.reshape(0, 2)
     if arr.ndim != 2 or arr.shape[1] != 2:
-        raise ValueError(f"edges must be pairs, got array of shape {arr.shape}")
+        raise ValueError(
+            f"edges must be pairs, got array of shape {arr.shape}"
+        )
     return arr
 
 
@@ -61,7 +63,9 @@ class Graph:
 
     def __post_init__(self) -> None:
         if self.n <= 0:
-            raise ValueError(f"graph needs at least one vertex, got n={self.n}")
+            raise ValueError(
+                f"graph needs at least one vertex, got n={self.n}"
+            )
         indptr = np.ascontiguousarray(self.indptr, dtype=np.int64)
         indices = np.ascontiguousarray(self.indices, dtype=np.int64)
         if indptr.shape != (self.n + 1,):
@@ -115,7 +119,9 @@ class Graph:
         return cls(n=n, indptr=indptr, indices=dst, name=name)
 
     @classmethod
-    def from_adjacency(cls, matrix: np.ndarray, name: str = "graph") -> "Graph":
+    def from_adjacency(
+        cls, matrix: np.ndarray, name: str = "graph"
+    ) -> "Graph":
         """Build a graph from a dense, symmetric 0/1 adjacency matrix."""
         a = np.asarray(matrix)
         if a.ndim != 2 or a.shape[0] != a.shape[1]:
@@ -126,7 +132,9 @@ class Graph:
             raise ValueError("self-loops are not allowed")
         src, dst = np.nonzero(a)
         keep = src < dst
-        return cls.from_edges(a.shape[0], list(zip(src[keep], dst[keep])), name=name)
+        return cls.from_edges(
+            a.shape[0], list(zip(src[keep], dst[keep])), name=name
+        )
 
     # ------------------------------------------------------------------
     # Basic queries
@@ -224,7 +232,11 @@ class Graph:
                     fresh = nbrs[labels[nbrs] == -1]
                     labels[fresh] = current
                     nxt.append(fresh)
-                frontier = np.concatenate(nxt) if nxt else np.empty(0, dtype=np.int64)
+                frontier = (
+                    np.concatenate(nxt)
+                    if nxt
+                    else np.empty(0, dtype=np.int64)
+                )
             current += 1
         return labels
 

@@ -1,0 +1,50 @@
+"""repro-lint: AST-based enforcement of the repo's reproducibility
+contracts.
+
+Every bit-for-bit equivalence gate this repository ships (dense ==
+batched == sharded == router, ``speeds=None`` exact, ``dynamics=None``
+exact) rests on a handful of hand-enforced conventions:
+
+* all randomness flows from an explicitly seeded
+  ``numpy.random.Generator`` / ``SeedSequence`` — never from module
+  global state, wall clocks or OS entropy;
+* every load-vs-threshold decision routes through the single
+  effective-capacity choke point
+  (:func:`repro.core.thresholds.effective_capacity`);
+* a protocol offering a vectorised ``step_batch`` also declares
+  ``batch_signature`` (and vice versa), so the batched engine can never
+  silently mismatch the dense path;
+* degradation paths announce themselves with a *named* ``*Warning``
+  instead of silently passing;
+* frozen configuration dataclasses (``Scenario``, ``Sweep``, trial
+  setups) are never mutated outside their defining modules.
+
+This package checks those conventions mechanically.  Run it as::
+
+    python -m repro.lint src/
+
+Diagnostics print as ``path:line:col RULE-ID message`` with ruff-style
+exit codes (0 clean, 1 violations, 2 usage error).  See
+``python -m repro.lint --explain RULE-ID`` for the invariant behind a
+rule and the sanctioned pattern, and ``--list-rules`` for the full
+catalogue.  Intentional exceptions are marked in the source with an
+escape-hatch comment, e.g. ``# lint: allow-capacity``.
+
+The linter is self-contained (stdlib ``ast`` only) so it can gate CI
+before any heavyweight import of the engine itself.
+"""
+
+from __future__ import annotations
+
+from .engine import Diagnostic, LintError, Rule, lint_file, lint_paths
+from .rules import ALL_RULES, get_rule
+
+__all__ = [
+    "ALL_RULES",
+    "Diagnostic",
+    "LintError",
+    "Rule",
+    "get_rule",
+    "lint_file",
+    "lint_paths",
+]

@@ -1,0 +1,144 @@
+"""Command-line interface of repro-lint.
+
+Exit-code semantics match ruff: 0 = clean, 1 = violations found
+(after ``--fix`` repaired what it could), 2 = usage or internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from .engine import LintError, Rule, apply_fixes, lint_paths
+from .rules import ALL_RULES, get_rule, select_rules
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=(
+            "AST-based linter enforcing this repo's determinism and "
+            "capacity-gating contracts."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["."],
+        help="files or directories to lint (default: current directory)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule ids or prefixes to run (e.g. RNG,CAP001)",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="RULES",
+        help="comma-separated rule ids or prefixes to skip",
+    )
+    parser.add_argument(
+        "--fix",
+        action="store_true",
+        help="apply mechanical fixes for the autofixable rules",
+    )
+    parser.add_argument(
+        "--explain",
+        metavar="RULE-ID",
+        help="print the invariant behind one rule and exit",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the summary line (diagnostics only)",
+    )
+    return parser
+
+
+def _explain(rule: type[Rule]) -> str:
+    scope = (
+        ", ".join(rule.scope)
+        if rule.scope
+        else "everywhere the linter runs"
+    )
+    fix = "yes (--fix)" if rule.autofixable else "no"
+    return "\n".join(
+        [
+            f"{rule.id} — {rule.summary}",
+            "",
+            f"  scope:      {scope}",
+            f"  autofix:    {fix}",
+            f"  escape:     # lint: allow-{rule.tag}   "
+            f"(or # lint: allow-{rule.id})",
+            "",
+            "Invariant:",
+            f"  {rule.invariant}",
+            "",
+            "Why it exists:",
+            f"  {rule.rationale}",
+            "",
+            "Sanctioned pattern:",
+            f"  {rule.sanctioned}",
+        ]
+    )
+
+
+def _list_rules() -> str:
+    lines = []
+    for rule in ALL_RULES:
+        fix = " [fixable]" if rule.autofixable else ""
+        lines.append(f"{rule.id}  {rule.summary}{fix}")
+    return "\n".join(lines)
+
+
+def _csv(value: str | None) -> list[str] | None:
+    if value is None:
+        return None
+    items = [item.strip() for item in value.split(",") if item.strip()]
+    return items or None
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.explain:
+            print(_explain(get_rule(args.explain)))
+            return 0
+        if args.list_rules:
+            print(_list_rules())
+            return 0
+        rules = select_rules(_csv(args.select), _csv(args.ignore))
+        diagnostics = lint_paths(args.paths, rules)
+        if args.fix:
+            fixed, files = apply_fixes(diagnostics)
+            diagnostics = [d for d in diagnostics if not d.fixable]
+            if fixed and not args.quiet:
+                print(f"Fixed {fixed} violation(s) in {files} file(s).")
+        for diag in diagnostics:
+            print(diag.render())
+        if not args.quiet:
+            fixable = sum(d.fixable for d in diagnostics)
+            if diagnostics:
+                note = (
+                    f" ({fixable} fixable with --fix)" if fixable else ""
+                )
+                print(f"Found {len(diagnostics)} violation(s){note}.")
+            else:
+                print("All checks passed.")
+        return 1 if diagnostics else 0
+    except LintError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,303 @@
+"""Core machinery of repro-lint: rules, diagnostics, file walking.
+
+A :class:`Rule` is an ``ast.NodeVisitor`` with an identity (``id``,
+``tag``), explanatory text (``invariant`` / ``rationale`` /
+``sanctioned``, surfaced by ``--explain``) and an optional path
+``scope`` restricting where it applies.  Rules report through
+:meth:`Rule.report`, which drops diagnostics suppressed by an
+escape-hatch comment on the offending statement::
+
+    risky_thing()  # lint: allow-<tag>
+
+where ``<tag>`` is either the rule's family tag (``capacity``, ``rng``,
+``batch``, ``warning``, ``config``) or a specific rule id
+(``# lint: allow-CAP002``).  The hatch is deliberately per-line — a
+justification comment is expected next to it, and a hatch that drifts
+away from its violation stops suppressing anything.
+
+Autofixable rules attach a :class:`LineFix` (a regex rewrite of one
+source line); :func:`apply_fixes` performs the rewrites.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import ClassVar
+
+__all__ = [
+    "Diagnostic",
+    "FileContext",
+    "LineFix",
+    "LintError",
+    "Rule",
+    "apply_fixes",
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+]
+
+#: Escape-hatch comment: ``# lint: allow-capacity`` or
+#: ``# lint: allow-CAP002`` (several tokens may be comma-separated).
+_ALLOW_RE = re.compile(r"#\s*lint:\s*allow-([A-Za-z0-9_,-]+)")
+
+#: Directories never descended into when walking a tree.
+_SKIP_DIRS = {"__pycache__", ".git", ".ruff_cache", ".mypy_cache"}
+
+
+class LintError(Exception):
+    """Usage error (unknown rule id, unreadable path) — exit code 2."""
+
+
+@dataclass(frozen=True)
+class LineFix:
+    """A mechanical rewrite of one source line (1-based ``line``)."""
+
+    line: int
+    pattern: str
+    replacement: str
+
+    def apply(self, text: str) -> str:
+        return re.sub(self.pattern, self.replacement, text, count=1)
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+    fix: LineFix | None = None
+
+    @property
+    def fixable(self) -> bool:
+        return self.fix is not None
+
+    def render(self) -> str:
+        loc = f"{self.path}:{self.line}:{self.col}"
+        tail = " [fixable]" if self.fixable else ""
+        return f"{loc} {self.rule_id} {self.message}{tail}"
+
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.col, self.rule_id)
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs to know about one source file."""
+
+    path: Path
+    source: str
+    tree: ast.AST
+    #: line number -> set of lowercase allow tokens on that line
+    allows: dict[int, set[str]] = field(default_factory=dict)
+
+    @classmethod
+    def parse(cls, path: Path, source: str) -> "FileContext":
+        tree = ast.parse(source, filename=str(path))
+        allows: dict[int, set[str]] = {}
+        for lineno, line in enumerate(source.splitlines(), 1):
+            match = _ALLOW_RE.search(line)
+            if match:
+                tokens = {
+                    tok.strip().lower()
+                    for tok in match.group(1).split(",")
+                    if tok.strip()
+                }
+                if tokens:
+                    allows[lineno] = tokens
+        return cls(path=path, source=source, tree=tree, allows=allows)
+
+    def allowed(self, node: ast.AST, rule: "Rule") -> bool:
+        """Whether an escape hatch on the node's lines covers ``rule``."""
+        start = getattr(node, "lineno", None)
+        if start is None:
+            return False
+        end = getattr(node, "end_lineno", None) or start
+        wanted = {rule.tag.lower(), rule.id.lower()}
+        return any(
+            self.allows.get(line, set()) & wanted
+            for line in range(start, end + 1)
+        )
+
+
+class Rule(ast.NodeVisitor):
+    """One invariant check.  Subclasses set the class attributes and
+    implement ``visit_*`` methods that call :meth:`report`."""
+
+    #: Stable identifier, e.g. ``"CAP001"``.
+    id: ClassVar[str]
+    #: Escape-hatch family tag, e.g. ``"capacity"``.
+    tag: ClassVar[str]
+    #: One-line description (shown by ``--list-rules``).
+    summary: ClassVar[str]
+    #: The invariant being enforced (shown by ``--explain``).
+    invariant: ClassVar[str]
+    #: Why the invariant exists (shown by ``--explain``).
+    rationale: ClassVar[str]
+    #: The sanctioned pattern (shown by ``--explain``).
+    sanctioned: ClassVar[str]
+    #: Path fragments the rule is restricted to (``None`` = everywhere).
+    scope: ClassVar[tuple[str, ...] | None] = None
+    #: Whether ``--fix`` can repair violations mechanically.
+    autofixable: ClassVar[bool] = False
+
+    def __init__(self) -> None:
+        self.diagnostics: list[Diagnostic] = []
+        self._ctx: FileContext | None = None
+
+    # ------------------------------------------------------------------
+    def applies_to(self, path: Path) -> bool:
+        if self.scope is None:
+            return True
+        posix = "/" + path.as_posix()
+        return any(fragment in posix for fragment in self.scope)
+
+    def check(self, ctx: FileContext) -> list[Diagnostic]:
+        self.diagnostics = []
+        self._ctx = ctx
+        self.visit(ctx.tree)
+        self._ctx = None
+        return self.diagnostics
+
+    def report(
+        self, node: ast.AST, message: str, fix: LineFix | None = None
+    ) -> None:
+        ctx = self._ctx
+        assert ctx is not None, "report() called outside check()"
+        if ctx.allowed(node, self):
+            return
+        self.diagnostics.append(
+            Diagnostic(
+                path=str(ctx.path),
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0) + 1,
+                rule_id=self.id,
+                message=message,
+                fix=fix,
+            )
+        )
+
+
+# ----------------------------------------------------------------------
+# Shared name-pattern helpers used by several rules
+# ----------------------------------------------------------------------
+def mentioned_names(node: ast.AST) -> set[str]:
+    """Every ``Name`` id and ``Attribute`` attr inside an expression."""
+    names: set[str] = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            names.add(sub.id)
+        elif isinstance(sub, ast.Attribute):
+            names.add(sub.attr)
+    return names
+
+
+def mentions(node: ast.AST, pattern: re.Pattern) -> bool:
+    return any(pattern.match(name) for name in mentioned_names(node))
+
+
+def attribute_chain(node: ast.AST) -> list[str]:
+    """``np.random.seed`` -> ``["np", "random", "seed"]`` (best effort)."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    else:
+        parts.append("?")
+    return parts[::-1]
+
+
+# ----------------------------------------------------------------------
+# Running
+# ----------------------------------------------------------------------
+def iter_python_files(paths: list[Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: list[Path] = []
+    for path in paths:
+        if path.is_file():
+            out.append(path)
+        elif path.is_dir():
+            for sub in sorted(path.rglob("*.py")):
+                if not any(
+                    part in _SKIP_DIRS or part.startswith(".")
+                    for part in sub.parts
+                ):
+                    out.append(sub)
+        else:
+            raise LintError(f"no such file or directory: {path}")
+    return out
+
+
+def lint_file(
+    path: Path, rules: list[type[Rule]], source: str | None = None
+) -> list[Diagnostic]:
+    """Run the given rule classes over one file."""
+    if source is None:
+        try:
+            source = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise LintError(f"cannot read {path}: {exc}") from exc
+    try:
+        ctx = FileContext.parse(path, source)
+    except SyntaxError as exc:
+        return [
+            Diagnostic(
+                path=str(path),
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1,
+                rule_id="E999",
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    diagnostics: list[Diagnostic] = []
+    for rule_cls in rules:
+        rule = rule_cls()
+        if rule.applies_to(path):
+            diagnostics.extend(rule.check(ctx))
+    return sorted(diagnostics, key=Diagnostic.sort_key)
+
+
+def lint_paths(
+    paths: list[str | Path], rules: list[type[Rule]] | None = None
+) -> list[Diagnostic]:
+    """Lint files and directories; the programmatic entry point."""
+    if rules is None:
+        from .rules import ALL_RULES
+
+        rules = list(ALL_RULES)
+    diagnostics: list[Diagnostic] = []
+    for file in iter_python_files([Path(p) for p in paths]):
+        diagnostics.extend(lint_file(file, rules))
+    return sorted(diagnostics, key=Diagnostic.sort_key)
+
+
+def apply_fixes(diagnostics: list[Diagnostic]) -> tuple[int, int]:
+    """Apply every attached :class:`LineFix`; return (fixed, files)."""
+    by_file: dict[str, list[Diagnostic]] = {}
+    for diag in diagnostics:
+        if diag.fix is not None:
+            by_file.setdefault(diag.path, []).append(diag)
+    fixed = 0
+    for path, diags in by_file.items():
+        lines = Path(path).read_text(encoding="utf-8").splitlines(
+            keepends=True
+        )
+        for diag in diags:
+            fix = diag.fix
+            assert fix is not None
+            idx = fix.line - 1
+            if 0 <= idx < len(lines):
+                new = fix.apply(lines[idx])
+                if new != lines[idx]:
+                    lines[idx] = new
+                    fixed += 1
+        Path(path).write_text("".join(lines), encoding="utf-8")
+    return fixed, len(by_file)

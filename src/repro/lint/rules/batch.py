@@ -1,0 +1,118 @@
+"""Batch-contract rules: the vectorised path can never silently fork.
+
+The batched backend vectorises a chunk only when every trial's protocol
+has the same type and the same non-None ``batch_signature()``; a class
+that ships ``step_batch`` without a signature (or the reverse) either
+never vectorises or — worse — vectorises trials whose configurations
+differ.  Sub-batch row extraction (``BatchState.extract``) borrows the
+parent's scratch buffers, so every extract must be scattered back
+before the parent state is touched again.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine import Rule, attribute_chain
+
+__all__ = ["BatchContract", "ExtractScatterPairing"]
+
+
+class BatchContract(Rule):
+    id = "BAT001"
+    tag = "batch"
+    summary = "step_batch and batch_signature must be declared together"
+    invariant = (
+        "A class defining step_batch also defines batch_signature, "
+        "and vice versa."
+    )
+    rationale = (
+        "The batched engine keys vectorisation on batch_signature(): "
+        "a step_batch without a signature never vectorises (silent "
+        "perf loss), and a signature without a matching kernel claims "
+        "batchability the class cannot honour — either way the dense "
+        "and batched paths drift apart without failing a test."
+    )
+    sanctioned = (
+        "Declare both, like UserControlledProtocol / "
+        "ResourceControlledProtocol / HybridProtocol: "
+        "batch_signature() returns a hashable configuration identity "
+        "(or None to opt out), step_batch() the vectorised kernel."
+    )
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        methods = {
+            stmt.name
+            for stmt in node.body
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        has_kernel = "step_batch" in methods
+        has_signature = "batch_signature" in methods
+        if has_kernel != has_signature:
+            present, missing = (
+                ("step_batch", "batch_signature")
+                if has_kernel
+                else ("batch_signature", "step_batch")
+            )
+            self.report(
+                node,
+                f"class {node.name!r} defines {present} without "
+                f"{missing} — the batched engine needs both (or "
+                f"neither) to keep dense and batched paths in lockstep",
+            )
+        self.generic_visit(node)
+
+
+class ExtractScatterPairing(Rule):
+    id = "BAT002"
+    tag = "batch"
+    summary = "every BatchState.extract must be scattered back"
+    invariant = (
+        "Within one function, calls to .extract(...) and .scatter(...) "
+        "appear in equal numbers."
+    )
+    rationale = (
+        "extract() hands out a sub-batch that borrows the parent's "
+        "scratch buffers; results only flow back on scatter().  An "
+        "unpaired extract leaks rows whose moves are silently dropped "
+        "— exactly the hybrid round-state class of bug PR 3 fixed."
+    )
+    sanctioned = (
+        "sub = batch.extract(rows); ... ; batch.scatter(sub, rows) — "
+        "in the same function, on every code path."
+    )
+
+    def _count_calls(self, node: ast.AST) -> tuple[int, int]:
+        extracts = scatters = 0
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Call) and isinstance(
+                sub.func, ast.Attribute
+            ):
+                chain = attribute_chain(sub.func)
+                # np.extract() is an unrelated numpy API
+                if chain[0] in ("np", "numpy"):
+                    continue
+                if sub.func.attr == "extract":
+                    extracts += 1
+                elif sub.func.attr == "scatter":
+                    scatters += 1
+        return extracts, scatters
+
+    def _check_function(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
+        extracts, scatters = self._count_calls(node)
+        if extracts != scatters and (extracts or scatters):
+            self.report(
+                node,
+                f"function {node.name!r} calls .extract() "
+                f"{extracts}x but .scatter() {scatters}x — every "
+                f"extracted sub-batch must be scattered back",
+            )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_function(node)
+        # do not recurse: nested functions are counted with their parent
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_function(node)

@@ -1,0 +1,119 @@
+"""Capacity choke-point rules: one mapping from thresholds to bounds.
+
+The heterogeneous-speed model (Adolphs & Berenbrink) defines overload
+as ``x_r / s_r > T_r``, implemented everywhere as the raw-load bound
+``c_r = s_r * T_r`` computed by exactly one function —
+:func:`repro.core.thresholds.effective_capacity`.  A second, ad-hoc
+copy of that product (or a comparison against a bare threshold) is how
+the speeds model silently diverges between code paths.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from ..engine import Rule, mentions
+
+__all__ = ["CapacityComparison", "CapacityProduct"]
+
+#: Names that denote a *normalised* threshold (not yet speed-scaled).
+_THRESHOLD = re.compile(r"^(thresh|thresholds?|threshold_vector)$")
+
+#: Wider threshold set for the product rule (includes the engine's
+#: conventional short names for stacked threshold planes).
+_THRESHOLD_WIDE = re.compile(
+    r"^(thresh|thresholds?|threshold_vector|t|t_res|t_task)$"
+)
+
+#: Names that denote a raw load quantity.
+_LOAD = re.compile(
+    r"^(x|inclusive|heights?|(\w+_)?loads?(_\w+)?)$"
+)
+
+#: Names that denote a per-resource speed vector.
+_SPEED = re.compile(r"^(speed|speeds|speed_vector|_speeds_arr)$")
+
+#: The choke point itself and the engine's core modules around it.
+_CAPACITY_SCOPE = ("repro/core/", "repro/router/")
+
+
+class CapacityComparison(Rule):
+    id = "CAP001"
+    tag = "capacity"
+    summary = "load-vs-threshold comparisons must use effective capacity"
+    invariant = (
+        "Inside repro/core and repro/router, no comparison puts a raw "
+        "load expression directly against a threshold-named quantity."
+    )
+    rationale = (
+        "With heterogeneous speeds a threshold is in normalised-load "
+        "units; comparing a raw load against it is wrong by a factor "
+        "of s_r, and exactly right when speeds are uniform — so the "
+        "bug ships silently and only the speeds equivalence gate "
+        "(maybe) catches it later."
+    )
+    sanctioned = (
+        "Compare against the derived bound: "
+        "state.capacity_vector() (+ atol), BatchState.bound, or a "
+        "local computed via effective_capacity(threshold, speeds, n). "
+        "Intentional exceptions carry `# lint: allow-capacity`."
+    )
+    scope = _CAPACITY_SCOPE
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        sides = [node.left, *node.comparators]
+        has_threshold = any(mentions(s, _THRESHOLD) for s in sides)
+        has_load = any(mentions(s, _LOAD) for s in sides)
+        if has_threshold and has_load:
+            self.report(
+                node,
+                "raw load compared against a threshold — route the "
+                "bound through effective_capacity()/capacity_vector() "
+                "so speeds are honoured",
+            )
+        self.generic_visit(node)
+
+
+class CapacityProduct(Rule):
+    id = "CAP002"
+    tag = "capacity"
+    summary = "ad-hoc speed*threshold products are forbidden"
+    invariant = (
+        "Inside repro/core and repro/router, the product of a speed "
+        "vector and a threshold appears only in "
+        "repro.core.thresholds.effective_capacity (its definition "
+        "site carries the `# lint: allow-capacity` hatch)."
+    )
+    rationale = (
+        "c_r = s_r * T_r looks trivial to inline, but float "
+        "association order is load-bearing for the bit-for-bit gates "
+        "(s * (w/s) drifts by ~1 ulp), and a second copy of the "
+        "mapping is where the speeds model forks.  PR 4 collapsed all "
+        "such copies into one function on purpose."
+    )
+    sanctioned = (
+        "Call effective_capacity(threshold, speeds, n).  The stacked "
+        "batched-engine planes (BatchState.cap) are the documented "
+        "vectorised form of the same mapping and carry the "
+        "escape-hatch comment at their two assignment sites."
+    )
+    scope = _CAPACITY_SCOPE
+
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        if isinstance(node.op, ast.Mult):
+            left, right = node.left, node.right
+            if (
+                mentions(left, _SPEED)
+                and mentions(right, _THRESHOLD_WIDE)
+            ) or (
+                mentions(right, _SPEED)
+                and mentions(left, _THRESHOLD_WIDE)
+            ):
+                self.report(
+                    node,
+                    "ad-hoc speed*threshold product — use "
+                    "effective_capacity(threshold, speeds, n), the "
+                    "single choke point for the capacity mapping",
+                )
+        self.generic_visit(node)

@@ -1,0 +1,121 @@
+"""Frozen-configuration rules: scenarios and setups are immutable.
+
+The Scenario/Sweep/Study API replays the paper's artefacts bit-for-bit
+from a root seed *because* a compiled scenario is a value: two equal
+scenarios produce identical trial setups.  Mutating one after
+construction (or prying a frozen dataclass open with
+``object.__setattr__``) reintroduces the shared-mutable-driver bugs the
+PR 2 refactor removed.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from ..engine import Rule
+
+__all__ = ["FrozenBypass", "ConfigMutation"]
+
+#: Variable names that conventionally hold frozen configuration
+#: objects (Scenario, Sweep, Axis, the trial setup dataclasses).
+_CONFIG_NAME = re.compile(
+    r"^(scenario|sweep|axis|setup)s?(_\w+)?$|^\w+_(scenario|sweep|axis|setup)$"
+)
+
+#: Modules allowed to manage their own frozen instances (the defining
+#: package of Scenario/Sweep/Axis/setups).
+_DEFINING_MODULES = ("repro/study/",)
+
+
+class FrozenBypass(Rule):
+    id = "CFG001"
+    tag = "config"
+    summary = "object.__setattr__ only on self, inside the owning class"
+    invariant = (
+        "object.__setattr__ is called only with `self` as its first "
+        "argument (the frozen-dataclass __post_init__ idiom)."
+    )
+    rationale = (
+        "Frozen dataclasses use object.__setattr__(self, ...) in "
+        "__post_init__ to cache derived values — that is the class "
+        "managing its own invariants.  Aimed at *another* object it "
+        "is a mutation of configuration that every consumer assumed "
+        "immutable, invalidating compiled setups and memoised keys."
+    )
+    sanctioned = (
+        "Inside the class: object.__setattr__(self, 'field', value) "
+        "in __post_init__.  Outside: derive a new instance with "
+        "dataclasses.replace(obj, field=value) or Scenario.with_()."
+    )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "__setattr__"
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "object"
+            and node.args
+        ):
+            first = node.args[0]
+            if not (isinstance(first, ast.Name) and first.id == "self"):
+                self.report(
+                    node,
+                    "object.__setattr__ on a foreign object bypasses "
+                    "a frozen dataclass — use dataclasses.replace()",
+                )
+        self.generic_visit(node)
+
+
+class ConfigMutation(Rule):
+    id = "CFG002"
+    tag = "config"
+    summary = "no attribute assignment on Scenario/Sweep/setup instances"
+    invariant = (
+        "Outside repro/study (the defining package), no statement "
+        "assigns to an attribute of a variable named like a "
+        "configuration object (scenario, sweep, axis, *_setup, ...)."
+    )
+    rationale = (
+        "Scenario, Sweep, Axis and the trial setups are frozen "
+        "dataclasses; CPython raises on direct assignment, but only "
+        "at runtime, on the path that mutates — usually a rarely-run "
+        "sweep branch.  The convention is mechanical so the mistake "
+        "dies in CI, not in a 1000-trial sweep."
+    )
+    sanctioned = (
+        "scenario = scenario.with_(m=500) or "
+        "dataclasses.replace(setup, trials=...) — derive, never "
+        "mutate."
+    )
+    scope = None  # everywhere; the defining package is exempted below
+
+    def applies_to(self, path) -> bool:
+        posix = "/" + path.as_posix()
+        return not any(frag in posix for frag in _DEFINING_MODULES)
+
+    def _check_target(self, node: ast.AST) -> None:
+        if isinstance(node, ast.Attribute) and isinstance(
+            node.value, ast.Name
+        ):
+            if _CONFIG_NAME.match(node.value.id):
+                self.report(
+                    node,
+                    f"attribute assignment on configuration object "
+                    f"{node.value.id!r} — frozen config is derived "
+                    f"(dataclasses.replace / .with_()), never mutated",
+                )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_target(target)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_target(node.target)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self._check_target(node.target)
+        self.generic_visit(node)

@@ -1,0 +1,197 @@
+"""RNG-discipline rules: all randomness flows from a passed generator.
+
+The cross-backend bit-for-bit gates replay every trial from one
+``SeedSequence`` tree; any draw from module-level state, unseeded
+entropy or a wall clock silently breaks replayability without failing a
+single functional test — until two backends disagree.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine import Rule, attribute_chain
+
+__all__ = ["RngGlobalState", "RngUnseeded", "RngNondeterministicImport"]
+
+#: Legacy ``numpy.random`` module-level API (draws from or mutates the
+#: hidden global ``RandomState``).  ``default_rng`` / ``Generator`` /
+#: ``SeedSequence`` are deliberately absent.
+_LEGACY_NP_RANDOM = frozenset(
+    {
+        "seed",
+        "rand",
+        "randn",
+        "randint",
+        "random",
+        "random_sample",
+        "random_integers",
+        "ranf",
+        "sample",
+        "choice",
+        "shuffle",
+        "permutation",
+        "uniform",
+        "normal",
+        "standard_normal",
+        "exponential",
+        "poisson",
+        "binomial",
+        "get_state",
+        "set_state",
+        "RandomState",
+    }
+)
+
+#: Zero-argument constructors that fall back to OS entropy.
+_ENTROPY_CTORS = frozenset({"default_rng", "SeedSequence"})
+
+#: Modules whose import signals wall-clock / entropy nondeterminism.
+_NONDET_MODULES = frozenset({"random", "time", "datetime", "secrets", "uuid"})
+
+#: The deterministic core: packages whose behaviour must be a pure
+#: function of (inputs, seed).
+_DETERMINISTIC_SCOPE = (
+    "repro/core/",
+    "repro/graphs/",
+    "repro/workloads/",
+    "repro/router/",
+)
+
+
+class RngGlobalState(Rule):
+    id = "RNG001"
+    tag = "rng"
+    summary = "legacy numpy.random module-level state is forbidden"
+    invariant = (
+        "No call or reference to the legacy numpy.random module-level "
+        "API (np.random.seed, np.random.rand, np.random.shuffle, "
+        "RandomState, ...) anywhere in the source tree."
+    )
+    rationale = (
+        "The legacy API draws from one hidden process-global "
+        "RandomState.  Any draw from it makes results depend on import "
+        "order and on whatever ran earlier in the process, which "
+        "silently breaks the cross-backend bit-for-bit equivalence "
+        "gates (serial == process == batched == sharded == router)."
+    )
+    sanctioned = (
+        "Thread an explicitly seeded np.random.Generator (from "
+        "np.random.default_rng(seed)) or a SeedSequence child through "
+        "the call tree, like every protocol step and trial setup does."
+    )
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        chain = attribute_chain(node)
+        if (
+            len(chain) >= 3
+            and chain[0] in ("np", "numpy")
+            and chain[1] == "random"
+            and chain[2] in _LEGACY_NP_RANDOM
+        ):
+            self.report(
+                node,
+                f"legacy module-level RNG state "
+                f"'{'.'.join(chain[:3])}' — draw from a passed "
+                f"np.random.Generator instead",
+            )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "numpy.random":
+            for alias in node.names:
+                if alias.name in _LEGACY_NP_RANDOM:
+                    self.report(
+                        node,
+                        f"import of legacy numpy.random API "
+                        f"'{alias.name}' — use an explicit Generator",
+                    )
+        self.generic_visit(node)
+
+
+class RngUnseeded(Rule):
+    id = "RNG002"
+    tag = "rng"
+    summary = "default_rng()/SeedSequence() must receive an explicit seed"
+    invariant = (
+        "Every call to default_rng or SeedSequence passes an explicit "
+        "seed argument (an int, a SeedSequence child, or a variable "
+        "that carries one)."
+    )
+    rationale = (
+        "A zero-argument call draws fresh OS entropy, so the run can "
+        "never be replayed.  Every equivalence gate in this repo "
+        "replays trials from a SeedSequence tree; one unseeded "
+        "generator in the path breaks replay non-deterministically — "
+        "the worst kind of flake."
+    )
+    sanctioned = (
+        "np.random.default_rng(seed) / np.random.SeedSequence(seed), "
+        "where seed arrives from the caller (root seed or a spawned "
+        "child).  Passing an explicit `None` is visible at the call "
+        "site and allowed."
+    )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        name = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        if (
+            name in _ENTROPY_CTORS
+            and not node.args
+            and not node.keywords
+        ):
+            self.report(
+                node,
+                f"{name}() without a seed draws OS entropy and can "
+                f"never be replayed — pass an explicit seed",
+            )
+        self.generic_visit(node)
+
+
+class RngNondeterministicImport(Rule):
+    id = "RNG003"
+    tag = "rng"
+    summary = "no wall-clock/entropy imports in the deterministic core"
+    invariant = (
+        "Modules under repro/core, repro/graphs, repro/workloads and "
+        "repro/router import none of: random, time, datetime, secrets, "
+        "uuid."
+    )
+    rationale = (
+        "Those packages implement the replayable engine: their output "
+        "must be a pure function of (inputs, seed).  A wall-clock or "
+        "entropy import is the first step of a nondeterminism leak "
+        "that no functional test catches."
+    )
+    sanctioned = (
+        "Randomness: a passed np.random.Generator.  Time: an injected "
+        "clock callable (see Router's `clock=` parameter, which is "
+        "escape-hatched at its import site because no randomness flows "
+        "from it).  Timing of experiments belongs in benchmarks/ and "
+        "the study layer, which are outside this scope."
+    )
+    scope = _DETERMINISTIC_SCOPE
+
+    def _flag(self, node: ast.AST, module: str) -> None:
+        top = module.split(".")[0]
+        if top in _NONDET_MODULES:
+            self.report(
+                node,
+                f"nondeterministic import '{module}' in the "
+                f"deterministic core — inject a clock/generator from "
+                f"the caller instead",
+            )
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self._flag(node, alias.name)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module and node.level == 0:
+            self._flag(node, node.module)
+        self.generic_visit(node)

@@ -47,8 +47,12 @@ any ``n``), or uniform draws for the complete-graph user protocol.
 
 from __future__ import annotations
 
-import time
+# Injectable latency clock only (tests inject a fake; no randomness
+# or control flow ever derives from it — see `Router(clock=)`).
+import time  # lint: allow-rng
+from collections.abc import Callable, Iterable
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
@@ -57,6 +61,12 @@ from ..core.protocols.hybrid import HybridProtocol
 from ..core.protocols.resource_controlled import ResourceControlledProtocol
 from ..core.protocols.user_controlled import UserControlledProtocol
 from ..core.state import SystemState
+
+if TYPE_CHECKING:
+    from ..core.backends import TrialSetup
+    from ..core.thresholds import ThresholdPolicy
+    from ..graphs.implicit import ImplicitWalk
+    from ..graphs.random_walk import RandomWalk
 
 __all__ = ["Decision", "Router", "RouterMetrics"]
 
@@ -210,7 +220,7 @@ class Router:
         rng: np.random.Generator,
         max_probes: int = 8,
         overflow: str = "place",
-        clock=time.perf_counter,
+        clock: Callable[[], float] = time.perf_counter,
     ) -> None:
         if max_probes < 1:
             raise ValueError("max_probes must be at least 1")
@@ -266,9 +276,9 @@ class Router:
     @classmethod
     def from_setup(
         cls,
-        setup,
+        setup: TrialSetup,
         seed: int | np.random.SeedSequence | None = None,
-        **kwargs,
+        **kwargs: Any,
     ) -> "Router":
         """Build a router from a trial setup, on the trial seed
         contract.
@@ -369,7 +379,7 @@ class Router:
         self._ingested += 1
         return self._buffer_arrival(w, int(resource))
 
-    def depart(self, ids) -> int:
+    def depart(self, ids: Iterable[int]) -> int:
         """Retire placed tasks by id; return how many were found.
 
         Capacity is released immediately (subsequent decisions see the
@@ -448,7 +458,7 @@ class Router:
             self._pending_r.clear()
             self._pending_ids.clear()
 
-    def rethreshold(self, policy) -> None:
+    def rethreshold(self, policy: ThresholdPolicy) -> None:
         """Recompute the threshold from the live workload.
 
         ``policy`` is a :class:`~repro.core.thresholds.ThresholdPolicy`;
@@ -576,7 +586,11 @@ class Router:
         return int(walk.step(pos, self.rng)[0])
 
 
-def _admission_plan(protocol: Protocol):
+def _admission_plan(
+    protocol: Protocol,
+) -> tuple[
+    str, "RandomWalk | ImplicitWalk | None", "RandomWalk | ImplicitWalk | None"
+]:
     """Map a protocol instance to (family, user walk, resource walk)."""
     if isinstance(protocol, HybridProtocol):
         return (

@@ -28,12 +28,16 @@ engine side.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
 from ..core.simulator import RunResult, _TraceBuffer
 from ..workloads.dynamics import INFINITE_LIFETIME, DynamicsSchedule
 from .core import Router, RouterMetrics
+
+if TYPE_CHECKING:
+    from ..core.backends import TrialSetup
 
 __all__ = ["ReplayReport", "replay", "replay_setup"]
 
@@ -208,10 +212,10 @@ def replay(router: Router, max_rounds: int = 100_000) -> ReplayReport:
 
 
 def replay_setup(
-    setup,
+    setup: TrialSetup,
     seed: int | np.random.SeedSequence | None = None,
     max_rounds: int = 100_000,
-    **router_kwargs,
+    **router_kwargs: Any,
 ) -> ReplayReport:
     """Build a router from a trial setup and replay its schedule.
 

@@ -70,7 +70,9 @@ class TestDiffusionEstimates:
     def test_negative_steps_rejected(self):
         g = complete_graph(4)
         with pytest.raises(ValueError):
-            diffusion_average_estimates(max_degree_walk(g), np.ones(4), steps=-1)
+            diffusion_average_estimates(
+                max_degree_walk(g), np.ones(4), steps=-1
+            )
 
 
 class TestEstimationError:

@@ -45,7 +45,9 @@ class TestTheorem3:
         )
 
     def test_decreasing_in_eps(self):
-        assert theorem3_rounds(10.0, 100, 0.5) < theorem3_rounds(10.0, 100, 0.1)
+        assert theorem3_rounds(10.0, 100, 0.5) < theorem3_rounds(
+            10.0, 100, 0.1
+        )
 
     def test_increasing_in_c(self):
         assert theorem3_rounds(10.0, 100, 0.2, c=2) > theorem3_rounds(

@@ -90,7 +90,9 @@ class TestSummarizeTrajectory:
         result = self.run(UserControlledProtocol(alpha=1.0))
         summary = summarize_trajectory(result)
         assert summary.balanced
-        assert 0 <= summary.time_to_half <= summary.time_to_99 <= summary.rounds
+        assert (
+            0 <= summary.time_to_half <= summary.time_to_99 <= summary.rounds
+        )
         assert summary.overload_exposure >= summary.rounds  # >=1 per round
         assert 0.0 <= summary.migration_efficiency <= 1.0
         assert set(summary.row()) == {

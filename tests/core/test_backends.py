@@ -96,7 +96,9 @@ class _RaggedSetup:
 
 class TestBatchedEdges:
     def test_ragged_trials_fall_back(self):
-        results = run_trials(_RaggedSetup(), trials=6, seed=0, backend="batched")
+        results = run_trials(
+            _RaggedSetup(), trials=6, seed=0, backend="batched"
+        )
         assert len(results) == 6
         assert all(r.balanced for r in results)
 
@@ -159,7 +161,9 @@ class _CountingSetup:
 class TestThirdPartyFallback:
     def test_base_step_batch_loops_over_step(self):
         dense = run_trials(_CountingSetup(), trials=4, seed=5)
-        batched = run_trials(_CountingSetup(), trials=4, seed=5, backend="batched")
+        batched = run_trials(
+            _CountingSetup(), trials=4, seed=5, backend="batched"
+        )
         assert [r.rounds for r in dense] == [r.rounds for r in batched]
         assert all(
             np.array_equal(d.final_loads, b.final_loads)
@@ -193,7 +197,9 @@ class TestThirdPartyFallback:
                 return Damped(), state
 
         dense = run_trials(DampedSetup(), trials=4, seed=6)
-        batched = run_trials(DampedSetup(), trials=4, seed=6, backend="batched")
+        batched = run_trials(
+            DampedSetup(), trials=4, seed=6, backend="batched"
+        )
         assert [r.rounds for r in dense] == [r.rounds for r in batched]
         assert all(
             np.array_equal(d.final_loads, b.final_loads)

@@ -78,7 +78,9 @@ class TestScheduling:
 
 class TestBatchSignature:
     def test_homogeneous_instances_share_signature(self):
-        assert mk_protocol().batch_signature() == mk_protocol().batch_signature()
+        assert (
+            mk_protocol().batch_signature() == mk_protocol().batch_signature()
+        )
         assert mk_protocol().batch_signature() is not None
 
     def test_mode_and_fraction_distinguish(self):

@@ -14,7 +14,6 @@ from repro import (
     cycle_graph,
     max_degree_walk,
     simulate,
-    single_source_placement,
     total_potential,
 )
 

@@ -8,8 +8,6 @@ import pytest
 from repro import (
     AboveAverageThreshold,
     SystemState,
-    TightUserThreshold,
-    single_source_placement,
 )
 
 
@@ -24,7 +22,9 @@ def mk_state(weights, placement, n, threshold) -> SystemState:
 
 class TestConstruction:
     def test_from_workload_policy(self):
-        st = mk_state([1, 1, 1, 1], [0, 0, 0, 0], 2, AboveAverageThreshold(0.5))
+        st = mk_state(
+            [1, 1, 1, 1], [0, 0, 0, 0], 2, AboveAverageThreshold(0.5)
+        )
         assert st.threshold == pytest.approx(1.5 * 2 + 1)
         assert st.m == 4 and st.n == 2
 

@@ -46,12 +46,13 @@ class TestAboveAverage:
 
 class TestTightThresholds:
     def test_user_formula(self):
-        assert TightUserThreshold().compute(100.0, 4, 3.0) == pytest.approx(28.0)
+        assert TightUserThreshold().compute(100.0, 4, 3.0) == pytest.approx(
+            28.0
+        )
 
     def test_resource_formula(self):
-        assert TightResourceThreshold().compute(100.0, 4, 3.0) == pytest.approx(
-            31.0
-        )
+        computed = TightResourceThreshold().compute(100.0, 4, 3.0)
+        assert computed == pytest.approx(31.0)
 
     def test_resource_has_extra_wmax_slack(self):
         u = TightUserThreshold().compute(60.0, 3, 2.0)

@@ -69,7 +69,9 @@ class TestBuildersAgainstNetworkx:
         )
 
     def test_cycle(self):
-        assert nx.is_isomorphic(cycle_graph(9).to_networkx(), nx.cycle_graph(9))
+        assert nx.is_isomorphic(
+            cycle_graph(9).to_networkx(), nx.cycle_graph(9)
+        )
 
     def test_path(self):
         assert nx.is_isomorphic(path_graph(8).to_networkx(), nx.path_graph(8))

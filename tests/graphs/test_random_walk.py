@@ -11,8 +11,6 @@ from repro import (
     complete_graph,
     lazy_walk,
     max_degree_walk,
-    path_graph,
-    star_graph,
 )
 
 

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro import Graph, complete_graph, cycle_graph, path_graph
+from repro import Graph, cycle_graph
 
 
 class TestFromEdges:

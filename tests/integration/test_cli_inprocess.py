@@ -25,7 +25,9 @@ class TestRunCommand:
     def test_run_prints_chart_for_figures(self, capsys):
         # a micro figure2 via overridden trials; quick preset keeps the
         # sweep small enough for a test
-        rc = main(["run", "figure2", "--quick", "--trials", "2", "--seed", "3"])
+        rc = main(
+            ["run", "figure2", "--quick", "--trials", "2", "--seed", "3"]
+        )
         assert rc == 0
         text = capsys.readouterr().out
         assert "legend:" in text          # the ASCII chart rendered

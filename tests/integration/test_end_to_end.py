@@ -11,11 +11,9 @@ from repro import (
     ResourceControlledProtocol,
     SystemState,
     TightResourceThreshold,
-    TightUserThreshold,
     UserControlledProtocol,
     adversarial_clique_placement,
     clique_with_pendant,
-    complete_graph,
     cycle_graph,
     decentralized_thresholds,
     feasible_threshold,
@@ -152,4 +150,6 @@ class TestFullPipelines:
         )
         assert summary.all_balanced
         assert summary.trials == 8
-        assert summary.min_rounds <= summary.median_rounds <= summary.max_rounds
+        assert (
+            summary.min_rounds <= summary.median_rounds <= summary.max_rounds
+        )

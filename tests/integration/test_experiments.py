@@ -14,9 +14,7 @@ from repro.experiments import (
     Figure1Config,
     Figure2Config,
     LowerBoundConfig,
-    ResourceAboveConfig,
     ResourceControlledSetup,
-    ResourceTightConfig,
     Table1Config,
     UserControlledSetup,
     format_table,

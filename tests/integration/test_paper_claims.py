@@ -9,20 +9,17 @@ caught by ``pytest tests/``.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro import (
     AboveAverageThreshold,
     ResourceControlledProtocol,
     SystemState,
     TightResourceThreshold,
-    UserControlledProtocol,
     complete_graph,
     cycle_graph,
     max_degree_walk,
     max_hitting_time,
     simulate,
-    single_heavy_weights,
     single_source_placement,
     summarize_runs,
     theorem7_rounds,

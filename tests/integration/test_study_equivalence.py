@@ -46,7 +46,9 @@ TINY_OVERRIDES = {
         n=32, m=128, alphas=(0.5, 1.0), include_theory_alpha=False, trials=2,
     ),
     "tight_scaling": dict(n_values=(16, 32), m_per_n=4, trials=3),
-    "arrival_order": dict(n=16, m=64, heavy_weight=4.0, heavy_count=4, trials=3),
+    "arrival_order": dict(
+        n=16, m=64, heavy_weight=4.0, heavy_count=4, trials=3
+    ),
     "drift_check": dict(n=16, m=64, trials=2),
     # post-Study artefacts (no legacy driver to replay): shrink only
     "speed_ablation": dict(

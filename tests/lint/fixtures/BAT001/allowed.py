@@ -1,0 +1,6 @@
+"""Escape-hatched partial contract (an abstract mixin)."""
+
+
+class KernelMixin:  # lint: allow-batch
+    def step_batch(self, trials, rngs):
+        return [None for _ in trials]

@@ -1,0 +1,14 @@
+"""Both halves of the batch contract, or neither."""
+
+
+class Batched:
+    def batch_signature(self):
+        return ("sig",)
+
+    def step_batch(self, trials, rngs):
+        return [None for _ in trials]
+
+
+class DenseOnly:
+    def step(self, state, rng):
+        return None

@@ -1,0 +1,11 @@
+"""A vectorised kernel without a batching identity (or reverse)."""
+
+
+class KernelOnly:
+    def step_batch(self, trials, rngs):
+        return [None for _ in trials]
+
+
+class SignatureOnly:
+    def batch_signature(self):
+        return ("sig",)

@@ -1,0 +1,13 @@
+"""Every extract is paired with a scatter (np.extract exempt)."""
+
+import numpy as np
+
+
+def paired(batch, rows, kernel):
+    sub = batch.extract(rows)
+    kernel(sub)
+    batch.scatter(sub, rows)
+
+
+def unrelated(cond, arr):
+    return np.extract(cond, arr)

@@ -1,0 +1,6 @@
+"""An extracted sub-batch that is never scattered back."""
+
+
+def leaky(batch, rows):
+    sub = batch.extract(rows)
+    return sub.loads()

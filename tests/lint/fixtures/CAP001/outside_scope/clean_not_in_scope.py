@@ -1,0 +1,5 @@
+"""Outside core/router the comparison shape is not policed."""
+
+
+def overloaded(loads, threshold):
+    return loads > threshold

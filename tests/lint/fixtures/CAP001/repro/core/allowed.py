@@ -1,0 +1,5 @@
+"""Escape-hatched raw comparison (homogeneous-only helper)."""
+
+
+def overloaded(loads, threshold, atol):
+    return loads > threshold + atol  # lint: allow-capacity

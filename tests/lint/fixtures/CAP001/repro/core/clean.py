@@ -1,0 +1,5 @@
+"""Comparisons run against the derived effective-capacity bound."""
+
+
+def overloaded(loads, state):
+    return loads > state.capacity_vector() + state.atol

@@ -1,0 +1,5 @@
+"""Raw load compared straight against a normalised threshold."""
+
+
+def overloaded(loads, threshold, atol):
+    return loads > threshold + atol

@@ -1,0 +1,12 @@
+"""The shape of the real definition site, with its hatch."""
+
+import numpy as np
+
+
+def effective_capacity(threshold, speeds, n):
+    if speeds is None:
+        return threshold
+    t = np.asarray(threshold, dtype=np.float64)
+    if t.ndim == 0:
+        return speeds * float(t)  # lint: allow-capacity
+    return speeds * t  # lint: allow-capacity (definition site)

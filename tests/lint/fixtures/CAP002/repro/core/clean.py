@@ -1,0 +1,7 @@
+"""The product routes through the single choke point."""
+
+from repro.core.thresholds import effective_capacity
+
+
+def capacity(threshold, speeds, n):
+    return effective_capacity(threshold, speeds, n)

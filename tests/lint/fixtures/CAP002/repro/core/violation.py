@@ -1,0 +1,5 @@
+"""Ad-hoc copy of the capacity mapping c = s * T."""
+
+
+def capacity(speeds, threshold):
+    return speeds * threshold

@@ -1,0 +1,5 @@
+"""Escape-hatched foreign mutation (a test factory)."""
+
+
+def rename(graph, name):
+    object.__setattr__(graph, "name", name)  # lint: allow-config

@@ -1,0 +1,12 @@
+"""The __post_init__ idiom: a class caching its own derived state."""
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Box:
+    values: tuple
+    total: float = field(init=False)
+
+    def __post_init__(self):
+        object.__setattr__(self, "total", float(sum(self.values)))

@@ -1,0 +1,5 @@
+"""Prying a foreign frozen dataclass open."""
+
+
+def rename(graph, name):
+    object.__setattr__(graph, "name", name)

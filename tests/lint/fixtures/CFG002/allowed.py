@@ -1,0 +1,6 @@
+"""Escape-hatched mutation (a migration shim)."""
+
+
+def scale_up(scenario):
+    scenario.m = 500  # lint: allow-config
+    return scenario

@@ -1,0 +1,12 @@
+"""Derive variants; non-config names are not policed."""
+
+import dataclasses
+
+
+def scale_up(scenario, config):
+    config.m = 10
+    return scenario.with_(m=500)
+
+
+def retrial(setup):
+    return dataclasses.replace(setup, trials=setup.trials + 1)

@@ -1,0 +1,5 @@
+"""The defining package manages its own instances."""
+
+
+def normalise(sweep):
+    sweep.axes = tuple(sweep.axes)

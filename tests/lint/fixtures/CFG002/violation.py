@@ -1,0 +1,7 @@
+"""Mutating configuration instead of deriving it."""
+
+
+def scale_up(scenario, trial_setup):
+    scenario.m = 10 * scenario.m
+    trial_setup.trials += 1
+    return scenario

@@ -1,0 +1,7 @@
+"""Escape-hatched legacy draw (e.g. a docs snippet)."""
+
+import numpy as np
+
+
+def sample_weights(m):
+    return np.random.rand(m)  # lint: allow-rng

@@ -1,0 +1,11 @@
+"""All randomness flows from a passed Generator."""
+
+import numpy as np
+
+
+def sample_weights(m, rng):
+    return rng.random(m)
+
+
+def make_rng(seed):
+    return np.random.default_rng(seed)

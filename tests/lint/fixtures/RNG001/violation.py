@@ -1,0 +1,8 @@
+"""Draws from numpy's hidden module-level RandomState."""
+
+import numpy as np
+
+
+def sample_weights(m):
+    np.random.seed(0)
+    return np.random.rand(m)

@@ -1,0 +1,7 @@
+"""Escape-hatched entropy draw (a CLI's --seed omitted path)."""
+
+import numpy as np
+
+
+def fresh():
+    return np.random.default_rng()  # lint: allow-rng

@@ -1,0 +1,10 @@
+"""Explicit seeds (including a visible None) are replay-auditable."""
+
+import numpy as np
+
+
+def seeded(seed):
+    rng = np.random.default_rng(seed)
+    seq = np.random.SeedSequence(0)
+    entropy_ok = np.random.default_rng(None)
+    return rng, seq, entropy_ok

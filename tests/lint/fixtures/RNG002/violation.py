@@ -1,0 +1,9 @@
+"""Unseeded constructors draw OS entropy — never replayable."""
+
+import numpy as np
+
+
+def fresh():
+    rng = np.random.default_rng()
+    seq = np.random.SeedSequence()
+    return rng, seq

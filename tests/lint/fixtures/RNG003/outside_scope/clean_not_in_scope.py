@@ -1,0 +1,7 @@
+"""The same import outside repro/core|graphs|workloads|router."""
+
+import time
+
+
+def stamp():
+    return time.time()

@@ -1,0 +1,7 @@
+"""Escape-hatched clock import (injectable, no randomness)."""
+
+import time  # lint: allow-rng
+
+
+def default_clock():
+    return time.perf_counter

@@ -1,0 +1,7 @@
+"""Wall-clock import inside the deterministic core."""
+
+import time
+
+
+def stamp():
+    return time.time()

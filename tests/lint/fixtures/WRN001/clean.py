@@ -1,0 +1,8 @@
+"""Handlers name what they catch."""
+
+
+def load(path):
+    try:
+        return open(path).read()
+    except OSError:
+        return None

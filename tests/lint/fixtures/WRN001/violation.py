@@ -1,0 +1,8 @@
+"""A bare except swallows even KeyboardInterrupt."""
+
+
+def load(path):
+    try:
+        return open(path).read()
+    except:
+        return None

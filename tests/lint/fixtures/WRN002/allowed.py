@@ -1,0 +1,8 @@
+"""Escape-hatched no-op handler (documented best-effort cleanup)."""
+
+
+def close_quietly(handle):
+    try:
+        handle.close()
+    except OSError:
+        pass  # lint: allow-warning (best-effort close on shutdown)

@@ -1,0 +1,19 @@
+"""Degradation announces itself with a named warning."""
+
+import warnings
+
+
+class FallbackWarning(RuntimeWarning):
+    pass
+
+
+def maybe_fast(state):
+    try:
+        return state.fast_path()
+    except ValueError:
+        warnings.warn(
+            "fast path unavailable; using slow path",
+            FallbackWarning,
+            stacklevel=2,
+        )
+    return state.slow_path()

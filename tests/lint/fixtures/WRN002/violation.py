@@ -1,0 +1,9 @@
+"""A silent degradation path."""
+
+
+def maybe_fast(state):
+    try:
+        return state.fast_path()
+    except ValueError:
+        pass
+    return state.slow_path()

@@ -1,0 +1,7 @@
+"""Escape-hatched anonymous warning."""
+
+import warnings
+
+
+def degrade():
+    warnings.warn("falling back")  # lint: allow-warning

@@ -1,0 +1,19 @@
+"""Warnings carry a named category."""
+
+import warnings
+
+
+class SlowPathWarning(RuntimeWarning):
+    pass
+
+
+def degrade():
+    warnings.warn(
+        "falling back to the slow path", SlowPathWarning, stacklevel=2
+    )
+
+
+def degrade_kw():
+    warnings.warn(
+        "falling back to the slow path", category=SlowPathWarning
+    )

@@ -1,0 +1,7 @@
+"""An anonymous UserWarning nobody can filter or test."""
+
+import warnings
+
+
+def degrade():
+    warnings.warn("falling back to the slow path")

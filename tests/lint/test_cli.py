@@ -1,0 +1,145 @@
+"""CLI behaviour: output format, exit codes, --select/--ignore/--fix/
+--explain — ruff-style semantics throughout."""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.lint import ALL_RULES
+from repro.lint.cli import main
+
+VIOLATING = """\
+import warnings
+
+
+def load(path):
+    try:
+        return open(path).read()
+    except:
+        warnings.warn("unreadable")
+    return None
+"""
+
+CLEAN = """\
+def add(a, b):
+    return a + b
+"""
+
+
+@pytest.fixture
+def violating_file(tmp_path: Path) -> Path:
+    path = tmp_path / "bad.py"
+    path.write_text(VIOLATING)
+    return path
+
+
+@pytest.fixture
+def clean_file(tmp_path: Path) -> Path:
+    path = tmp_path / "ok.py"
+    path.write_text(CLEAN)
+    return path
+
+
+def test_clean_file_exits_zero(clean_file: Path, capsys) -> None:
+    assert main([str(clean_file)]) == 0
+    assert "All checks passed." in capsys.readouterr().out
+
+
+def test_violations_exit_one_with_ruff_format(
+    violating_file: Path, capsys
+) -> None:
+    assert main([str(violating_file)]) == 1
+    out = capsys.readouterr().out
+    # path:line:col RULE-ID message
+    assert re.search(
+        rf"{re.escape(str(violating_file))}:\d+:\d+ WRN001 ", out
+    )
+    assert re.search(rf":\d+:\d+ WRN003 ", out)
+    assert "Found 2 violation(s)" in out
+    assert "1 fixable with --fix" in out
+
+
+def test_directory_walk_and_quiet(tmp_path: Path, capsys) -> None:
+    (tmp_path / "pkg").mkdir()
+    (tmp_path / "pkg" / "mod.py").write_text(VIOLATING)
+    (tmp_path / "pkg" / "__pycache__").mkdir()
+    (tmp_path / "pkg" / "__pycache__" / "junk.py").write_text("import time")
+    assert main(["--quiet", str(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert "junk.py" not in out
+    assert "Found" not in out  # --quiet drops the summary
+
+
+def test_select_restricts_rules(violating_file: Path, capsys) -> None:
+    assert main(["--select", "WRN003", str(violating_file)]) == 1
+    out = capsys.readouterr().out
+    assert "WRN003" in out and "WRN001" not in out
+    # prefix selection
+    assert main(["--select", "CFG", str(violating_file)]) == 0
+
+
+def test_ignore_drops_rules(violating_file: Path) -> None:
+    assert (
+        main(["--ignore", "WRN001,WRN003", str(violating_file)]) == 0
+    )
+
+
+def test_unknown_selector_is_usage_error(
+    violating_file: Path, capsys
+) -> None:
+    assert main(["--select", "ZZZ", str(violating_file)]) == 2
+    assert "matches no rule" in capsys.readouterr().err
+
+
+def test_missing_path_is_usage_error(tmp_path: Path, capsys) -> None:
+    assert main([str(tmp_path / "absent.py")]) == 2
+    assert "no such file" in capsys.readouterr().err
+
+
+def test_fix_rewrites_bare_except(violating_file: Path, capsys) -> None:
+    # WRN003 ignored so the fixable WRN001 is the only finding: after
+    # --fix the run is clean and exits 0.
+    assert main(["--ignore", "WRN003", "--fix", str(violating_file)]) == 0
+    out = capsys.readouterr().out
+    assert "Fixed 1 violation(s)" in out
+    assert "except Exception:" in violating_file.read_text()
+    # a second run finds nothing to fix
+    assert main(["--ignore", "WRN003", str(violating_file)]) == 0
+
+
+def test_fix_leaves_unfixable_violations(violating_file: Path) -> None:
+    # WRN003 has no autofix: exit stays 1, file still gains the except fix
+    assert main(["--fix", str(violating_file)]) == 1
+    assert "except Exception:" in violating_file.read_text()
+
+
+def test_explain_every_rule(capsys) -> None:
+    for rule in ALL_RULES:
+        assert main(["--explain", rule.id]) == 0
+        out = capsys.readouterr().out
+        assert rule.id in out
+        assert "Invariant:" in out
+        assert "Sanctioned pattern:" in out
+        assert f"allow-{rule.tag}" in out
+
+
+def test_explain_unknown_rule(capsys) -> None:
+    assert main(["--explain", "ABC123"]) == 2
+    assert "unknown rule id" in capsys.readouterr().err
+
+
+def test_list_rules(capsys) -> None:
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in ALL_RULES:
+        assert rule.id in out
+
+
+def test_syntax_error_reported_not_crashed(tmp_path: Path, capsys) -> None:
+    path = tmp_path / "broken.py"
+    path.write_text("def f(:\n")
+    assert main([str(path)]) == 1
+    assert "E999" in capsys.readouterr().out

@@ -18,7 +18,6 @@ from __future__ import annotations
 import warnings
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -29,7 +28,11 @@ from repro.experiments import (
     UserControlledSetup,
 )
 from repro.graphs import complete_graph, cycle_graph, grid_graph
-from repro.workloads import TwoPointWeights, UniformRangeWeights, UniformWeights
+from repro.workloads import (
+    TwoPointWeights,
+    UniformRangeWeights,
+    UniformWeights,
+)
 
 
 def runs_equal(dense, batched) -> bool:

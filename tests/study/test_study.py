@@ -94,7 +94,8 @@ class TestSeedDiscipline:
         from repro import run_trials, summarize_runs
 
         study = tiny_study(
-            sweep=sweep("eps", (0.2,)) * sweep("tag", ("a", "b"), seeded=False),
+            sweep=sweep("eps", (0.2,))
+            * sweep("tag", ("a", "b"), seeded=False),
             bind=lambda scenario, point: scenario.with_(eps=point["eps"]),
         )
         res = run_study(study)

@@ -44,7 +44,8 @@ class TestUniformWeights:
 
 class TestTwoPointWeights:
     def test_counts(self, rng):
-        w = TwoPointWeights(light=1.0, heavy=50.0, heavy_count=3).sample(10, rng)
+        dist = TwoPointWeights(light=1.0, heavy=50.0, heavy_count=3)
+        w = dist.sample(10, rng)
         assert (w == 50.0).sum() == 3
         assert (w == 1.0).sum() == 7
 
