@@ -16,6 +16,7 @@ Usage::
         --dynamics poisson:4:150:80 --seed 7 --verify
     python -m repro.cli replay --protocol resource --graph torus:8x8 \
         --m 300 --dynamics trace:events.jsonl --json
+    python -m repro.cli replay --quick --profile replay.pstats
 
 ``run`` executes a registered paper artefact; ``--quick`` applies its
 minutes-scale preset (preset overrides are registry *data*, see
@@ -30,6 +31,7 @@ fails loudly unless the two agree bit for bit.
 from __future__ import annotations
 
 import argparse
+import cProfile
 import json
 import sys
 import time
@@ -39,7 +41,7 @@ import numpy as np
 from .core.backends import BACKEND_NAMES, run_single_trial, validate_workers
 from .experiments.io import write_csv
 from .experiments.registry import EXPERIMENTS
-from .router import replay_setup
+from .router import Router, replay
 from .study import (
     Scenario,
     Study,
@@ -238,6 +240,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--verify",
         action="store_true",
         help="cross-check the replay against simulate() on the same seed",
+    )
+    rpl.add_argument(
+        "--bulk",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help=(
+            "ingest each round's arrivals as one batch through the "
+            "router's bulk path (default); --no-bulk uses the scalar "
+            "reference path the equivalence gate compares against"
+        ),
+    )
+    rpl.add_argument(
+        "--profile",
+        metavar="OUT.pstats",
+        help=(
+            "run the replay under cProfile, write the stats dump to "
+            "this path, and print the router's per-phase timings "
+            "(rng / gating / conflict / sync / fallback)"
+        ),
     )
     rpl.add_argument(
         "--quick",
@@ -452,13 +473,21 @@ def _run_replay(args, parser: argparse.ArgumentParser) -> int:
     if args.trial < 0:
         parser.error("--trial must be non-negative")
     setup = _build_replay_trial_setup(args, parser)
-    start = time.perf_counter()
-    report = replay_setup(
+    router = Router.from_setup(
         setup,
         _trial_child(args.seed, args.trial),
-        max_rounds=args.max_rounds,
+        profile=bool(args.profile),
     )
+    profiler = cProfile.Profile() if args.profile else None
+    start = time.perf_counter()
+    if profiler is not None:
+        profiler.enable()
+    report = replay(router, max_rounds=args.max_rounds, bulk=args.bulk)
+    if profiler is not None:
+        profiler.disable()
     elapsed = time.perf_counter() - start
+    if profiler is not None:
+        profiler.dump_stats(args.profile)
     verified: bool | None = None
     mismatches: list[str] = []
     if args.verify:
@@ -491,8 +520,14 @@ def _run_replay(args, parser: argparse.ArgumentParser) -> int:
             "time_in_violation": round(run_view.time_in_violation, 4),
             "rebalance_churn": round(run_view.rebalance_churn, 2),
             "elapsed_seconds": round(elapsed, 3),
+            "bulk": args.bulk,
             "metrics": metrics.as_dict(),
         }
+        if args.profile:
+            payload["pstats_path"] = args.profile
+            payload["phase_seconds"] = {
+                k: round(v, 6) for k, v in router.phase_seconds.items()
+            }
         if verified is not None:
             payload["verified"] = verified
             payload["mismatches"] = mismatches
@@ -515,6 +550,11 @@ def _run_replay(args, parser: argparse.ArgumentParser) -> int:
             f"migrated weight: {metrics.migrated_weight:.1f}"
         )
         print(f"-- replayed in {elapsed:.2f}s")
+        if args.profile:
+            print(f"-- cProfile stats written to {args.profile}")
+            print("-- router phase seconds:")
+            for phase, secs in router.phase_seconds.items():
+                print(f"     {phase:<10} {secs:.6f}")
         if verified is not None:
             print(
                 "-- verify: "

@@ -243,6 +243,23 @@ DynamicsSchedule` attached by dynamic trial setups.  ``None`` (the
             effective_capacity(self.threshold_vector(), self.speeds, self.n)
         )
 
+    def capacity_at(self, resources: np.ndarray) -> np.ndarray:
+        """Effective capacities of an index array of resources.
+
+        Bit-identical to ``capacity_vector()[resources]`` but computed
+        as an O(len(resources)) gather (see
+        :func:`repro.core.thresholds.effective_capacity`), so bulk
+        admission gating never materialises the full vector.
+        """
+        idx = np.asarray(resources, dtype=np.int64)
+        cap = effective_capacity(
+            self.threshold, self.speeds, self.n, resources=idx
+        )
+        arr = np.asarray(cap, dtype=np.float64)
+        if arr.ndim == 0:
+            return np.full(idx.shape, float(arr))
+        return arr
+
     def normalized_loads(self) -> np.ndarray:
         """Normalised load vector ``x_r / s_r`` (the makespan metric)."""
         loads = self.loads()
@@ -350,6 +367,34 @@ DynamicsSchedule` attached by dynamic trial setups.  ``None`` (the
         self.weights = np.delete(self.weights, task_idx)
         self.resource = np.delete(self.resource, task_idx)
         self.seq = np.delete(self.seq, task_idx)
+
+    def _compact_mask(self, keep: np.ndarray) -> None:
+        """Trusted :meth:`remove_tasks` under a pre-built keep mask.
+
+        Element-identical to ``remove_tasks`` on the masked-out
+        positions (``np.delete`` builds exactly this mask internally),
+        but lets a caller that has to compact *other* aligned arrays —
+        the router's id vector — pay the mask construction once for
+        all of them.  No validation: the mask comes from in-bounds
+        positions the caller derived itself.
+        """
+        self.weights = self.weights[keep]
+        self.resource = self.resource[keep]
+        self.seq = self.seq[keep]
+
+    def _extend_tasks(
+        self, weights: np.ndarray, resources: np.ndarray
+    ) -> None:
+        """Trusted :meth:`add_tasks`: same appends and ``seq`` labels,
+        no re-validation.  For callers (the router's flush) whose
+        inputs were validated at ingestion time already."""
+        k = weights.shape[0]
+        self.weights = np.concatenate([self.weights, weights])
+        self.resource = np.concatenate([self.resource, resources])
+        self.seq = np.concatenate(
+            [self.seq, self._next_seq + np.arange(k, dtype=np.int64)]
+        )
+        self._next_seq += k
 
     # ------------------------------------------------------------------
     # Invariant checks (used by tests and the simulator's debug mode)

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from ..engine import LintError, Rule
 from .batch import BatchContract, ExtractScatterPairing
+from .bulk import BulkBypass
 from .capacity import CapacityComparison, CapacityProduct
 from .config import ConfigMutation, FrozenBypass
 from .hygiene import BareExcept, SilentHandler, UnnamedWarning
@@ -20,6 +21,7 @@ ALL_RULES: tuple[type[Rule], ...] = (
     CapacityProduct,
     BatchContract,
     ExtractScatterPairing,
+    BulkBypass,
     BareExcept,
     SilentHandler,
     UnnamedWarning,

@@ -1,0 +1,287 @@
+"""Vectorised helpers behind :meth:`repro.router.core.Router.choose_many`.
+
+The bulk-admission kernel turns the router's scalar probe loop into
+probe *waves*: one NumPy block per wave draws every pending decision's
+next candidate at once, one array comparison gates them against the
+effective capacity, and a rank loop resolves intra-batch conflicts in
+arrival order.  The contract is strict **bit-identity**: a
+``choose_many`` call must produce the same placements, the same probe
+counts, the same counters and the same generator end state as a loop
+of scalar ``choose_resource`` calls on the same seed.
+
+Three properties make that possible, each load-bearing:
+
+``DrawBuffer`` — stream alignment
+    NumPy's block draws equal sequential scalar draws value-for-value
+    *and* leave the generator in the same end state
+    (``rng.integers(0, n, size=k)`` == ``k`` scalar ``integers`` calls;
+    same for ``random``; gated by
+    ``tests/properties/test_bulk_equivalence.py``).  The buffer is a
+    FIFO over one draw *kind* that only ever tops up by the exact
+    shortfall, so no value is drawn that the scalar path would not
+    eventually consume, and values peeked for a wave can be re-assigned
+    to a failing decision's later probes without touching the stream.
+
+Wave prefix truncation — interleaving order
+    The scalar path fully resolves decision ``i`` (all its probes)
+    before decision ``i+1`` draws anything.  A wave's verdicts are
+    therefore only valid up to the *first* failing decision: everything
+    before it used exactly one draw and committed, so the wave's block
+    is a faithful prefix of the scalar stream.  The failing decision is
+    then resolved scalar-style out of the buffer, and the remaining
+    decisions re-wave.  Leftover peeked values are exactly the next
+    wave's need, so the buffer provably drains to empty by the end of
+    the batch.
+
+``gate_wave`` — float-exact conflict resolution
+    Capacity checks involve float sums whose value depends on add
+    order, so the gate cannot use ``cumsum`` tricks.  Instead it
+    groups candidates by resource (stable sort preserves arrival
+    order) and admits rank-by-rank: each rank is one vectorised
+    compare-and-add in which every resource appears at most once, so
+    every comparison sees exactly the partial sums the scalar loop
+    would have produced.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Union
+
+import numpy as np
+
+from ..graphs.implicit import ImplicitWalk
+from ..graphs.random_walk import RandomWalk
+
+__all__ = [
+    "DrawBuffer",
+    "Walk",
+    "first_failure",
+    "gate_prefix_serial",
+    "gate_wave",
+    "is_regular_walk",
+    "walk_targets",
+]
+
+Walk = Union[RandomWalk, ImplicitWalk]
+
+
+def is_regular_walk(walk: object) -> bool:
+    """Whether every step of ``walk`` consumes exactly two uniforms.
+
+    True for :class:`ImplicitWalk` (the shipped samplers are regular)
+    and for a :class:`RandomWalk` with an all-zero stay vector: the
+    stay draw is then dead but still consumed, and every walker moves,
+    so a step is always one stay uniform plus one slot uniform.  Lazy
+    walks consume a data-dependent number of draws (no slot uniform
+    for stayers) and cannot be block-drawn ahead of the verdicts.
+    """
+    if isinstance(walk, ImplicitWalk):
+        return True
+    if isinstance(walk, RandomWalk):
+        return walk.stay.size > 0 and float(walk.stay.max()) == 0.0
+    return False
+
+
+class DrawBuffer:
+    """FIFO of pre-drawn uniforms over one generator, one draw kind.
+
+    ``n`` selects the kind: an integer makes it a ``integers(0, n)``
+    buffer, ``None`` a ``random()`` (doubles) buffer.  Fills draw the
+    exact shortfall, never more — the invariant that keeps the
+    generator end state identical to the scalar path's (see module
+    docstring).  With an injected ``clock`` (the router passes its
+    own), ``fill_seconds`` accumulates time spent drawing, for the
+    router's ``rng`` profile phase; no randomness or control flow
+    derives from it.
+    """
+
+    __slots__ = ("_rng", "_n", "_buf", "_head", "_clock", "fill_seconds")
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        n: int | None = None,
+        clock: Callable[[], float] | None = None,
+    ):
+        self._rng = rng
+        self._n = n
+        if n is None:
+            self._buf = np.empty(0, dtype=np.float64)
+        else:
+            self._buf = np.empty(0, dtype=np.int64)
+        self._head = 0
+        self._clock = clock
+        self.fill_seconds = 0.0
+
+    @property
+    def available(self) -> int:
+        """Values peek-able without advancing the generator."""
+        return self._buf.shape[0] - self._head
+
+    def top_up(self, k: int) -> None:
+        """Ensure ``k`` values are available, drawing the shortfall."""
+        short = k - self.available
+        if short <= 0:
+            return
+        clock = self._clock
+        t0 = clock() if clock is not None else 0.0
+        if self._n is None:
+            fresh = self._rng.random(short)
+        else:
+            fresh = self._rng.integers(0, self._n, size=short)
+        if self._head >= self._buf.shape[0]:
+            self._buf = fresh
+        else:
+            self._buf = np.concatenate([self._buf[self._head :], fresh])
+        self._head = 0
+        if clock is not None:
+            self.fill_seconds += clock() - t0
+
+    def peek(self, k: int) -> np.ndarray:
+        """View of the next ``k`` values (call :meth:`top_up` first)."""
+        return self._buf[self._head : self._head + k]
+
+    def consume(self, k: int) -> None:
+        """Discard the next ``k`` values (they were peeked and used)."""
+        self._head += k
+
+    def take(self) -> float:
+        """Pop one value (topping up by one if empty)."""
+        head = self._head
+        if head >= self._buf.shape[0]:
+            self.top_up(1)
+            head = self._head
+        v = self._buf[head]
+        self._head = head + 1
+        return float(v)
+
+
+def walk_targets(
+    walk: Walk, pos: np.ndarray, u: np.ndarray
+) -> np.ndarray:
+    """Step targets for regular-walk moves whose slot uniform is ``u``.
+
+    Replicates the slot arithmetic of :meth:`RandomWalk.step` /
+    :meth:`ImplicitWalk.step` bit-for-bit — same multiply, same
+    ``astype`` truncation, same measure-zero guard — for walks where
+    :func:`is_regular_walk` holds (the stay uniform is dead and every
+    walker moves, so the caller supplies only the slot uniforms).
+    """
+    if isinstance(walk, RandomWalk):
+        graph = walk.graph
+        deg = graph.degrees[pos]
+        slot = (u * deg).astype(np.int64)
+        np.minimum(slot, deg - 1, out=slot)
+        return graph.indices[graph.indptr[pos] + slot]
+    sampler = walk.sampler
+    degree = sampler.degree
+    slot = (u * degree).astype(np.int64)
+    np.minimum(slot, degree - 1, out=slot)
+    return np.asarray(sampler.neighbor(pos, slot), dtype=np.int64)
+
+
+def gate_wave(
+    loads: np.ndarray,
+    cap: np.ndarray,
+    atol: float,
+    cand: np.ndarray,
+    w: np.ndarray,
+    timings: dict[str, float] | None = None,
+    clock: Callable[[], float] | None = None,
+) -> np.ndarray:
+    """Admission verdicts for one probe wave, bit-equal to serial order.
+
+    ``cand[i]`` is the probed resource of the ``i``-th pending decision
+    (arrival order) and ``w[i]`` its weight.  Returns a boolean mask:
+    would the scalar loop, processing decisions in order and committing
+    each admitted weight before checking the next, admit this probe?
+
+    Float sums are order-sensitive, so the gate *simulates* the serial
+    commits: candidates are grouped by resource with a stable sort
+    (arrival order survives within each group) and admitted
+    rank-by-rank — each rank touches every resource at most once, so a
+    single vectorised compare-and-add per rank reproduces the exact
+    partial sums of the scalar loop.  ``loads`` is scratch-mutated and
+    restored before returning; committing the verdicts is the caller's
+    job.  When ``timings`` is given (with an injected ``clock``), time
+    spent past rank zero is accumulated under ``"conflict"``
+    (intra-batch conflicts only arise when a resource is probed more
+    than once per wave).
+    """
+    if timings is not None and clock is None:
+        raise ValueError("timings requires an injected clock")
+    k = int(cand.shape[0])
+    ok = np.zeros(k, dtype=bool)
+    if not k:
+        return ok
+    order = np.argsort(cand, kind="stable")
+    sorted_cand = cand[order]
+    group_first = np.empty(k, dtype=bool)
+    group_first[0] = True
+    np.not_equal(sorted_cand[1:], sorted_cand[:-1], out=group_first[1:])
+    positions = np.arange(k)
+    group_start = np.maximum.accumulate(
+        np.where(group_first, positions, 0)
+    )
+    rank = positions - group_start
+    touched = sorted_cand[group_first]
+    saved = loads[touched].copy()
+    depth = int(rank.max())
+    t0 = 0.0
+    for r in range(depth + 1):
+        if timings is not None and r == 1:
+            t0 = clock()
+        sel = order[rank == r]
+        c = cand[sel]
+        ww = w[sel]
+        admit = loads[c] + ww <= cap[c] + atol
+        hit = sel[admit]
+        ok[hit] = True
+        loads[cand[hit]] += w[hit]
+    if timings is not None and depth > 0:
+        timings["conflict"] = (
+            timings.get("conflict", 0.0) + clock() - t0
+        )
+    loads[touched] = saved
+    return ok
+
+
+def gate_prefix_serial(
+    loads: np.ndarray,
+    capa: np.ndarray,
+    sel: list[int],
+    ws: list[float],
+) -> int:
+    """First serial-order refusal in a duplicated wave prefix.
+
+    Pure-Python replay of the scalar commit order, cheaper than
+    :func:`gate_wave`'s sort machinery for the narrow prefixes lazy
+    gating produces.  ``capa`` must be the elementwise ``cap + atol``
+    array (bitwise the scalar compare's right-hand side).  The running
+    value per resource accumulates exactly like the scalar loop's
+    ``loads[c] += w`` — absolute loads, not deltas, so every compare
+    sees the identical partial sum.  Returns the index of the first
+    refused decision, or ``len(sel)`` if the whole prefix admits.
+    """
+    vals: dict[int, float] = {}
+    get = vals.get
+    for idx, c in enumerate(sel):
+        v = get(c)
+        if v is None:
+            v = loads[c]
+        nv = v + ws[idx]
+        if nv > capa[c]:
+            return idx
+        vals[c] = nv
+    return len(sel)
+
+
+def first_failure(ok: np.ndarray) -> int:
+    """Index of the first ``False`` verdict, or ``len(ok)`` if none."""
+    k = int(ok.shape[0])
+    if not k:
+        return 0
+    # argmin on a bool array is the first False (allocation-free);
+    # all-True degenerates to index 0, disambiguated by one lookup
+    j = int(ok.argmin())
+    return j if not ok[j] else k

@@ -20,7 +20,10 @@ and exposes four verbs:
     machines are honoured for free.  Decisions touch only the O(n)
     live-load vector; the O(m) task arrays sync lazily at the next
     :meth:`Router.tick`, which keeps a decision O(probes) regardless of
-    the live population.
+    the live population.  ``choose_many(weights)`` is the bulk form:
+    whole probe waves planned in NumPy (:mod:`repro.router.bulk`),
+    bit-identical to the scalar loop, with ``submit_many`` as the
+    matching bulk ingestion verb.
 ``depart(ids)``
     Retire previously placed tasks (capacity is released immediately;
     array compaction is deferred like arrivals).
@@ -51,8 +54,8 @@ from __future__ import annotations
 # or control flow ever derives from it — see `Router(clock=)`).
 import time  # lint: allow-rng
 from collections.abc import Callable, Iterable
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, NamedTuple
 
 import numpy as np
 
@@ -61,6 +64,15 @@ from ..core.protocols.hybrid import HybridProtocol
 from ..core.protocols.resource_controlled import ResourceControlledProtocol
 from ..core.protocols.user_controlled import UserControlledProtocol
 from ..core.state import SystemState
+from .bulk import (
+    DrawBuffer,
+    Walk,
+    first_failure,
+    gate_prefix_serial,
+    gate_wave,
+    is_regular_walk,
+    walk_targets,
+)
 
 if TYPE_CHECKING:
     from ..core.backends import TrialSetup
@@ -74,8 +86,49 @@ __all__ = ["Decision", "Router", "RouterMetrics"]
 OVERFLOW_MODES = ("place", "reject")
 
 
-@dataclass(frozen=True)
-class Decision:
+def _sorted_member_positions(
+    haystack: np.ndarray, needles: np.ndarray
+) -> np.ndarray:
+    """Positions in ``haystack`` of the ``needles`` present in it.
+
+    Both arrays must be sorted, ``haystack`` strictly increasing — the
+    router's id array always is (ids are assigned monotonically and
+    compaction preserves order) — which turns membership into one
+    binary search instead of ``np.isin``'s sort-based set
+    intersection.  This is the replay hot path: departures resolve ids
+    to positions every round.
+    """
+    if not haystack.size or not needles.size:
+        return np.empty(0, dtype=np.int64)
+    idx = np.searchsorted(haystack, needles)
+    np.minimum(idx, haystack.size - 1, out=idx)
+    return idx[haystack[idx] == needles]
+
+
+def _linear_percentiles(
+    values: np.ndarray, qs: tuple[float, ...]
+) -> list[float]:
+    """``np.percentile(values, qs)`` by explicit sort + interpolation.
+
+    One ``np.sort`` is several times cheaper than ``np.percentile``'s
+    multi-quantile partition on reservoir-sized arrays, and — unlike
+    introselect — its cost barely varies with duplicate density, which
+    would otherwise read as spurious growth in the snapshot-cost
+    benchmark.  Interpolation matches NumPy's default ``linear``
+    method.
+    """
+    s = np.sort(values)
+    last = s.shape[0] - 1
+    out = []
+    for q in qs:
+        pos = last * (q / 100.0)
+        lo = int(pos)
+        hi = lo + 1 if lo < last else last
+        out.append(float(s[lo] + (s[hi] - s[lo]) * (pos - lo)))
+    return out
+
+
+class Decision(NamedTuple):
     """Outcome of one :meth:`Router.choose_resource` call.
 
     ``accepted`` means a probed resource had room below its effective
@@ -85,6 +138,10 @@ class Decision:
     semantics: an over-threshold task is legal and later ``tick``
     rounds migrate it) or rejects it (``resource`` and ``task_id`` are
     then ``None``), depending on the router's ``overflow`` mode.
+
+    A named tuple rather than a frozen dataclass: admission builds one
+    of these per decision, and tuple construction keeps that cost off
+    the hot path while staying immutable with the same field access.
     """
 
     resource: int | None
@@ -107,8 +164,10 @@ class RouterMetrics:
 
     Load vectors include tasks whose array sync is still pending, so a
     snapshot taken between ticks reflects every decision served so far.
-    Latency percentiles are over all :meth:`Router.choose_resource`
-    calls (seconds; ``None`` before the first decision).
+    Latency percentiles are over decision latencies (seconds; ``None``
+    before the first decision), sampled by a bounded reservoir so a
+    snapshot costs the same however many decisions were served — exact
+    until the reservoir fills, a uniform sample after.
     """
 
     resources: int
@@ -161,18 +220,69 @@ class RouterMetrics:
         }
 
 
-@dataclass
-class _FloatBuffer:
-    """Append-only float buffer that grows geometrically."""
+#: Latency reservoir size: large enough that p99 over it is stable,
+#: small enough that a percentile pass is microseconds.
+_RESERVOIR_CAPACITY = 4096
 
-    data: np.ndarray = field(default_factory=lambda: np.empty(64))
-    size: int = 0
+
+class _LatencyReservoir:
+    """Fixed-size uniform sample of decision latencies (Vitter's
+    algorithm R): O(1) per append, and a snapshot percentile whose cost
+    depends on the reservoir capacity — never on how many decisions the
+    router has served.  Exact until the reservoir fills; past that,
+    percentiles are over a uniform sample of all appends.
+
+    The replacement draws come from a private fixed-seed generator:
+    latency is a diagnostic, and whether a sample is kept must never
+    move the router's decision stream.
+    """
+
+    __slots__ = ("data", "size", "count", "_rng")
+
+    def __init__(self, capacity: int = _RESERVOIR_CAPACITY) -> None:
+        self.data = np.empty(int(capacity), dtype=np.float64)
+        self.size = 0
+        self.count = 0
+        self._rng = np.random.default_rng(0x5EED)
 
     def append(self, value: float) -> None:
-        if self.size == self.data.shape[0]:
-            self.data = np.resize(self.data, self.data.shape[0] * 2)
-        self.data[self.size] = value
-        self.size += 1
+        cap = self.data.shape[0]
+        if self.size < cap:
+            self.data[self.size] = value
+            self.size += 1
+        else:
+            j = int(self._rng.integers(0, self.count + 1))
+            if j < cap:
+                self.data[j] = value
+        self.count += 1
+
+    def extend(self, value: float, repeats: int) -> None:
+        """Append one value ``repeats`` times (bulk amortised latency).
+
+        The warm-up region is filled as a slice.  Past capacity, the
+        replacement draws happen as one block — every append carries
+        the same value, so a slot hit by any of them ends up holding
+        ``value`` exactly as the sequential loop would leave it, and
+        the per-append Python cost disappears from the serving path.
+        """
+        cap = self.data.shape[0]
+        fill = min(repeats, cap - self.size)
+        if fill > 0:
+            self.data[self.size : self.size + fill] = value
+            self.size += fill
+            self.count += fill
+            repeats -= fill
+        if repeats <= 0:
+            return
+        # algorithm R, vectorised: the i-th remaining append replaces
+        # slot j ~ U[0, count_i] (count_i its pre-append count), kept
+        # only when j lands inside the reservoir
+        counts = self.count + np.arange(repeats, dtype=np.int64)
+        j = self._rng.integers(0, counts + 1)
+        hits = j[j < cap]
+        if hits.size:
+            self.data[hits] = value
+        self.count += repeats
 
     def array(self) -> np.ndarray:
         return self.data[: self.size]
@@ -211,6 +321,15 @@ class Router:
     clock:
         Monotonic time source for decision latency (tests inject a
         fake).
+    profile:
+        When true, accumulate wall time per kernel phase in
+        :attr:`phase_seconds` (``rng`` / ``gating`` / ``conflict`` /
+        ``sync`` / ``fallback``) so serving work starts from data:
+        ``rng`` is generator draws, ``gating`` the vectorised probe
+        waves (``conflict`` the portion spent resolving intra-batch
+        capacity conflicts past rank zero), ``sync`` the deferred
+        array flush, ``fallback`` time inside the scalar fallback of
+        :meth:`choose_many`.
     """
 
     def __init__(
@@ -221,6 +340,7 @@ class Router:
         max_probes: int = 8,
         overflow: str = "place",
         clock: Callable[[], float] = time.perf_counter,
+        profile: bool = False,
     ) -> None:
         if max_probes < 1:
             raise ValueError("max_probes must be at least 1")
@@ -247,15 +367,42 @@ class Router:
         ).reshape(-1)
         if self._cap.shape != (state.n,):
             self._cap = np.full(state.n, float(self._cap))
+        # admission bound with tolerance folded in, cached so the
+        # per-round balance check is a single comparison
+        self._bound = self._cap + state.atol
 
         # Stable external ids, aligned with the state's task order.
         self._ids = np.arange(state.m, dtype=np.int64)
         self._next_id = state.m
-        # Deferred mutations, applied in one batch at the next tick.
-        self._pending_w: list[float] = []
-        self._pending_r: list[int] = []
-        self._pending_ids: list[int] = []
-        self._pending_departs: list[int] = []
+        # Deferred mutations, applied in one batch at the next tick:
+        # arrivals as three parallel insertion-ordered lists (ids are
+        # assigned monotonically, so list order is id order — flush
+        # converts each to an array in one C-level pass), departures as
+        # an id set with O(1) membership, so cancelling or
+        # deduplicating large id batches never rescans Python lists.
+        self._pend_ids: list[int] = []
+        self._pend_w: list[float] = []
+        self._pend_r: list[int] = []
+        self._departing: set[int] = set()
+        # per-depart position arrays into the current ``_ids`` (valid
+        # until flush compacts; see Router.depart)
+        self._departing_pos: list[np.ndarray] = []
+
+        self._profile = bool(profile)
+        #: Cumulative seconds per kernel phase (see the ``profile``
+        #: parameter).  ``rng`` and ``fallback`` accumulate always
+        #: (they cost two clock reads per batch); the per-wave phases
+        #: only when profiling is on.
+        self.phase_seconds: dict[str, float] = {
+            "rng": 0.0,
+            "gating": 0.0,
+            "conflict": 0.0,
+            "sync": 0.0,
+            "fallback": 0.0,
+        }
+        #: Why the last :meth:`choose_many` used the scalar fallback
+        #: (``None`` after a fast-path batch).
+        self.last_bulk_fallback: str | None = None
 
         # Counters.
         self._decisions = 0
@@ -268,7 +415,7 @@ class Router:
         self._ticks = 0
         self._migrations = 0
         self._migrated_weight = 0.0
-        self._latency = _FloatBuffer()
+        self._latency = _LatencyReservoir()
 
     # ------------------------------------------------------------------
     # Construction
@@ -365,6 +512,234 @@ class Router:
             latency=latency,
         )
 
+    def choose_many(
+        self,
+        weights: Iterable[float] | np.ndarray,
+        origins: Iterable[int] | np.ndarray | None = None,
+    ) -> list[Decision]:
+        """Admit a batch of tasks; return one :class:`Decision` each.
+
+        Decision-for-decision **bit-identical** to calling
+        :meth:`choose_resource` in a loop on the same generator state:
+        same placements, same probe counts, same counters, same
+        generator end state (gated by
+        ``tests/properties/test_bulk_equivalence.py``).  The fast path
+        plans whole probe waves in NumPy (:mod:`repro.router.bulk`):
+        one block draw per wave, one array comparison against the
+        effective-capacity view, a rank loop that resolves intra-batch
+        capacity conflicts in arrival order, and scalar resolution out
+        of the wave's FIFO buffer for the (rare) decision that needs
+        more than one probe.
+
+        Protocol shapes whose draw sequences mix stream kinds fall
+        back to the scalar loop automatically — hybrid protocols (the
+        family coin interleaves with probe draws), walk-carrying
+        protocols called without ``origins``, and lazy walks (their
+        per-step draw count is data-dependent);
+        :attr:`last_bulk_fallback` records which.
+
+        Two documented deviations from the loop: invalid weights or
+        origins raise *before* any decision is served, and the
+        reported ``latency`` is the batch wall time amortised per
+        decision (timing sits outside the bit-identity contract).
+        """
+        t0 = self._clock()
+        w = np.ascontiguousarray(weights, dtype=np.float64).reshape(-1)
+        k = int(w.shape[0])
+        if k == 0:
+            return []
+        if float(w.min()) <= 0:
+            raise ValueError("task weight must be strictly positive")
+        n = self.state.n
+        org: np.ndarray | None = None
+        if origins is not None:
+            org = np.ascontiguousarray(origins, dtype=np.int64).reshape(-1)
+            if org.shape != w.shape:
+                raise ValueError(
+                    f"origins length {org.shape[0]} does not match "
+                    f"weights length {k}"
+                )
+            if int(org.min()) < 0 or int(org.max()) >= n:
+                raise ValueError("origin resource out of range")
+
+        plan = self._bulk_plan(org)
+        if plan is None:
+            # Sanctioned scalar fallback: these shapes interleave draw
+            # kinds mid-decision, which no block draw can reproduce.
+            tf = self._clock()
+            out = [  # lint: allow-bulk (the sanctioned scalar site)
+                self.choose_resource(
+                    float(w[t]), None if org is None else int(org[t])
+                )
+                for t in range(k)
+            ]
+            self.phase_seconds["fallback"] += self._clock() - tf
+            return out
+
+        kind, walk = plan
+        atol = self.state.atol
+        loads = self._loads
+        cap = self._cap
+        # `_bound[r]` is bitwise `cap[r] + atol` (elementwise add), so
+        # gating against it equals the scalar compare exactly
+        capa = self._bound
+        w_list = w.tolist()
+        prof = self._profile
+        phases = self.phase_seconds
+        timings: dict[str, float] | None = (
+            {"conflict": 0.0} if prof else None
+        )
+        if kind == "uniform":
+            buf = DrawBuffer(self.rng, n, clock=self._clock)
+            per = 1
+        else:
+            buf = DrawBuffer(self.rng, clock=self._clock)
+            per = 2
+
+        res: list[int | None] = [None] * k
+        tids: list[int | None] = [None] * k
+        acc = np.zeros(k, dtype=bool)
+        ovf = np.zeros(k, dtype=bool)
+        prb = np.ones(k, dtype=np.int64)
+
+        i = 0
+        while i < k:
+            kk = k - i
+            tg = self._clock() if prof else 0.0
+            if kind == "walk-resource":
+                # probe 1: the origin resource examines itself (free)
+                cand = org[i:]
+            elif kind == "walk-user":
+                buf.top_up(2 * kk)
+                u = buf.peek(2 * kk)
+                # even positions are the stay uniforms (dead on a
+                # regular walk, but part of the stream); odd positions
+                # pick the neighbour slots
+                cand = walk_targets(walk, org[i:], u[1::2])
+            else:
+                buf.top_up(kk)
+                # a view is safe: the buffer only ever swaps in a new
+                # backing array on top-up, never writes in place
+                cand = buf.peek(kk)
+            ws = w[i:]
+            # Conflict-blind verdicts first: exact up to the first
+            # failure as long as no resource repeats inside that
+            # prefix (no intra-batch partial sums involved).  Only a
+            # duplicated prefix pays a serial-order gate, and only
+            # over the prefix — the wave is truncated there anyway.
+            pred = loads[cand] + ws <= capa[cand]
+            j = int(pred.argmin())
+            if pred[j]:
+                j = kk
+            sel_list = cand[:j].tolist()
+            if j > 1 and len(set(sel_list)) != j:
+                # narrow prefixes (the common case) replay the serial
+                # commit order in Python; wide ones amortise the
+                # vectorised rank gate's sort machinery
+                if j <= 96:
+                    tc = (
+                        self._clock() if timings is not None else 0.0
+                    )
+                    jj = gate_prefix_serial(
+                        loads, capa, sel_list, w_list[i : i + j]
+                    )
+                    if timings is not None:
+                        timings["conflict"] += self._clock() - tc
+                else:
+                    ok = gate_wave(
+                        loads,
+                        cap,
+                        atol,
+                        cand[:j],
+                        ws[:j],
+                        timings,
+                        self._clock,
+                    )
+                    jj = first_failure(ok)
+                if jj != j:
+                    j = jj
+                    sel_list = sel_list[:j]
+            if prof:
+                phases["gating"] += self._clock() - tg
+            if j:
+                # commit the admitted prefix: these decisions consumed
+                # exactly one probe each, in arrival order
+                if kind != "walk-resource":
+                    buf.consume(per * j)
+                sel = cand[:j]
+                np.add.at(loads, sel, w[i : i + j])
+                nid = self._next_id
+                new_ids = range(nid, nid + j)
+                res[i : i + j] = sel_list
+                tids[i : i + j] = new_ids
+                self._pend_ids.extend(new_ids)
+                self._pend_w.extend(w_list[i : i + j])
+                self._pend_r.extend(sel_list)
+                self._next_id = nid + j
+                acc[i : i + j] = True
+                i += j
+            if i < k and j < kk:
+                # first failing decision: finish it scalar-style from
+                # the buffer (its probe-1 draws are at the head)
+                first_cand = int(cand[j])
+                if kind != "walk-resource":
+                    buf.consume(per)
+                    # Prefetch: the failing decision makes >=1 extra
+                    # probe and each of the kk-j-1 decisions behind it
+                    # >=1 probe, all from this buffer, so per*(kk-j)
+                    # draws are guaranteed to be consumed by batch end
+                    # — one generator call instead of take-by-take
+                    # top-ups plus the next wave's shortfall fill.
+                    buf.top_up(per * (kk - j))
+                else:
+                    # only the failing decision's own next probe (one
+                    # stay + slot pair) is guaranteed here: the other
+                    # decisions' first probes are draw-free
+                    buf.top_up(per)
+                chosen, probes, accepted, overflowed = (
+                    self._resolve_from_buffer(
+                        kind,
+                        walk,
+                        buf,
+                        float(w[i]),
+                        first_cand,
+                        loads,
+                        cap,
+                        atol,
+                    )
+                )
+                prb[i] = probes
+                if chosen is not None:
+                    res[i] = chosen
+                    tids[i] = self._record_pending(float(w[i]), chosen)
+                    loads[chosen] += float(w[i])
+                acc[i] = accepted
+                ovf[i] = overflowed
+                i += 1
+        assert buf.available == 0, "draw buffer must drain exactly"
+
+        phases["rng"] += buf.fill_seconds
+        if timings is not None:
+            phases["conflict"] += timings["conflict"]
+        n_acc = int(acc.sum())
+        n_ovf = int(ovf.sum())
+        self._decisions += k
+        self._accepted += n_acc
+        self._overflowed += n_ovf
+        self._rejected += k - n_acc - n_ovf
+        self._probes += int(prb.sum())
+        per_lat = (self._clock() - t0) / k
+        self._latency.extend(per_lat, k)
+        # `.tolist()` up front so the build loop hands native
+        # bool/int/float scalars to the tuple constructor
+        make = Decision._make
+        return [
+            make((r_, tid, a_, o_, p_, w_, per_lat))
+            for r_, tid, a_, o_, p_, w_ in zip(
+                res, tids, acc.tolist(), ovf.tolist(), prb.tolist(), w_list
+            )
+        ]
+
     def submit(self, weight: float, resource: int) -> int:
         """Force-place one task (no admission probing); return its id.
 
@@ -379,6 +754,43 @@ class Router:
         self._ingested += 1
         return self._buffer_arrival(w, int(resource))
 
+    def submit_many(
+        self,
+        weights: Iterable[float] | np.ndarray,
+        resources: Iterable[int] | np.ndarray,
+    ) -> np.ndarray:
+        """Force-place a batch of tasks; return their ids (aligned).
+
+        The vectorised :meth:`submit`: one load scatter-add and one
+        ordered bulk insert into the arrival buffer, state-identical
+        to submitting the pairs one by one (same ids, same buffered
+        order, same float load sums — ``np.add.at`` accumulates
+        repeated resources sequentially).  Replay's bulk mode feeds
+        each round's arrivals through here.
+        """
+        w = np.ascontiguousarray(weights, dtype=np.float64).reshape(-1)
+        r = np.ascontiguousarray(resources, dtype=np.int64).reshape(-1)
+        if w.shape != r.shape:
+            raise ValueError(
+                f"resources length {r.shape[0]} does not match "
+                f"weights length {w.shape[0]}"
+            )
+        k = int(w.shape[0])
+        if k == 0:
+            return np.empty(0, dtype=np.int64)
+        if float(w.min()) <= 0:
+            raise ValueError("task weight must be strictly positive")
+        if int(r.min()) < 0 or int(r.max()) >= self.state.n:
+            raise ValueError("resource out of range")
+        ids = np.arange(self._next_id, self._next_id + k, dtype=np.int64)
+        self._next_id += k
+        self._pend_ids.extend(ids.tolist())
+        self._pend_w.extend(w.tolist())
+        self._pend_r.extend(r.tolist())
+        np.add.at(self._loads, r, w)
+        self._ingested += k
+        return ids
+
     def depart(self, ids: Iterable[int]) -> int:
         """Retire placed tasks by id; return how many were found.
 
@@ -386,23 +798,35 @@ class Router:
         freed headroom); the task arrays compact at the next tick.
         Unknown or already-departed ids are ignored.
         """
-        wanted = np.unique(np.atleast_1d(np.asarray(ids, dtype=np.int64)))
+        wanted = np.asarray(ids, dtype=np.int64)
+        if wanted.ndim != 1:
+            wanted = wanted.reshape(-1)
         if wanted.size == 0:
             return 0
+        if wanted.size > 1 and not bool((wanted[1:] > wanted[:-1]).all()):
+            # replay and the engines hand us sorted id slices; only
+            # arbitrary caller input pays the dedup-and-sort
+            wanted = np.unique(wanted)
         found = 0
         # tasks still waiting in the arrival buffer are cancelled there
-        if self._pending_ids:
-            buffered = set(self._pending_ids) & {int(t) for t in wanted}
-            for tid in buffered:
-                k = self._pending_ids.index(tid)
-                self._loads[self._pending_r[k]] -= self._pending_w[k]
-                del self._pending_w[k]
-                del self._pending_r[k]
-                del self._pending_ids[k]
-            found += len(buffered)
-        pos = np.flatnonzero(np.isin(self._ids, wanted))
-        if self._pending_departs:
-            already = np.asarray(self._pending_departs, dtype=np.int64)
+        if self._pend_ids:
+            pend_arr = np.asarray(self._pend_ids, dtype=np.int64)
+            hit_pos = np.flatnonzero(np.isin(pend_arr, wanted))
+            if hit_pos.size:
+                # list order is id order, so ascending position keeps
+                # the historical ascending-id release order
+                for p in hit_pos.tolist():
+                    self._loads[self._pend_r[p]] -= self._pend_w[p]
+                for p in hit_pos[::-1].tolist():
+                    del self._pend_ids[p]
+                    del self._pend_w[p]
+                    del self._pend_r[p]
+                found += int(hit_pos.size)
+        pos = _sorted_member_positions(self._ids, wanted)
+        if self._departing and pos.size:
+            already = np.fromiter(
+                self._departing, np.int64, len(self._departing)
+            )
             pos = pos[~np.isin(self._ids[pos], already)]
         if pos.size:
             np.subtract.at(
@@ -410,7 +834,10 @@ class Router:
                 self.state.resource[pos],
                 self.state.weights[pos],
             )
-            self._pending_departs.extend(int(t) for t in self._ids[pos])
+            self._departing.update(self._ids[pos].tolist())
+            # positions stay valid until the next flush (the only
+            # mutator of ``_ids``), so flush can skip re-deriving them
+            self._departing_pos.append(pos)
             found += int(pos.size)
         self._departed += found
         return found
@@ -431,7 +858,9 @@ class Router:
             if stats.loads_after is not None
             else self.state.loads()
         )
-        self._loads = np.array(loads, dtype=np.float64)
+        # both sources are freshly allocated per step, so adopt rather
+        # than copy — exactly what the serial engine's round loop does
+        self._loads = np.asarray(loads, dtype=np.float64)
         return stats
 
     def flush(self) -> None:
@@ -440,23 +869,38 @@ class Router:
         Called automatically by :meth:`tick`; callers only need it when
         they want ``state`` itself (not just the load view) current.
         """
-        if self._pending_departs:
-            gone = np.asarray(self._pending_departs, dtype=np.int64)
-            pos = np.flatnonzero(np.isin(self._ids, gone))
-            self.state.remove_tasks(pos)
-            self._ids = np.delete(self._ids, pos)
-            self._pending_departs.clear()
-        if self._pending_ids:
-            self.state.add_tasks(
-                np.asarray(self._pending_w, dtype=np.float64),
-                np.asarray(self._pending_r, dtype=np.int64),
-            )
-            self._ids = np.concatenate(
-                [self._ids, np.asarray(self._pending_ids, dtype=np.int64)]
-            )
-            self._pending_w.clear()
-            self._pending_r.clear()
-            self._pending_ids.clear()
+        if not (self._departing or self._pend_ids):
+            return
+        t0 = self._clock() if self._profile else 0.0
+        if self._departing:
+            plist = self._departing_pos
+            if len(plist) == 1:
+                pos = plist[0]
+            else:
+                pos = np.concatenate(plist)
+                pos.sort()
+            # one keep-mask compacts the three state arrays AND the id
+            # vector (element-identical to np.delete on each, which
+            # would rebuild this mask four times over)
+            keep = np.ones(self._ids.shape[0], dtype=bool)
+            keep[pos] = False
+            self.state._compact_mask(keep)
+            self._ids = self._ids[keep]
+            self._departing.clear()
+            plist.clear()
+        if self._pend_ids:
+            ids = np.asarray(self._pend_ids, dtype=np.int64)
+            w_arr = np.asarray(self._pend_w, dtype=np.float64)
+            r_arr = np.asarray(self._pend_r, dtype=np.int64)
+            # trusted append: weights/resources were validated when
+            # they entered the pending buffer
+            self.state._extend_tasks(w_arr, r_arr)
+            self._ids = np.concatenate([self._ids, ids])
+            self._pend_ids = []
+            self._pend_w = []
+            self._pend_r = []
+        if self._profile:
+            self.phase_seconds["sync"] += self._clock() - t0
 
     def rethreshold(self, policy: ThresholdPolicy) -> None:
         """Recompute the threshold from the live workload.
@@ -483,6 +927,7 @@ class Router:
         if cap.shape != (self.state.n,):
             cap = np.full(self.state.n, float(cap))
         self._cap = cap
+        self._bound = cap + self.state.atol
 
     # ------------------------------------------------------------------
     # Introspection
@@ -490,11 +935,7 @@ class Router:
     @property
     def live_tasks(self) -> int:
         """Tasks currently placed (deferred arrivals included)."""
-        return (
-            self.state.m
-            + len(self._pending_ids)
-            - len(self._pending_departs)
-        )
+        return self.state.m + len(self._pend_ids) - len(self._departing)
 
     def loads(self) -> np.ndarray:
         """Copy of the live load vector (pending ops included)."""
@@ -507,7 +948,7 @@ class Router:
 
     def is_balanced(self) -> bool:
         """Every live load at or below its effective capacity."""
-        return bool(np.all(self._loads <= self._cap + self.state.atol))
+        return bool(np.all(self._loads <= self._bound))
 
     def metrics_snapshot(self) -> RouterMetrics:
         """Current metrics (see :class:`RouterMetrics`)."""
@@ -516,9 +957,7 @@ class Router:
         norm = loads if speeds is None else loads / speeds
         lat = self._latency.array()
         if lat.size:
-            p50, p90, p99 = (
-                float(v) for v in np.percentile(lat, (50, 90, 99))
-            )
+            p50, p90, p99 = _linear_percentiles(lat, (50.0, 90.0, 99.0))
         else:
             p50 = p90 = p99 = None
         return RouterMetrics(
@@ -529,7 +968,7 @@ class Router:
             normalized_loads=norm,
             makespan=float(norm.max()) if norm.size else 0.0,
             capacity=self._cap.copy(),
-            overloaded=int((loads > self._cap + self.state.atol).sum()),
+            overloaded=int((loads > self._bound).sum()),
             decisions=self._decisions,
             accepted=self._accepted,
             overflowed=self._overflowed,
@@ -549,14 +988,122 @@ class Router:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
-    def _buffer_arrival(self, weight: float, resource: int) -> int:
+    def _record_pending(self, weight: float, resource: int) -> int:
+        """Assign the next id and buffer the arrival (no load update)."""
         task_id = self._next_id
         self._next_id += 1
-        self._pending_w.append(weight)
-        self._pending_r.append(resource)
-        self._pending_ids.append(task_id)
+        self._pend_ids.append(task_id)
+        self._pend_w.append(weight)
+        self._pend_r.append(resource)
+        return task_id
+
+    def _buffer_arrival(self, weight: float, resource: int) -> int:
+        task_id = self._record_pending(weight, resource)
         self._loads[resource] += weight
         return task_id
+
+    def _bulk_plan(
+        self, origins: np.ndarray | None
+    ) -> tuple[str, Walk | None] | None:
+        """Classify a batch into a fast-path kind, or ``None``.
+
+        The kernel needs every decision in the batch to draw from one
+        homogeneous stream kind with a statically known count per
+        probe, so the wave's block draw occupies exactly the stream
+        positions the scalar loop would consume.  Three shapes
+        qualify: ``"uniform"`` (user family, no walk — one integer
+        draw per probe), ``"walk-user"`` (regular walk from a given
+        origin — two doubles per probe) and ``"walk-resource"``
+        (origin probes itself free, then two doubles per forwarding
+        step).  Everything else — hybrid family coins, walks without
+        origins (integer origin draw then walk doubles), lazy walks
+        (data-dependent draw counts) — sets :attr:`last_bulk_fallback`
+        and returns ``None``.
+        """
+        self.last_bulk_fallback = None
+        if self._mode == "hybrid":
+            self.last_bulk_fallback = "hybrid-protocol"
+            return None
+        if self._mode == "user":
+            walk = self._user_walk
+            if walk is None:
+                return "uniform", None
+            if origins is None:
+                self.last_bulk_fallback = "walk-without-origins"
+                return None
+            if not is_regular_walk(walk):
+                self.last_bulk_fallback = "lazy-walk"
+                return None
+            return "walk-user", walk
+        walk = self._res_walk
+        if walk is None:
+            # unreachable for stock protocols (resource-controlled
+            # always carries a walk) but classified defensively
+            self.last_bulk_fallback = "resource-without-walk"
+            return None
+        if origins is None:
+            self.last_bulk_fallback = "walk-without-origins"
+            return None
+        if not is_regular_walk(walk):
+            self.last_bulk_fallback = "lazy-walk"
+            return None
+        return "walk-resource", walk
+
+    def _resolve_from_buffer(
+        self,
+        kind: str,
+        walk: Walk | None,
+        buf: DrawBuffer,
+        w: float,
+        first_cand: int,
+        loads: np.ndarray,
+        cap: np.ndarray,
+        atol: float,
+    ) -> tuple[int | None, int, bool, bool]:
+        """Finish one wave-rejected decision with scalar semantics.
+
+        Replicates the :meth:`choose_resource` probe loop exactly —
+        same headroom bookkeeping, same acceptance compare, same
+        overflow choice — but candidate draws come out of the wave's
+        FIFO buffer, which holds them at the very stream positions the
+        scalar loop would have consumed.  Returns ``(chosen, probes,
+        accepted, overflowed)``; committing the task (loads, pending
+        buffer, counters) stays with the caller.
+        """
+        cursor = first_cand
+        chosen: int | None = None
+        best: int | None = None
+        best_room = -np.inf
+        probes = 0
+        while probes < self.max_probes:
+            if probes > 0:
+                if kind == "uniform":
+                    cursor = int(buf.take())
+                else:
+                    buf.take()  # the dead stay uniform (regular walk)
+                    slot_u = buf.take()
+                    assert walk is not None
+                    cursor = int(
+                        walk_targets(
+                            walk,
+                            np.asarray([cursor], dtype=np.int64),
+                            np.asarray([slot_u], dtype=np.float64),
+                        )[0]
+                    )
+            probes += 1
+            room = cap[cursor] - loads[cursor]
+            if loads[cursor] + w <= cap[cursor] + atol:
+                chosen = cursor
+                break
+            if room > best_room:
+                best_room = room
+                best = cursor
+        accepted = chosen is not None
+        overflowed = False
+        if not accepted and self.overflow == "place":
+            chosen = best
+            overflowed = True
+        return chosen, probes, accepted, overflowed
 
     def _pick_family(self) -> bool:
         """Whether this decision uses resource-controlled semantics."""

@@ -109,15 +109,21 @@ def _empty_schedule(m0: int) -> DynamicsSchedule:
     )
 
 
-def replay(router: Router, max_rounds: int = 100_000) -> ReplayReport:
+def replay(
+    router: Router, max_rounds: int = 100_000, bulk: bool = True
+) -> ReplayReport:
     """Drive the router's schedule to completion; return the report.
 
     The schedule is ``router.state.dynamics`` (or the trivial empty
     schedule when the state is one-shot).  Each round ``t``: retire
     tasks departing at ``t`` through :meth:`Router.depart`, ingest the
-    round's arrivals through :meth:`Router.submit`, rethreshold from
-    the live workload when the schedule asks for it, then run one
-    :meth:`Router.tick`.  Terminates once the schedule is exhausted and
+    round's arrivals through :meth:`Router.submit_many` (``bulk=True``,
+    the default) or a scalar :meth:`Router.submit` loop, rethreshold
+    from the live workload when the schedule asks for it, then run one
+    :meth:`Router.tick`.  The two ingestion modes are state-identical
+    (``submit_many`` is bit-equal to the loop by construction); the
+    scalar mode remains as the reference path the equivalence suite
+    compares against.  Terminates once the schedule is exhausted and
     the system is balanced, or when ``max_rounds`` is hit (reported as
     censored, like the engine).
     """
@@ -137,16 +143,57 @@ def replay(router: Router, max_rounds: int = 100_000) -> ReplayReport:
     span_buf = _TraceBuffer()
     viol_buf = _TraceBuffer()
 
-    # departure rounds of the live population, aligned with task order
-    depart = sched.initial_depart.copy()
     arrive_round = sched.arrive_round
     ptr = 0  # arrivals consumed so far
+    if bulk:
+        # Departure buckets: round -> (ids, weights) of the tasks that
+        # leave then.  The engine re-scans an O(m) departure array every
+        # round; the router's id-based verbs let replay pre-bucket the
+        # schedule instead and retire each round's batch with one dict
+        # pop.  Ids are appended in ascending order (initial population
+        # first, arrivals as they are ingested), which matches the
+        # engine's position-ascending removal order, so the per-round
+        # weight sums below are bit-identical to the scan's.  Round
+        # ``t``'s bucket is popped before round ``t``'s arrivals are
+        # ingested, so a degenerate depart-at-arrival-round task never
+        # departs — exactly the scan's behaviour too.
+        buckets: dict[int, tuple[list[int], list[float]]] = {}
+
+        def _bucket_departures(
+            ids_new: np.ndarray, departs: np.ndarray, weights: np.ndarray
+        ) -> None:
+            triples = zip(
+                ids_new.tolist(), departs.tolist(), weights.tolist()
+            )
+            for tid, td, tw in triples:
+                if td == INFINITE_LIFETIME:
+                    continue
+                entry = buckets.get(td)
+                if entry is None:
+                    buckets[td] = ([tid], [tw])
+                else:
+                    entry[0].append(tid)
+                    entry[1].append(tw)
+
+        _bucket_departures(
+            router._ids, sched.initial_depart, state.weights
+        )
+    else:
+        # scalar reference path: mirror the engine's departure-round
+        # array, aligned with task order
+        depart = sched.initial_depart.copy()
 
     total_weight = float(state.weights.sum())
     rounds = 0
     last_event = sched.last_event_round
+    n_arrivals = int(arrive_round.shape[0])
+    policy = sched.policy
     router.refresh_capacity()
     balanced = router.is_balanced()
+    # violation bound, hoisted like the engine's (re-derived only when
+    # the schedule rethresholds); ``_bound`` is exactly cap + atol
+    bound = router._bound
+    speeds = state.speeds
 
     while rounds < max_rounds:
         t = rounds + 1
@@ -154,41 +201,66 @@ def replay(router: Router, max_rounds: int = 100_000) -> ReplayReport:
             break
 
         changed = False
-        dep = np.flatnonzero(depart == t)
-        if dep.size:
-            total_weight -= float(state.weights[dep].sum())
-            # state is synced here (tick flushed last round), so the
-            # router's id array is aligned with the positional indices
-            router.depart(router._ids[dep])
-            depart = np.delete(depart, dep)
-            changed = True
-        hi = int(np.searchsorted(arrive_round, t, side="right"))
+        if bulk:
+            entry = buckets.pop(t, None)
+            if entry is not None:
+                dep_ids, dep_w = entry
+                total_weight -= float(np.asarray(dep_w).sum())
+                router.depart(np.asarray(dep_ids, dtype=np.int64))
+                changed = True
+        else:
+            dep = np.flatnonzero(depart == t)
+            if dep.size:
+                total_weight -= float(state.weights[dep].sum())
+                # state is synced here (tick flushed last round), so
+                # the router's id array is aligned with the positions
+                router.depart(router._ids[dep])
+                depart = np.delete(depart, dep)
+                changed = True
+        if ptr < n_arrivals:
+            hi = int(np.searchsorted(arrive_round, t, side="right"))
+        else:  # arrival stream exhausted — skip the bisect
+            hi = ptr
         if hi > ptr:
             w_new = sched.arrive_weight[ptr:hi]
             total_weight += float(w_new.sum())
             places = sched.arrive_place[ptr:hi]
-            for w, r in zip(w_new, places):
-                router.submit(float(w), int(r))
-            depart = np.concatenate([depart, sched.arrive_depart[ptr:hi]])
+            if bulk:
+                ids_new = router.submit_many(w_new, places)
+                _bucket_departures(
+                    ids_new, sched.arrive_depart[ptr:hi], w_new
+                )
+            else:
+                # scalar reference path, kept so the equivalence gate
+                # can compare bulk ingestion against per-task submits
+                for w, r in zip(w_new, places):  # lint: allow-bulk
+                    router.submit(float(w), int(r))
+                depart = np.concatenate(
+                    [depart, sched.arrive_depart[ptr:hi]]
+                )
             ptr = hi
             changed = True
-        router.flush()
-        if changed and sched.policy is not None and state.m:
-            state.threshold = sched.policy.compute_for(
-                state.weights, state.n, speeds=state.speeds
-            )
-            router.refresh_capacity()
+        if changed and policy is not None:
+            router.flush()
+            if state.m:
+                state.threshold = policy.compute_for(
+                    state.weights, state.n, speeds=speeds
+                )
+                router.refresh_capacity()
+                bound = router._bound
 
         router.tick()
         rounds += 1
-        balanced = router.is_balanced()
 
         loads = router._loads
+        # one comparison serves both: balanced iff no violations
+        viol = int((loads > bound).sum())
+        balanced = viol == 0
         live_buf.append(state.m)
         weight_buf.append(total_weight)
-        norm = loads if state.speeds is None else loads / state.speeds
+        norm = loads if speeds is None else loads / speeds
         span_buf.append(float(norm.max()) if state.n else 0.0)
-        viol_buf.append(int((loads > router._cap + state.atol).sum()))
+        viol_buf.append(viol)
 
     snapshot = router.metrics_snapshot()
     return ReplayReport(
@@ -215,6 +287,7 @@ def replay_setup(
     setup: TrialSetup,
     seed: int | np.random.SeedSequence | None = None,
     max_rounds: int = 100_000,
+    bulk: bool = True,
     **router_kwargs: Any,
 ) -> ReplayReport:
     """Build a router from a trial setup and replay its schedule.
@@ -225,4 +298,4 @@ def replay_setup(
     trial on the same ``SeedSequence``.
     """
     router = Router.from_setup(setup, seed, **router_kwargs)
-    return replay(router, max_rounds=max_rounds)
+    return replay(router, max_rounds=max_rounds, bulk=bulk)

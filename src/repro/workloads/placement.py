@@ -126,4 +126,9 @@ def loads_from_placement(
         raise ValueError("placement and weights must have the same length")
     if placement.size and (placement.min() < 0 or placement.max() >= n):
         raise ValueError("placement refers to a resource out of range")
-    return np.bincount(placement, weights=weights, minlength=n)
+    # bincount ignores `weights` on empty input and hands back integer
+    # zeros; the load vector must be float64 for every caller
+    return np.asarray(
+        np.bincount(placement, weights=weights, minlength=n),
+        dtype=np.float64,
+    )

@@ -1,0 +1,5 @@
+"""The same scalar loop outside repro/router/ — out of scope."""
+
+
+def drain(router, weights):
+    return [router.choose_resource(float(w)) for w in weights]

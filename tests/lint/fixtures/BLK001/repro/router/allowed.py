@@ -1,0 +1,9 @@
+"""The sanctioned scalar fallback site, escape-hatched."""
+
+
+def fallback(router, weights):
+    # the kernel cannot express this batch; scalar reference path
+    return [
+        router.choose_resource(float(w))  # lint: allow-bulk
+        for w in weights
+    ]

@@ -1,0 +1,14 @@
+"""Batched decision-path usage: one kernel call per batch."""
+
+
+def drain(router, weights):
+    return router.choose_many(weights)
+
+
+def ingest(router, weights, places):
+    return router.submit_many(weights, places)
+
+
+def bookkeeping(ids):
+    # loops that never touch a scalar decision verb are fine
+    return [i + 1 for i in ids]

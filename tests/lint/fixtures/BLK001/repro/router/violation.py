@@ -1,0 +1,22 @@
+"""Per-element decision loops that bypass the bulk kernel."""
+
+
+def drain(router, weights):
+    out = []
+    for w in weights:
+        out.append(router.choose_resource(float(w)))
+    return out
+
+
+def ingest(router, weights, places):
+    return [
+        router.submit(float(w), int(r))
+        for w, r in zip(weights, places)
+    ]
+
+
+def retry(router, weight):
+    placed = None
+    while placed is None:
+        placed = router.choose_resource(weight)
+    return placed

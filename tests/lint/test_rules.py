@@ -71,6 +71,7 @@ def test_scoped_rules_declare_scope() -> None:
     assert get_rule("RNG003").scope is not None
     assert get_rule("CAP001").scope is not None
     assert get_rule("CAP002").scope is not None
+    assert get_rule("BLK001").scope is not None
     assert get_rule("RNG001").scope is None
 
 
